@@ -1,0 +1,152 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. The experiment reproduction: prints every table and figure of the
+      paper's evaluation (the rows EXPERIMENTS.md records).
+   2. Bechamel microbenchmarks — one Test.make per table/figure — timing the
+      computational core behind each artifact (a compiler+mapper run, a
+      surrogate forward pass, an end-to-end simulation, ...), so regressions
+      in the heavy machinery show up as timing changes. *)
+
+open Bechamel
+open Toolkit
+module Kernels = Picachu_ir.Kernels
+module Dfg = Picachu_dfg.Dfg
+module Fuse = Picachu_dfg.Fuse
+module Arch = Picachu_cgra.Arch
+module Mapper = Picachu_cgra.Mapper
+module Cost = Picachu_cgra.Cost
+module Mz = Picachu_llm.Model_zoo
+module Workload = Picachu_llm.Workload
+module Gpu = Picachu_llm.Gpu_model
+module Surrogate = Picachu_llm.Surrogate
+module Zero_shot = Picachu_llm.Zero_shot
+module Gemmini = Picachu_baselines.Gemmini
+module Tandem = Picachu_baselines.Tandem
+module Approx = Picachu_numerics.Approx
+module Taylor = Picachu_numerics.Taylor
+open Picachu
+
+let sur = lazy (Surrogate.create ~seed:42 (Surrogate.surrogate_of Mz.llama2_7b))
+let tokens = Array.init 32 (fun i -> (i * 37) mod 256)
+
+let softmax_dfg =
+  lazy
+    (Fuse.fuse
+       (Dfg.of_loop (List.nth (Kernels.softmax Kernels.Picachu).Picachu_ir.Kernel.loops 1)))
+
+let bench_tests =
+  [
+    (* fig1: the A100 roofline over a full workload *)
+    Test.make ~name:"fig1:gpu-roofline-llama13b"
+      (Staged.stage (fun () ->
+           ignore (Gpu.run Gpu.a100 (Workload.of_model Mz.llama2_13b ~seq:1024))));
+    (* tab2/tab5: one surrogate forward pass per backend class *)
+    Test.make ~name:"tab2:surrogate-forward-ibert"
+      (Staged.stage (fun () ->
+           ignore (Surrogate.logits (Lazy.force sur) Approx.ibert tokens)));
+    Test.make ~name:"tab5:surrogate-forward-ours-int16"
+      (Staged.stage (fun () ->
+           ignore (Surrogate.logits (Lazy.force sur) (Approx.ours_int ()) tokens)));
+    (* tab3: the Taylor operator algorithm itself *)
+    Test.make ~name:"tab3:taylor-exp-1k"
+      (Staged.stage (fun () ->
+           for i = 0 to 999 do
+             ignore (Taylor.exp ((float_of_int i /. 50.0) -. 15.0))
+           done));
+    (* tab4: DFG extraction + fusion over the kernel library *)
+    Test.make ~name:"tab4:fuse-all-kernels"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (k : Picachu_ir.Kernel.t) ->
+               List.iter
+                 (fun l -> ignore (Fuse.fuse (Dfg.of_loop l)))
+                 k.Picachu_ir.Kernel.loops)
+             (Kernels.all Kernels.Picachu)));
+    (* tab6: zero-shot scoring *)
+    Test.make ~name:"tab6:zero-shot-item"
+      (Staged.stage (fun () ->
+           ignore (Zero_shot.score_candidate (Lazy.force sur) Approx.exact tokens 7)));
+    (* tab7: the cost model *)
+    Test.make ~name:"tab7:cost-breakdown"
+      (Staged.stage (fun () -> ignore (Cost.picachu_breakdown (Arch.picachu ()))));
+    (* fig7a/b: the modulo-scheduling mapper on the softmax exp loop *)
+    Test.make ~name:"fig7:map-softmax-loop"
+      (Staged.stage (fun () ->
+           ignore (Mapper.map_dfg (Arch.picachu ()) (Lazy.force softmax_dfg))));
+    (* fig7c/8/9: the end-to-end simulator and the baseline models *)
+    Test.make ~name:"fig8:simulate-llama7b"
+      (Staged.stage (fun () ->
+           ignore
+             (Simulator.run (Simulator.default_config ())
+                (Workload.of_model Mz.llama2_7b ~seq:1024))));
+    Test.make ~name:"fig8:gemmini-llama7b"
+      (Staged.stage (fun () ->
+           ignore (Gemmini.run Gemmini.default (Workload.of_model Mz.llama2_7b ~seq:1024))));
+    Test.make ~name:"fig8:tandem-gpt2xl"
+      (Staged.stage (fun () ->
+           ignore (Tandem.run Tandem.default (Workload.of_model Mz.gpt2_xl ~seq:1024))));
+    (* frontend: pattern matching a full transformer block *)
+    Test.make ~name:"frontend:match-llama-block"
+      (Staged.stage (fun () ->
+           ignore
+             (Picachu_frontend.Patterns.rewrite
+                (Picachu_frontend.Layer_builder.transformer_block Mz.llama2_7b ~seq:128))));
+    (* hw: cycle-accurate execution of a mapped kernel *)
+    Test.make ~name:"hw:execute-rmsnorm-64"
+      (Staged.stage
+         (let compiled =
+            lazy
+              (Compiler.compile (Compiler.picachu_options ())
+                 (Kernels.rmsnorm Kernels.Picachu))
+          in
+          let env =
+            {
+              Picachu_ir.Interp.arrays =
+                [ ("x", Array.init 64 (fun i -> float_of_int i /. 9.0)) ];
+              scalars = [ ("n", 64.0) ];
+            }
+          in
+          fun () -> ignore (Hw_sim.run (Lazy.force compiled) env)));
+    (* dse: evaluating one design point *)
+    Test.make ~name:"dse:evaluate-3x3"
+      (Staged.stage (fun () ->
+           ignore (Explore.evaluate ~rows:3 ~cols:3 ~cot_share:0.5)));
+  ]
+
+let run_benchmarks () =
+  print_newline ();
+  print_endline "Bechamel microbenchmarks (monotonic clock per run)";
+  print_endline "--------------------------------------------------";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.2) ~kde:(Some 10) () in
+  let instances = [ Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              let v, unit_name =
+                if est > 1e6 then (est /. 1e6, "ms")
+                else if est > 1e3 then (est /. 1e3, "us")
+                else (est, "ns")
+              in
+              Printf.printf "  %-36s %10.2f %s/run\n%!" name v unit_name
+          | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
+        analysis)
+    bench_tests
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  print_endline "PICACHU experiment reproduction (every table and figure)";
+  print_endline "=========================================================";
+  Experiments.print_all ();
+  run_benchmarks ();
+  Printf.printf "\n[bench harness completed in %.1fs]\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,293 @@
+(* picachu — command-line front end.
+
+   Subcommands:
+     experiments [ID...]   reproduce the paper's tables/figures (default all)
+     compile KERNEL        compile a library kernel and show IR/DFG/mapping
+     arch                  print the architecture instances and cost model
+     models [--seq N]      print the workload inventory of the LLM zoo
+     simulate MODEL        end-to-end PICACHU simulation of one model *)
+
+open Cmdliner
+module Kernels = Picachu_ir.Kernels
+module Kernel = Picachu_ir.Kernel
+module Dfg = Picachu_dfg.Dfg
+module Analysis = Picachu_dfg.Analysis
+module Fuse = Picachu_dfg.Fuse
+module Arch = Picachu_cgra.Arch
+module Mapper = Picachu_cgra.Mapper
+module Cost = Picachu_cgra.Cost
+module Mz = Picachu_llm.Model_zoo
+module Workload = Picachu_llm.Workload
+module Dataflow = Picachu_memory.Dataflow
+open Picachu
+
+(* ------------------------------------------------------------ experiments *)
+
+let experiments_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID"
+           ~doc:"Experiment ids (fig1, tab2, ... ; see --help). Default: all.")
+  in
+  let run ids =
+    match ids with
+    | [] -> Experiments.print_all ()
+    | ids -> List.iter Experiments.print ids
+  in
+  let doc =
+    "Reproduce the paper's evaluation artifacts. Known ids: "
+    ^ String.concat ", " Experiments.ids
+  in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ ids)
+
+(* ---------------------------------------------------------------- compile *)
+
+let compile_cmd =
+  let kernel_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL"
+           ~doc:"Kernel name (softmax, relu, gelu, geglu, swiglu, silu, \
+                 layernorm, rmsnorm, rope).")
+  in
+  let baseline =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Use the homogeneous baseline CGRA \
+                                                  and primitive-only kernel variant.")
+  in
+  let unroll =
+    Arg.(value & opt (some int) None & info [ "unroll"; "u" ] ~docv:"UF"
+           ~doc:"Fixed unroll factor (default: auto-tuned).")
+  in
+  let vector =
+    Arg.(value & opt int 1 & info [ "vector" ] ~docv:"VF"
+           ~doc:"Vector lanes (1 = FP path, 4 = INT16 path).")
+  in
+  let show_ir = Arg.(value & flag & info [ "ir" ] ~doc:"Print the kernel IR.") in
+  let run name baseline unroll vector show_ir =
+    let variant = if baseline then Kernels.Baseline else Kernels.Picachu in
+    let opts =
+      if baseline then Compiler.baseline_options ()
+      else Compiler.picachu_options ~vector ()
+    in
+    let kernel =
+      try Kernels.by_name variant name
+      with Not_found ->
+        Printf.eprintf "unknown kernel %s\n" name;
+        exit 1
+    in
+    if show_ir then Format.printf "%a@." Kernel.pp kernel;
+    let compiled =
+      match unroll with
+      | Some uf -> Compiler.compile_with_unroll opts uf kernel
+      | None -> Compiler.compile opts kernel
+    in
+    Printf.printf "%s on %s (UF=%d, lanes=%d)\n" name compiled.Compiler.arch_name
+      compiled.Compiler.unroll compiled.Compiler.vector;
+    List.iter
+      (fun (cl : Compiler.compiled_loop) ->
+        let g = cl.Compiler.dfg in
+        Printf.printf "  %-14s nodes=%-3d II=%d makespan=%-3d recMII=%d CI=%.1f hops=%d\n"
+          cl.Compiler.source.Kernel.label (Dfg.node_count g) cl.Compiler.mapping.Mapper.ii
+          cl.Compiler.mapping.Mapper.makespan (Analysis.rec_mii g)
+          (Analysis.computational_intensity g)
+          cl.Compiler.mapping.Mapper.routed_hops;
+        List.iter
+          (fun (p, c) -> Printf.printf "      fused %s x%d\n" (Picachu_ir.Op.fused_name p) c)
+          (Fuse.pattern_counts g))
+      compiled.Compiler.loops;
+    let n = 1024 in
+    Printf.printf "pass over %d elements: %d cycles (%.2f cycles/element)\n" n
+      (Compiler.pass_cycles compiled ~n)
+      (float_of_int (Compiler.pass_cycles compiled ~n) /. float_of_int n)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a nonlinear kernel onto the CGRA.")
+    Term.(const run $ kernel_arg $ baseline $ unroll $ vector $ show_ir)
+
+(* ---------------------------------------------------------------- dump *)
+
+let dump_cmd =
+  let kernel_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL"
+           ~doc:"Library kernel to print in the textual format.")
+  in
+  let baseline = Arg.(value & flag & info [ "baseline" ] ~doc:"Baseline variant.") in
+  let run name baseline =
+    let variant = if baseline then Kernels.Baseline else Kernels.Picachu in
+    match Kernels.by_name variant name with
+    | k -> print_string (Picachu_ir.Kernel_text.to_string k)
+    | exception Not_found ->
+        Printf.eprintf "unknown kernel %s
+" name;
+        exit 1
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Print a library kernel in the textual kernel format.")
+    Term.(const run $ kernel_arg $ baseline)
+
+(* -------------------------------------------------------------- hw-run *)
+
+let hw_run_cmd =
+  let source =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL|FILE"
+           ~doc:"Library kernel name, or a .pk text file (see the dump command).")
+  in
+  let n = Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc:"Elements per stream.") in
+  let run source n =
+    let kernel =
+      if Sys.file_exists source then begin
+        let ic = open_in source in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        try Picachu_ir.Kernel_text.of_string text
+        with Picachu_ir.Kernel_text.Parse_error e ->
+          Printf.eprintf "parse error: %s
+" e;
+          exit 1
+      end
+      else
+        try Kernels.by_name Kernels.Picachu source
+        with Not_found ->
+          Printf.eprintf "no such file or library kernel: %s
+" source;
+          exit 1
+    in
+    let compiled = Compiler.compile (Compiler.picachu_options ()) kernel in
+    let rng = Picachu_tensor.Rng.create 1 in
+    let arrays =
+      List.map
+        (fun name -> (name, Array.init n (fun _ -> Picachu_tensor.Rng.uniform rng ~lo:(-2.0) ~hi:2.0)))
+        kernel.Kernel.inputs
+    in
+    let env = { Picachu_ir.Interp.arrays; scalars = [ ("n", float_of_int n) ] } in
+    let hw = Hw_sim.run compiled env in
+    let reference = Picachu_ir.Interp.run kernel env in
+    Printf.printf "%s: executed %d cycles on the configured fabric (%d config words)
+"
+      kernel.Kernel.name hw.Hw_sim.total_cycles (Hw_sim.config_words compiled);
+    List.iter
+      (fun (stream, a) ->
+        let b = List.assoc stream reference.Picachu_ir.Interp.out_arrays in
+        let worst = ref 0.0 in
+        Array.iteri (fun i v -> worst := Float.max !worst (Float.abs (v -. b.(i)))) a;
+        Printf.printf "  %s: max |hw - interp| = %g
+" stream !worst)
+      hw.Hw_sim.result.Picachu_ir.Interp.out_arrays;
+    List.iter
+      (fun cfg -> Format.printf "%a" Picachu_cgra.Config.pp cfg)
+      hw.Hw_sim.configs
+  in
+  Cmd.v
+    (Cmd.info "hw-run"
+       ~doc:"Compile a kernel (library or text file), execute it on the              cycle-accurate fabric, and print the per-tile configuration.")
+    Term.(const run $ source $ n)
+
+(* ------------------------------------------------------------------- arch *)
+
+let arch_cmd =
+  let run () =
+    Format.printf "%a@." Arch.pp (Arch.picachu ());
+    Format.printf "%a@." Arch.pp (Arch.baseline ());
+    print_endline "Cost model (paper Table 7 configuration):";
+    Cost.pp_breakdown Format.std_formatter (Cost.picachu_breakdown (Arch.picachu ()));
+    Format.pp_print_flush Format.std_formatter ();
+    print_endline "Special FU overheads (relative to a basic tile):";
+    List.iter
+      (fun (name, a, p) -> Printf.printf "  %-11s area +%.1f%%  power +%.1f%%\n" name (100.0 *. a) (100.0 *. p))
+      Cost.fu_overheads
+  in
+  Cmd.v (Cmd.info "arch" ~doc:"Show the CGRA instances and the cost model.")
+    Term.(const run $ const ())
+
+(* --------------------------------------------------------------- frontend *)
+
+let frontend_cmd =
+  let model_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL"
+           ~doc:"Model whose transformer block to compile (e.g. llama2-7b).")
+  in
+  let seq = Arg.(value & opt int 128 & info [ "seq" ] ~docv:"N" ~doc:"Sequence length.") in
+  let show_program = Arg.(value & flag & info [ "program" ] ~doc:"Print the tensor program.") in
+  let run name seq show_program =
+    let m =
+      try Mz.by_name name
+      with Not_found ->
+        Printf.eprintf "unknown model %s\n" name;
+        exit 1
+    in
+    let p = Picachu_frontend.Layer_builder.transformer_block m ~seq in
+    if show_program then Format.printf "%a" Picachu_frontend.Tensor_ir.pp p;
+    let r = Picachu_frontend.Patterns.rewrite p in
+    Printf.printf "pattern matching: %d -> %d instructions\n"
+      (List.length p.Picachu_frontend.Tensor_ir.instrs)
+      (List.length r.Picachu_frontend.Tensor_ir.instrs);
+    Format.printf "%a" Picachu_frontend.Offload.pp (Picachu_frontend.Offload.offload r);
+    match Picachu_frontend.Patterns.unmatched_primitives r with
+    | [] -> print_endline "all nonlinear operations recognized"
+    | l -> Printf.printf "UNMATCHED primitives: %s\n" (String.concat ", " l)
+  in
+  Cmd.v
+    (Cmd.info "frontend" ~doc:"Lower a transformer block, pattern-match, and offload.")
+    Term.(const run $ model_arg $ seq $ show_program)
+
+(* ----------------------------------------------------------------- models *)
+
+let models_cmd =
+  let seq = Arg.(value & opt int 1024 & info [ "seq" ] ~docv:"N" ~doc:"Sequence length.") in
+  let run seq =
+    List.iter
+      (fun m -> Format.printf "%a@." Workload.pp (Workload.of_model m ~seq))
+      Mz.all
+  in
+  Cmd.v (Cmd.info "models" ~doc:"Print the LLM workload inventory.")
+    Term.(const run $ seq)
+
+(* --------------------------------------------------------------- simulate *)
+
+let simulate_cmd =
+  let model_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL"
+           ~doc:"Model name (gpt2-xl, opt-6.7b, opt-13b, bigbird, llama2-7b, \
+                 llama2-13b).")
+  in
+  let seq = Arg.(value & opt int 1024 & info [ "seq" ] ~docv:"N" ~doc:"Sequence length.") in
+  let buffer = Arg.(value & opt float 40.0 & info [ "buffer" ] ~docv:"KB" ~doc:"Shared Buffer size.") in
+  let vector = Arg.(value & opt int 4 & info [ "vector" ] ~docv:"VF" ~doc:"Lanes (1 or 4).") in
+  let scale = Arg.(value & flag & info [ "a100-scale" ] ~doc:"Use the A100-matched scale of §5.4.") in
+  let timeline = Arg.(value & flag & info [ "timeline" ] ~doc:"Render a one-layer Gantt chart.") in
+  let run name seq buffer vector scale timeline =
+    let m =
+      try Mz.by_name name
+      with Not_found ->
+        Printf.eprintf "unknown model %s\n" name;
+        exit 1
+    in
+    let w = Workload.of_model m ~seq in
+    let cfg =
+      if scale then { (Simulator.a100_scale_config ()) with Simulator.vector }
+      else Simulator.default_config ~buffer_kb:buffer ~vector ()
+    in
+    let r = Simulator.run cfg w in
+    Printf.printf "%s seq=%d on %s (%dx%d systolic, %d CGRA(s), %d lanes)\n" name seq
+      cfg.Simulator.arch.Arch.name cfg.Simulator.systolic.Picachu_systolic.Systolic.dim
+      cfg.Simulator.systolic.Picachu_systolic.Systolic.dim cfg.Simulator.nl_parallel
+      cfg.Simulator.vector;
+    Printf.printf "total %.2f ms  (gemm %.2f ms, nonlinear exposed %.2f ms = %.1f%%)\n"
+      (Simulator.seconds cfg r *. 1e3)
+      (float_of_int r.Simulator.gemm_cycles /. 1e6)
+      (float_of_int r.Simulator.nl_exposed_total /. 1e6)
+      (100.0 *. Simulator.nonlinear_fraction r);
+    Printf.printf "energy %.2f mJ\n" (r.Simulator.energy_uj /. 1e3);
+    List.iter
+      (fun (o : Simulator.op_time) ->
+        Printf.printf "  %-11s %-18s busy=%8.3fms exposed=%8.3fms\n" o.Simulator.ot_tag
+          (Dataflow.case_name o.Simulator.case)
+          (float_of_int o.Simulator.busy_cycles /. 1e6)
+          (float_of_int o.Simulator.exposed_cycles /. 1e6))
+      r.Simulator.nl;
+    if timeline then print_string (Timeline.render (Timeline.layer cfg w))
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"End-to-end PICACHU simulation of one model.")
+    Term.(const run $ model_arg $ seq $ buffer $ vector $ scale $ timeline)
+
+let () =
+  let doc = "PICACHU: plug-in CGRA for nonlinear operations in LLMs (ASPLOS'25 reproduction)" in
+  let info = Cmd.info "picachu" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd ]))

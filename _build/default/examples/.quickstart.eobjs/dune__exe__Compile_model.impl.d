@@ -1,0 +1,1 @@
+examples/compile_model.ml: Array Compiler Format Hw_sim Layer_builder List Offload Patterns Picachu Picachu_cgra Picachu_frontend Picachu_ir Picachu_llm Picachu_nonlinear Printf Tensor_ir

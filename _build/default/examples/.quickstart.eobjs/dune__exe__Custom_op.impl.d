@@ -1,0 +1,1 @@
+examples/custom_op.ml: Array Compiler Float List Picachu Picachu_cgra Picachu_dfg Picachu_ir Printf

@@ -1,0 +1,1 @@
+examples/design_sweep.ml: Compiler Explore List Picachu Picachu_cgra Picachu_ir Printf Stdlib

@@ -1,0 +1,1 @@
+examples/llama_inference.ml: Format List Picachu Picachu_baselines Picachu_llm Picachu_memory Picachu_systolic Printf Simulator

@@ -1,0 +1,1 @@
+examples/llama_inference.mli:

@@ -1,0 +1,1 @@
+examples/precision_sweep.ml: Compiler Float List Picachu Picachu_dfg Picachu_ir Picachu_llm Picachu_numerics Picachu_tensor Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Compiler Float Format Hashtbl List Picachu Picachu_cgra Picachu_ir Picachu_nonlinear Printf

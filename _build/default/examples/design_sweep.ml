@@ -1,0 +1,54 @@
+(* Design-space exploration walkthrough: sweep CGRA configurations, find the
+   Pareto frontier, and audit the chosen point's interconnect and register
+   pressure — the studies an architect runs before committing to the 4x4
+   heterogeneous fabric the paper ships.
+
+   Run with: dune exec examples/design_sweep.exe *)
+
+module Arch = Picachu_cgra.Arch
+module Noc = Picachu_cgra.Noc
+module Rf = Picachu_cgra.Rf
+module Kernels = Picachu_ir.Kernels
+open Picachu
+
+let () =
+  (* 1. sweep grid sizes x CoT shares *)
+  let points = Explore.sweep () in
+  let front = Explore.pareto points in
+  Printf.printf "%d design points, %d on the Pareto frontier:\n" (List.length points)
+    (List.length front);
+  List.iter
+    (fun (p : Explore.point) ->
+      Printf.printf "  %-16s %.3f mm2  %.3f elems/cyc  (%.3f /mm2)\n"
+        p.Explore.arch_name p.Explore.area_mm2 p.Explore.geomean_throughput
+        p.Explore.perf_per_area)
+    front;
+
+  (* 2. the paper's operating point *)
+  let r = Explore.reference_point () in
+  Printf.printf "\npaper operating point %s: %.3f elems/cyc at %.3f mm2%s\n"
+    r.Explore.arch_name r.Explore.geomean_throughput r.Explore.area_mm2
+    (if List.exists (fun (q : Explore.point) -> q.Explore.arch_name = r.Explore.arch_name) front
+     then " — on the frontier"
+     else "");
+
+  (* 3. audit its mappings: link contention and register pressure *)
+  print_endline "\naudits of the chosen fabric (worst loop per kernel):";
+  let opts = Compiler.picachu_options () in
+  List.iter
+    (fun (k : Picachu_ir.Kernel.t) ->
+      let c = Compiler.cached opts Kernels.Picachu k.Picachu_ir.Kernel.name in
+      let worst_link, worst_rf =
+        List.fold_left
+          (fun (wl, wr) (cl : Compiler.compiled_loop) ->
+            let noc = Noc.analyze c.Compiler.arch cl.Compiler.dfg cl.Compiler.mapping in
+            let rf = Rf.analyze c.Compiler.arch cl.Compiler.dfg cl.Compiler.mapping in
+            ( Stdlib.max wl noc.Noc.max_link_load,
+              Stdlib.max wr rf.Rf.max_tile_registers ))
+          (0, 0) c.Compiler.loops
+      in
+      Printf.printf "  %-10s max link load %d, max tile registers %d\n"
+        k.Picachu_ir.Kernel.name worst_link worst_rf)
+    (List.filter
+       (fun (k : Picachu_ir.Kernel.t) -> k.Picachu_ir.Kernel.name <> "softmax_online")
+       (Kernels.all Kernels.Picachu))

@@ -1,0 +1,64 @@
+(* End-to-end LLaMA2-7B prefill on PICACHU vs the A100 roofline, Gemmini and
+   the CPU-offload configuration — the workload the paper's introduction
+   motivates (SwiGLU + RMSNorm + RoPE make dedicated-unit accelerators
+   collapse).
+
+   Run with: dune exec examples/llama_inference.exe *)
+
+module Mz = Picachu_llm.Model_zoo
+module Workload = Picachu_llm.Workload
+module Gpu = Picachu_llm.Gpu_model
+module Cpu = Picachu_llm.Cpu_model
+module Systolic = Picachu_systolic.Systolic
+module Gemmini = Picachu_baselines.Gemmini
+module Dataflow = Picachu_memory.Dataflow
+open Picachu
+
+let () =
+  let seq = 1024 in
+  let w = Workload.of_model Mz.llama2_7b ~seq in
+  Format.printf "%a@." Workload.pp w;
+
+  (* the A100 runtime breakdown (Figure 1 view of this model) *)
+  let gpu = Gpu.run Gpu.a100 w in
+  Printf.printf "A100: %.1f ms total, %.1f%% nonlinear\n" (gpu.Gpu.total_s *. 1e3)
+    (100.0 *. Gpu.nonlinear_fraction gpu);
+
+  (* PICACHU at the paper's edge configuration: 32x32 systolic + one 4x4
+     CGRA + 40KB Shared Buffer, INT16 deployment path *)
+  let cfg = Simulator.default_config ~vector:4 () in
+  let r = Simulator.run cfg w in
+  Printf.printf "PICACHU (32x32+4x4): %.1f ms total, %.1f%% nonlinear, %.1f mJ\n"
+    (Simulator.seconds cfg r *. 1e3)
+    (100.0 *. Simulator.nonlinear_fraction r)
+    (r.Simulator.energy_uj /. 1e3);
+  List.iter
+    (fun (o : Simulator.op_time) ->
+      Printf.printf "  %-11s %-18s busy=%.2fms exposed=%.2fms\n" o.Simulator.ot_tag
+        (Dataflow.case_name o.Simulator.case)
+        (float_of_int o.Simulator.busy_cycles /. 1e6)
+        (float_of_int o.Simulator.exposed_cycles /. 1e6))
+    r.Simulator.nl;
+
+  (* Gemmini: SwiGLU/RMSNorm/RoPE fall to its scalar RISC-V core *)
+  let gem = Gemmini.run Gemmini.default w in
+  Printf.printf "Gemmini: %.1f ms total (%.1f ms nonlinear — the scalar-core cliff)\n"
+    (float_of_int gem.Gemmini.total_cycles /. 1e6)
+    (float_of_int gem.Gemmini.nl_cycles_total /. 1e6);
+
+  (* CPU-offload configuration of Figure 8a *)
+  let gemm_s =
+    List.fold_left
+      (fun acc (g : Workload.gemm) ->
+        acc
+        +. (float_of_int g.Workload.count
+            *. Systolic.gemm_seconds Systolic.default ~m:g.Workload.m ~k:g.Workload.k
+                 ~n:g.Workload.n))
+      0.0 w.Workload.gemms
+  in
+  let cpu_s = gemm_s +. Cpu.total_nl_seconds Cpu.i7_11370h w in
+  Printf.printf "CPU-offload: %.1f ms total\n" (cpu_s *. 1e3);
+
+  Printf.printf "\nSpeedups: %.2fx vs CPU config, %.2fx vs Gemmini\n"
+    (cpu_s /. Simulator.seconds cfg r)
+    (float_of_int gem.Gemmini.total_cycles /. float_of_int r.Simulator.total_cycles)

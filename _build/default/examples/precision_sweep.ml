@@ -1,0 +1,67 @@
+(* The user-defined precision knob (§3.2.3): sweep the Taylor order and the
+   data format and watch the accuracy/cost trade-off move — on the operator,
+   on the CGRA mapping, and on a surrogate LLM's perplexity.
+
+   Run with: dune exec examples/precision_sweep.exe *)
+
+module Taylor = Picachu_numerics.Taylor
+module Approx = Picachu_numerics.Approx
+module Kernels = Picachu_ir.Kernels
+module Dfg = Picachu_dfg.Dfg
+module Mz = Picachu_llm.Model_zoo
+module Surrogate = Picachu_llm.Surrogate
+module Ppl = Picachu_llm.Ppl
+module Rng = Picachu_tensor.Rng
+open Picachu
+
+let worst_exp_error order =
+  let worst = ref 0.0 in
+  for i = 0 to 999 do
+    let x = (float_of_int i /. 40.0) -. 22.0 in
+    let e = exp x in
+    worst := Float.max !worst (Float.abs (e -. Taylor.exp ~cfg:{ Taylor.order } x) /. e)
+  done;
+  !worst
+
+let () =
+  print_endline "Taylor order sweep on the exponential operator:";
+  print_endline "order  worst-rel-err  dfg-nodes  cycles/elem (4x4 CGRA)";
+  let opts = Compiler.picachu_options () in
+  List.iter
+    (fun order ->
+      let k = Kernels.exp_kernel ~order Kernels.Picachu in
+      let c = Compiler.compile_with_unroll opts 1 k in
+      let nodes =
+        List.fold_left (fun acc cl -> acc + Dfg.node_count cl.Compiler.dfg) 0
+          c.Compiler.loops
+      in
+      Printf.printf "  %d     %.2e       %2d        %.2f\n" order (worst_exp_error order)
+        nodes
+        (float_of_int (Compiler.pass_cycles c ~n:1024) /. 1024.0))
+    [ 2; 3; 4; 6; 8 ];
+
+  print_endline "\nData-format sweep on a GPT2-class surrogate (perplexity):";
+  let sur = Surrogate.create ~seed:42 (Surrogate.surrogate_of Mz.gpt2_xl) in
+  let stream = Surrogate.sample sur (Rng.create 7) ~temperature:0.4 ~len:48 () in
+  List.iter
+    (fun (b : Approx.t) ->
+      Printf.printf "  %-20s PPL %.4f\n" b.Approx.name (Ppl.ppl sur b stream))
+    [
+      Approx.exact;
+      Approx.fp16_reference;
+      Approx.ours_fp ~order:8 ();
+      Approx.ours_fp ~order:4 ();
+      Approx.ours_fp ~order:2 ();
+      Approx.ours_int ();
+    ];
+
+  print_endline "\nVectorization (INT16, 4 lanes) per kernel at seq-1024 passes:";
+  let scalar = Compiler.picachu_options () in
+  let vec = Compiler.picachu_options ~vector:4 () in
+  List.iter
+    (fun name ->
+      let s = Compiler.pass_cycles (Compiler.cached scalar Kernels.Picachu name) ~n:1024 in
+      let v = Compiler.pass_cycles (Compiler.cached vec Kernels.Picachu name) ~n:1024 in
+      Printf.printf "  %-10s FP %5d cyc  INT16 %5d cyc  (%.2fx)\n" name s v
+        (float_of_int s /. float_of_int v))
+    [ "softmax"; "gelu"; "silu"; "layernorm"; "rope" ]

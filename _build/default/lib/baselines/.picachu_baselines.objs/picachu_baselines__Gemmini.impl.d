@@ -1,0 +1,1 @@
+lib/baselines/gemmini.ml: List Picachu_llm Picachu_memory Picachu_nonlinear Picachu_systolic

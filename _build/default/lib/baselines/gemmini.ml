@@ -1,0 +1,52 @@
+module Registry = Picachu_nonlinear.Registry
+module Workload = Picachu_llm.Workload
+module Systolic = Picachu_systolic.Systolic
+module Dma = Picachu_memory.Dma
+
+type t = {
+  systolic : Systolic.t;
+  dedicated_elems_per_cycle : float;
+  dma : Dma.t;
+}
+
+let default =
+  { systolic = Systolic.default; dedicated_elems_per_cycle = 16.0; dma = Dma.default }
+
+let supported = function
+  | Registry.Relu | Registry.Gelu | Registry.Softmax | Registry.Layernorm -> true
+  | Registry.Silu | Registry.Swiglu | Registry.Geglu | Registry.Rmsnorm
+  | Registry.Rope -> false
+
+(* RISC-V rocket-class scalar core: soft-float transcendental per element. *)
+let scalar_cycles_per_elem = function
+  | Registry.Silu | Registry.Swiglu | Registry.Geglu -> 40.0
+  | Registry.Rmsnorm -> 12.0
+  | Registry.Rope -> 60.0
+  | Registry.Relu -> 2.0
+  | Registry.Gelu -> 40.0
+  | Registry.Softmax -> 30.0
+  | Registry.Layernorm -> 12.0
+
+let nl_cycles t (nl : Workload.nl) =
+  let elems = nl.rows * nl.dim in
+  let compute =
+    if supported nl.op then
+      int_of_float (ceil (float_of_int elems /. t.dedicated_elems_per_cycle))
+    else int_of_float (float_of_int elems *. scalar_cycles_per_elem nl.op)
+  in
+  let dma_bytes = Workload.nl_bytes nl in
+  (* serialized: every instance pays its transfer in and out *)
+  let dma = Dma.transfer_cycles t.dma ~bytes:dma_bytes in
+  nl.nl_count * (compute + dma)
+
+type result = { gemm_cycles : int; nl_cycles_total : int; total_cycles : int }
+
+let run t (w : Workload.t) =
+  let gemm_cycles =
+    List.fold_left
+      (fun acc (g : Workload.gemm) ->
+        acc + (g.count * Systolic.gemm_cycles t.systolic ~m:g.m ~k:g.k ~n:g.n))
+      0 w.gemms
+  in
+  let nl_cycles_total = List.fold_left (fun acc nl -> acc + nl_cycles t nl) 0 w.nls in
+  { gemm_cycles; nl_cycles_total; total_cycles = gemm_cycles + nl_cycles_total }

@@ -1,0 +1,31 @@
+(** Behavioural model of Gemmini (Genc et al., DAC'21) — the Figure 8a
+    baseline.
+
+    Gemmini pairs the same systolic array with *dedicated* nonlinear units
+    for the operations it was designed around — ReLU, GeLU, Softmax,
+    LayerNorm — which stream at array-edge bandwidth.  Anything else
+    (SiLU/SwiGLU, RMSNorm, RoPE, GeGLU) falls back to the on-chip RISC-V
+    scalar core at tens of cycles per element.  DMA is serialized with
+    compute (no double buffering).  This reproduces the paper's Figure 8a
+    structure: competitive with PICACHU on GPT2/OPT, collapsing on LLaMA. *)
+
+module Registry = Picachu_nonlinear.Registry
+module Workload = Picachu_llm.Workload
+
+type t = {
+  systolic : Picachu_systolic.Systolic.t;
+  dedicated_elems_per_cycle : float;  (** hardware-unit streaming rate *)
+  dma : Picachu_memory.Dma.t;
+}
+
+val default : t
+val supported : Registry.opkind -> bool
+val scalar_cycles_per_elem : Registry.opkind -> float
+(** RISC-V fallback cost for unsupported ops. *)
+
+val nl_cycles : t -> Workload.nl -> int
+(** All instances of the entry, DMA included (serialized). *)
+
+type result = { gemm_cycles : int; nl_cycles_total : int; total_cycles : int }
+
+val run : t -> Workload.t -> result

@@ -1,0 +1,42 @@
+module Registry = Picachu_nonlinear.Registry
+module Workload = Picachu_llm.Workload
+module Systolic = Picachu_systolic.Systolic
+module Dma = Picachu_memory.Dma
+module Double_buffer = Picachu_memory.Double_buffer
+
+type t = { systolic : Systolic.t; lanes : float; dma : Dma.t }
+
+let default = { systolic = Systolic.default; lanes = 4.0; dma = Dma.default }
+
+(* Cycles per element per lane for the integer kernels (i-exp: range split,
+   quadratic, requantize; i-erf similar; norms: accumulate + i-sqrt share;
+   rope: two polynomial evaluations + rotation). *)
+let algo_cycles_per_elem = function
+  | Registry.Softmax -> 9.0
+  | Registry.Gelu | Registry.Silu -> 10.0
+  | Registry.Swiglu | Registry.Geglu -> 12.0
+  | Registry.Relu -> 1.0
+  | Registry.Layernorm -> 5.0
+  | Registry.Rmsnorm -> 4.0
+  | Registry.Rope -> 14.0
+
+let nl_cycles t (nl : Workload.nl) =
+  (* burst DMA for the whole instance, overlapped with the vector pipeline *)
+  let elems = nl.rows * nl.dim in
+  let compute =
+    int_of_float (ceil (float_of_int elems *. algo_cycles_per_elem nl.op /. t.lanes))
+  in
+  let bulk = Dma.transfer_cycles t.dma ~bytes:(2 * elems * 2) (* in + out *) in
+  nl.nl_count * (Stdlib.max compute bulk + t.dma.Dma.setup_cycles)
+
+type result = { gemm_cycles : int; nl_cycles_total : int; total_cycles : int }
+
+let run t (w : Workload.t) =
+  let gemm_cycles =
+    List.fold_left
+      (fun acc (g : Workload.gemm) ->
+        acc + (g.count * Systolic.gemm_cycles t.systolic ~m:g.m ~k:g.k ~n:g.n))
+      0 w.gemms
+  in
+  let nl_cycles_total = List.fold_left (fun acc nl -> acc + nl_cycles t nl) 0 w.nls in
+  { gemm_cycles; nl_cycles_total; total_cycles = gemm_cycles + nl_cycles_total }

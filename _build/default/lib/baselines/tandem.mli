@@ -1,0 +1,32 @@
+(** Behavioural model of the Tandem processor (Ghodrati et al., ASPLOS'24) —
+    the Figure 8b baseline.
+
+    Tandem is a tightly-coupled programmable processor dedicated to the
+    non-GEMM operators of a DNN accelerator.  It covers *all* nonlinear
+    operations (no scalar-core cliff like Gemmini), executing the I-BERT /
+    gemmlowp integer algorithms on a short vector pipeline, with its own
+    DMA overlapped against the GEMM engine.  It is therefore the strongest
+    latency baseline — PICACHU's advantage (<= 1.55x in the paper) comes
+    from the CGRA's higher operator-level parallelism (fused Horner steps,
+    FP2FX) rather than from coverage. *)
+
+module Registry = Picachu_nonlinear.Registry
+module Workload = Picachu_llm.Workload
+
+type t = {
+  systolic : Picachu_systolic.Systolic.t;
+  lanes : float;  (** vector width of the non-GEMM pipeline *)
+  dma : Picachu_memory.Dma.t;
+}
+
+val default : t
+val algo_cycles_per_elem : Registry.opkind -> float
+(** Per-lane cycles of the I-BERT/gemmlowp kernels Tandem runs. *)
+
+val nl_cycles : t -> Workload.nl -> int
+(** Burst DMA overlapped against the vector pipeline (Tandem has its own
+    buffers and descriptors). *)
+
+type result = { gemm_cycles : int; nl_cycles_total : int; total_cycles : int }
+
+val run : t -> Workload.t -> result

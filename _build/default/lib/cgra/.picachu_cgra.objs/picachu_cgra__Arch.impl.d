@@ -1,0 +1,1 @@
+lib/cgra/arch.ml: Array Float Format Fu List Picachu_ir Printf

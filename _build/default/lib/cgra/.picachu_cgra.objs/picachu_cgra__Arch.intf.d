@@ -1,0 +1,1 @@
+lib/cgra/arch.mli: Format Fu Picachu_ir

@@ -1,0 +1,1 @@
+lib/cgra/config.ml: Arch Array Format List Mapper Picachu_dfg Picachu_ir

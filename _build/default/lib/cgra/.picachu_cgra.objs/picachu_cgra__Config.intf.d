@@ -1,0 +1,1 @@
+lib/cgra/config.mli: Arch Format Mapper Picachu_dfg Picachu_ir

@@ -1,0 +1,1 @@
+lib/cgra/cost.ml: Arch Array Format Fu List

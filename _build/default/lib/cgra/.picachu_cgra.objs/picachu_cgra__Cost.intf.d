@@ -1,0 +1,1 @@
+lib/cgra/cost.mli: Arch Format Fu

@@ -1,0 +1,1 @@
+lib/cgra/executor.ml: Arch Array Float Hashtbl List Mapper Picachu_dfg Picachu_ir Picachu_numerics Printf Stdlib

@@ -1,0 +1,1 @@
+lib/cgra/executor.mli: Arch Mapper Picachu_dfg Picachu_ir

@@ -1,0 +1,1 @@
+lib/cgra/fu.ml: Picachu_ir

@@ -1,0 +1,1 @@
+lib/cgra/fu.mli: Picachu_ir

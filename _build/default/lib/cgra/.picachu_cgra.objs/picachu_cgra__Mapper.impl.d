@@ -1,0 +1,1 @@
+lib/cgra/mapper.ml: Arch Array Hashtbl List Option Picachu_dfg Picachu_ir Printf Stdlib

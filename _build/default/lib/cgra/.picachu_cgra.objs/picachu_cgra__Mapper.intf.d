@@ -1,0 +1,1 @@
+lib/cgra/mapper.mli: Arch Picachu_dfg

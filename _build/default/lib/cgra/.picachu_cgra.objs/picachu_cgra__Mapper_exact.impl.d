@@ -1,0 +1,1 @@
+lib/cgra/mapper_exact.ml: Arch Array List Mapper Picachu_dfg Stdlib

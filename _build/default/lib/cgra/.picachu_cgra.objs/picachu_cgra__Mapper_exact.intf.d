@@ -1,0 +1,1 @@
+lib/cgra/mapper_exact.mli: Arch Picachu_dfg

@@ -1,0 +1,1 @@
+lib/cgra/noc.ml: Arch Array Hashtbl List Mapper Option Picachu_dfg

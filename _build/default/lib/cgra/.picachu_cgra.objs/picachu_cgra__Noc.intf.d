@@ -1,0 +1,1 @@
+lib/cgra/noc.mli: Arch Mapper Picachu_dfg

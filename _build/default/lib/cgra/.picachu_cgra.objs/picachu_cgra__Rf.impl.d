@@ -1,0 +1,1 @@
+lib/cgra/rf.ml: Arch Array Hashtbl List Mapper Option Picachu_dfg Stdlib

@@ -1,0 +1,1 @@
+lib/cgra/rf.mli: Arch Mapper Picachu_dfg

@@ -1,0 +1,169 @@
+module Op = Picachu_ir.Op
+
+type flavor = Heterogeneous | Homogeneous
+
+type t = {
+  rows : int;
+  cols : int;
+  kinds : Fu.tile_kind array;
+  flavor : flavor;
+  lanes : int;
+  mem_cols : int list;
+  route_slots : int;
+  name : string;
+}
+
+let is_corner rows cols idx =
+  let r = idx / cols and c = idx mod cols in
+  (r = 0 || r = rows - 1) && (c = 0 || c = cols - 1)
+
+(* Heterogeneous mix: BrT on the corners (control is cheap and must reach
+   everything), and a 2:1 CoT:BaT split of the body — the Taylor-polynomial
+   kernels are multiplier-hungry (Table 4: mul+add chains dominate). *)
+let hetero_kinds rows cols =
+  let noncorner = ref 0 in
+  Array.init (rows * cols) (fun idx ->
+      if is_corner rows cols idx then Fu.BrT
+      else begin
+        let k = if !noncorner mod 3 = 1 then Fu.BaT else Fu.CoT in
+        incr noncorner;
+        k
+      end)
+
+let picachu ?(rows = 4) ?(cols = 4) () =
+  {
+    rows;
+    cols;
+    kinds = hetero_kinds rows cols;
+    flavor = Heterogeneous;
+    lanes = 4;
+    mem_cols = [ 0; cols - 1 ];
+    route_slots = 2;
+    name = Printf.sprintf "picachu-%dx%d" rows cols;
+  }
+
+let hetero_mix ~rows ~cols ~cot_share =
+  if cot_share < 0.0 || cot_share > 1.0 then invalid_arg "Arch.hetero_mix: share";
+  let noncorner_total =
+    let c = ref 0 in
+    for idx = 0 to (rows * cols) - 1 do
+      if not (is_corner rows cols idx) then incr c
+    done;
+    !c
+  in
+  let target_cot =
+    int_of_float (Float.round (cot_share *. float_of_int noncorner_total))
+  in
+  let placed = ref 0 and seen = ref 0 in
+  let kinds =
+    Array.init (rows * cols) (fun idx ->
+        if is_corner rows cols idx then Fu.BrT
+        else begin
+          incr seen;
+          (* error-diffusion interleave: place a CoT whenever the running
+             quota falls behind the requested share *)
+          let want = cot_share *. float_of_int !seen in
+          if float_of_int !placed < want -. 1e-9 && !placed < target_cot then begin
+            incr placed;
+            Fu.CoT
+          end
+          else Fu.BaT
+        end)
+  in
+  {
+    rows;
+    cols;
+    kinds;
+    flavor = Heterogeneous;
+    lanes = 4;
+    mem_cols = [ 0; cols - 1 ];
+    route_slots = 2;
+    name = Printf.sprintf "mix-%dx%d-cot%.0f%%" rows cols (100.0 *. cot_share);
+  }
+
+let universal ?(rows = 4) ?(cols = 4) () =
+  {
+    rows;
+    cols;
+    kinds = Array.make (rows * cols) Fu.UniT;
+    flavor = Heterogeneous;
+    lanes = 4;
+    mem_cols = [ 0; cols - 1 ];
+    route_slots = 2;
+    name = Printf.sprintf "universal-%dx%d" rows cols;
+  }
+
+let baseline ?(rows = 4) ?(cols = 4) () =
+  {
+    rows;
+    cols;
+    kinds = Array.make (rows * cols) Fu.BaT;
+    flavor = Homogeneous;
+    lanes = 1;
+    mem_cols = [ 0; cols - 1 ];
+    route_slots = 2;
+    name = Printf.sprintf "baseline-%dx%d" rows cols;
+  }
+
+let tiles a = a.rows * a.cols
+let tile_kind a i = a.kinds.(i)
+let coords a i = (i / a.cols, i mod a.cols)
+
+let distance a i j =
+  let ri, ci = coords a i and rj, cj = coords a j in
+  abs (ri - rj) + abs (ci - cj)
+
+let xy_path a src dst =
+  (* every tile visited after src — horizontal leg first, then vertical,
+     including the turning tile — with the destination dropped *)
+  let rs, cs = coords a src and rd, cd = coords a dst in
+  let tiles = ref [] in
+  let c = ref cs in
+  while !c <> cd do
+    c := !c + (if cd > cs then 1 else -1);
+    tiles := ((rs * a.cols) + !c) :: !tiles
+  done;
+  let r = ref rs in
+  while !r <> rd do
+    r := !r + (if rd > rs then 1 else -1);
+    tiles := ((!r * a.cols) + cd) :: !tiles
+  done;
+  match !tiles with
+  | last :: rest when last = dst -> List.rev rest
+  | l -> List.rev l
+
+let has_mem_port a i =
+  let _, c = coords a i in
+  List.mem c a.mem_cols
+
+let supports a ~tile (op : Op.t) =
+  let capability =
+    match a.flavor with
+    | Heterogeneous -> Fu.supports_hetero a.kinds.(tile) op
+    | Homogeneous -> Fu.supports_baseline op
+  in
+  capability && (not (Op.is_memory op)) || (Op.is_memory op && capability && has_mem_port a tile)
+
+let latency a op =
+  match a.flavor with
+  | Heterogeneous -> Fu.latency_hetero op
+  | Homogeneous -> Fu.latency_baseline op
+
+let count_supporting a op =
+  let c = ref 0 in
+  for i = 0 to tiles a - 1 do
+    if supports a ~tile:i op then incr c
+  done;
+  !c
+
+let pp fmt a =
+  Format.fprintf fmt "%s (%dx%d, %d lanes)@." a.name a.rows a.cols a.lanes;
+  for r = 0 to a.rows - 1 do
+    Format.fprintf fmt "  ";
+    for c = 0 to a.cols - 1 do
+      let i = (r * a.cols) + c in
+      Format.fprintf fmt "%s%s " (Fu.kind_name a.kinds.(i))
+        (if has_mem_port a i then "*" else " ")
+    done;
+    Format.fprintf fmt "@."
+  done

@@ -1,0 +1,62 @@
+(** CGRA architecture instances (paper §4.2, Figure 4).
+
+    A grid of tiles joined by a mesh network.  The PICACHU instance is
+    heterogeneous (BrT on the corners for loop control, CoT and BaT
+    interleaved through the body) with 4-lane precision-aware tiles; the
+    baseline instance is homogeneous and scalar.  Tiles in designated
+    columns own a port into the Shared Buffer; loads and stores may only be
+    scheduled there (a standard CGRA mapping constraint the paper lists in
+    §4.3 "DFG Mapping"). *)
+
+module Op = Picachu_ir.Op
+
+type flavor = Heterogeneous | Homogeneous
+
+type t = {
+  rows : int;
+  cols : int;
+  kinds : Fu.tile_kind array;  (** row-major, length rows*cols *)
+  flavor : flavor;
+  lanes : int;  (** INT16 lanes per tile (4 in PICACHU, 1 in baseline) *)
+  mem_cols : int list;  (** columns with a Shared Buffer port *)
+  route_slots : int;  (** pass-through routing capacity per tile per cycle *)
+  name : string;
+}
+
+val picachu : ?rows:int -> ?cols:int -> unit -> t
+(** Heterogeneous PICACHU CGRA (default 4x4): corners BrT, remaining tiles
+    alternating CoT-heavy; ports on the left and right columns. *)
+
+val baseline : ?rows:int -> ?cols:int -> unit -> t
+(** Homogeneous scalar CGRA of the same size. *)
+
+val hetero_mix : rows:int -> cols:int -> cot_share:float -> t
+(** Design-space-exploration variant of {!picachu}: corners stay BrT, and
+    [cot_share] of the remaining tiles are CoT (deterministically
+    interleaved), the rest BaT. [picachu] corresponds to a share of 2/3. *)
+
+val universal : ?rows:int -> ?cols:int -> unit -> t
+(** Ablation architecture: every tile is a [UniT] carrying all FUs — an
+    upper bound on mapping freedom, at a large area premium. *)
+
+val tiles : t -> int
+val tile_kind : t -> int -> Fu.tile_kind
+val coords : t -> int -> int * int
+(** [(row, col)] of a tile index. *)
+
+val distance : t -> int -> int -> int
+(** Manhattan distance between tiles (mesh hop count). *)
+
+val xy_path : t -> int -> int -> int list
+(** Intermediate tiles of the X-then-Y route between two tiles, excluding
+    both endpoints. *)
+
+val has_mem_port : t -> int -> bool
+val supports : t -> tile:int -> Op.t -> bool
+(** Capability including the memory-port constraint. *)
+
+val latency : t -> Op.t -> int
+val count_supporting : t -> Op.t -> int
+(** Number of tiles that could execute the op. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,104 @@
+module Op = Picachu_ir.Op
+module Instr = Picachu_ir.Instr
+module Kernel = Picachu_ir.Kernel
+module Dfg = Picachu_dfg.Dfg
+
+type operand_src =
+  | Routed of { producer_node : int; hops : int }
+  | Immediate of float
+  | Scalar_reg of string
+  | Fused_internal
+
+type step = { instr : Instr.t; sources : operand_src list }
+type slot = { node : int; opcode : Op.t; steps : step list }
+type t = { ii : int; tiles : slot option array array; label : string }
+
+let generate arch (loop : Kernel.loop) (g : Dfg.t) (m : Mapper.mapping) =
+  if Array.length m.Mapper.schedule <> Dfg.node_count g then
+    invalid_arg "Config.generate: mapping does not cover the DFG";
+  let body = Array.of_list loop.Kernel.body in
+  (* instruction id -> owning DFG node *)
+  let owner = Array.make (Array.length body) (-1) in
+  Array.iter
+    (fun (node : Dfg.node) ->
+      List.iter (fun i -> owner.(i) <- node.Dfg.id) node.Dfg.origins)
+    g.Dfg.nodes;
+  let source ~of_node arg =
+    match body.(arg).Instr.op with
+    | Op.Const v -> Immediate v
+    | Op.Input s -> Scalar_reg s
+    | _ ->
+        let producer = owner.(arg) in
+        if producer = of_node then Fused_internal
+        else
+          Routed
+            {
+              producer_node = producer;
+              hops =
+                Arch.distance arch m.Mapper.schedule.(producer).Mapper.tile
+                  m.Mapper.schedule.(of_node).Mapper.tile;
+            }
+  in
+  let tiles = Array.init (Arch.tiles arch) (fun _ -> Array.make m.Mapper.ii None) in
+  Array.iter
+    (fun (node : Dfg.node) ->
+      let p = m.Mapper.schedule.(node.Dfg.id) in
+      let steps =
+        List.map
+          (fun i ->
+            let instr = body.(i) in
+            { instr; sources = List.map (source ~of_node:node.Dfg.id) instr.Instr.args })
+          node.Dfg.origins
+      in
+      tiles.(p.Mapper.tile).(p.Mapper.time mod m.Mapper.ii) <-
+        Some { node = node.Dfg.id; opcode = node.Dfg.op; steps })
+    g.Dfg.nodes;
+  { ii = m.Mapper.ii; tiles; label = g.Dfg.label }
+
+let words t =
+  Array.fold_left
+    (fun acc prog ->
+      Array.fold_left (fun acc s -> if s = None then acc else acc + 1) acc prog)
+    0 t.tiles
+
+let routed_operands t =
+  Array.fold_left
+    (fun acc prog ->
+      Array.fold_left
+        (fun acc s ->
+          match s with
+          | None -> acc
+          | Some slot ->
+              acc
+              + List.fold_left
+                  (fun acc st ->
+                    acc
+                    + List.length
+                        (List.filter (function Routed _ -> true | _ -> false) st.sources))
+                  0 slot.steps)
+        acc prog)
+    0 t.tiles
+
+let pp_source fmt = function
+  | Routed { producer_node; hops } -> Format.fprintf fmt "n%d(+%dhop)" producer_node hops
+  | Immediate v -> Format.fprintf fmt "#%g" v
+  | Scalar_reg s -> Format.fprintf fmt "$%s" s
+  | Fused_internal -> Format.fprintf fmt "fwd"
+
+let pp fmt t =
+  Format.fprintf fmt "config %s: II=%d, %d words, %d routed operands@." t.label t.ii
+    (words t) (routed_operands t);
+  Array.iteri
+    (fun tile prog ->
+      Array.iteri
+        (fun c slot ->
+          match slot with
+          | None -> ()
+          | Some s ->
+              Format.fprintf fmt "  tile %2d @%d: %-12s <-" tile c (Op.name s.opcode);
+              List.iter
+                (fun st -> List.iter (Format.fprintf fmt " %a" pp_source) st.sources)
+                s.steps;
+              Format.fprintf fmt "@.")
+        prog)
+    t.tiles

@@ -1,0 +1,46 @@
+(** Per-tile configuration generation (paper §4.3: "Upon completing the
+    mapping, we obtain the II and control signals for each tile").
+
+    A configuration assigns to every (tile, cycle mod II) slot either
+    nothing or the operation issued there, with each operand classified by
+    where the tile's input mux fetches it: a value routed from another
+    tile's output register, a configuration-register immediate, a scalar
+    live-in register, or a value produced inside the same fused FU this
+    cycle.  The configuration-memory footprint (number of programmed words)
+    is the quantity a CGRA's config SRAM must hold. *)
+
+module Op = Picachu_ir.Op
+module Instr = Picachu_ir.Instr
+module Kernel = Picachu_ir.Kernel
+module Dfg = Picachu_dfg.Dfg
+
+type operand_src =
+  | Routed of { producer_node : int; hops : int }
+  | Immediate of float
+  | Scalar_reg of string
+  | Fused_internal  (** produced by an earlier member of the same fused FU *)
+
+type step = { instr : Instr.t; sources : operand_src list }
+
+type slot = {
+  node : int;  (** DFG node id *)
+  opcode : Op.t;
+  steps : step list;  (** member instructions in program order *)
+}
+
+type t = {
+  ii : int;
+  tiles : slot option array array;  (** tiles x (cycle mod II) *)
+  label : string;
+}
+
+val generate : Arch.t -> Kernel.loop -> Dfg.t -> Mapper.mapping -> t
+(** Raises [Invalid_argument] if the mapping does not cover the DFG. *)
+
+val words : t -> int
+(** Programmed slots — the configuration-memory footprint. *)
+
+val routed_operands : t -> int
+(** Operands fetched over the mesh (interconnect pressure). *)
+
+val pp : Format.formatter -> t -> unit

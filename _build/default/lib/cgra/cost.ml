@@ -1,0 +1,116 @@
+type component = { area_mm2 : float; power_mw : float }
+
+type breakdown = {
+  sram : component;
+  macs : component;
+  cgra : component;
+  others : component;
+}
+
+(* Unit costs at 45nm / 1GHz, calibrated so the default configuration
+   reproduces the paper's Table 7 (see EXPERIMENTS.md for the comparison). *)
+let basic_tile = { area_mm2 = 0.02914; power_mw = 2.287 }
+let network_factor = 1.10 (* mesh links + config memory, per-CGRA multiplier *)
+let sram_area_per_kb = 0.0096
+let sram_power_per_kb = 0.1936
+let mac_area = 0.4 /. 1024.0
+let mac_power = 16.1 /. 1024.0
+let others_fixed = { area_mm2 = 0.1; power_mw = 0.7 }
+
+let fu_overheads =
+  [
+    ("fp2fx", 0.017, 0.008);
+    ("vector-fus", 0.598, 0.184);
+    ("fp-fus", 0.116, 0.263);
+    ("lut", 0.005, 0.038);
+  ]
+
+(* The multiplier/divider array is what distinguishes a CoT from the
+   basic-ALU tiles; it is not in the paper's special-FU overhead list (their
+   basic-tile baseline already includes it), so it is accounted separately. *)
+let muldiv_overhead = (0.45, 0.25)
+
+let overhead_of names =
+  List.fold_left
+    (fun (a, p) (name, oa, op) ->
+      if List.mem name names then (a +. oa, p +. op) else (a, p))
+    (0.0, 0.0) fu_overheads
+
+let tile_cost ~hetero kind =
+  if not hetero then basic_tile
+  else
+    let units =
+      match kind with
+      | Fu.BaT | Fu.BrT -> [ "vector-fus"; "fp-fus" ]
+      | Fu.CoT | Fu.UniT -> [ "fp2fx"; "vector-fus"; "fp-fus"; "lut" ]
+    in
+    let oa, op = overhead_of units in
+    let ma, mp =
+      match kind with Fu.CoT | Fu.UniT -> muldiv_overhead | Fu.BaT | Fu.BrT -> (0.0, 0.0)
+    in
+    {
+      area_mm2 = basic_tile.area_mm2 *. (1.0 +. oa +. ma);
+      power_mw = basic_tile.power_mw *. (1.0 +. op +. mp);
+    }
+
+let cgra_cost (arch : Arch.t) =
+  let hetero = arch.flavor = Arch.Heterogeneous in
+  let sum =
+    Array.fold_left
+      (fun acc kind ->
+        let c = tile_cost ~hetero kind in
+        { area_mm2 = acc.area_mm2 +. c.area_mm2; power_mw = acc.power_mw +. c.power_mw })
+      { area_mm2 = 0.0; power_mw = 0.0 } arch.kinds
+  in
+  {
+    area_mm2 = sum.area_mm2 *. network_factor;
+    power_mw = sum.power_mw *. network_factor;
+  }
+
+let sram_cost ~kb =
+  { area_mm2 = kb *. sram_area_per_kb; power_mw = kb *. sram_power_per_kb }
+
+let systolic_cost ~dim ~sram_kb =
+  let macs = dim * dim in
+  {
+    area_mm2 = (float_of_int macs *. mac_area) +. (sram_kb *. sram_area_per_kb);
+    power_mw = (float_of_int macs *. mac_power) +. (sram_kb *. sram_power_per_kb);
+  }
+
+let picachu_breakdown ?(systolic_dim = 32) ?(shared_buffer_kb = 40.0) arch =
+  (* input + weight SRAMs scale with the array dimension; the output SRAM is
+     the multiplexed Shared Buffer *)
+  let io_sram_kb = float_of_int (systolic_dim * systolic_dim) /. 4.0 in
+  let sram_kb = (2.0 *. io_sram_kb) +. shared_buffer_kb in
+  {
+    sram = sram_cost ~kb:sram_kb;
+    macs =
+      {
+        area_mm2 = float_of_int (systolic_dim * systolic_dim) *. mac_area;
+        power_mw = float_of_int (systolic_dim * systolic_dim) *. mac_power;
+      };
+    cgra = cgra_cost arch;
+    others = others_fixed;
+  }
+
+let total b =
+  {
+    area_mm2 = b.sram.area_mm2 +. b.macs.area_mm2 +. b.cgra.area_mm2 +. b.others.area_mm2;
+    power_mw = b.sram.power_mw +. b.macs.power_mw +. b.cgra.power_mw +. b.others.power_mw;
+  }
+
+let energy_uj c ~cycles = c.power_mw *. float_of_int cycles *. 1e-6 (* mW * ns = pJ; 1e-6 pJ->uJ *)
+
+let pp_breakdown fmt b =
+  let t = total b in
+  let line name (c : component) =
+    Format.fprintf fmt "  %-8s %6.2f mm2 (%4.1f%%)  %7.1f mW (%4.1f%%)@." name c.area_mm2
+      (100.0 *. c.area_mm2 /. t.area_mm2)
+      c.power_mw
+      (100.0 *. c.power_mw /. t.power_mw)
+  in
+  line "sram" b.sram;
+  line "macs" b.macs;
+  line "cgra" b.cgra;
+  line "others" b.others;
+  line "total" t

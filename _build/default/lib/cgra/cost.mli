@@ -1,0 +1,51 @@
+(** Area and power model (paper §5.3.1, Table 7).
+
+    The paper synthesizes RTL at 45nm/1GHz and reports a component
+    breakdown; this model reproduces that accounting analytically from
+    per-component unit costs calibrated to the published table:
+
+    - a 32x32 systolic array: MAC area/power per PE, plus its input, weight
+      and output SRAMs (CACTI-style linear-in-capacity model),
+    - the 4x4 CGRA: per-tile base cost plus the FU overheads the paper
+      quantifies (FP2FX +1.7% area / +0.8% power, vectorized FUs +59.8% /
+      +18.4%, FP FUs +11.6% / +26.3%, LUT +0.5% / +3.8% relative to a basic
+      tile),
+    - "others": DMA engine and control glue.
+
+    All figures are at 1 GHz; energy integrates power over cycle counts. *)
+
+type component = { area_mm2 : float; power_mw : float }
+
+type breakdown = {
+  sram : component;
+  macs : component;
+  cgra : component;
+  others : component;
+}
+
+val basic_tile : component
+(** A baseline scalar tile (no special FUs). *)
+
+val tile_cost : hetero:bool -> Fu.tile_kind -> component
+(** Cost of one tile including its FU overheads; a homogeneous baseline tile
+    is {!basic_tile}. *)
+
+val cgra_cost : Arch.t -> component
+val sram_cost : kb:float -> component
+(** On-chip SRAM (shared buffer or systolic SRAMs) per capacity. *)
+
+val systolic_cost : dim:int -> sram_kb:float -> component
+
+val picachu_breakdown :
+  ?systolic_dim:int -> ?shared_buffer_kb:float -> Arch.t -> breakdown
+(** The Table 7 configuration by default (32x32 array, 40KB buffer). *)
+
+val total : breakdown -> component
+val energy_uj : component -> cycles:int -> float
+(** Energy in microjoules for [cycles] at 1 GHz. *)
+
+val fu_overheads : (string * float * float) list
+(** [(name, area_frac, power_frac)] of each special FU relative to a basic
+    tile — the §5.3.1 numbers. *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

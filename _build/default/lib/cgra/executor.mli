@@ -1,0 +1,37 @@
+(** Cycle-accurate execution of a mapped loop — the stand-in for the paper's
+    RTL evaluation framework.
+
+    The executor runs the software-pipelined schedule exactly as the
+    configured fabric would: iteration [k] of node [u] issues at cycle
+    [t(u) + k*II]; every operand read is dynamically verified against the
+    producer's completion cycle plus the mesh routing distance, so a
+    mapping bug (a dependence the scheduler missed, a mis-patched phi, a
+    wrong offset after unrolling) surfaces as a {!Timing_violation} rather
+    than silently producing the right value at the wrong time.
+
+    Functional results must equal the sequential reference interpreter —
+    asserted across the whole kernel library in the test suite. *)
+
+module Kernel = Picachu_ir.Kernel
+module Dfg = Picachu_dfg.Dfg
+
+exception Timing_violation of string
+exception Execution_error of string
+
+type result = {
+  out_arrays : (string * float array) list;
+  out_scalars : (string * float) list;  (** exported accumulators *)
+  cycles : int;  (** completion cycle of the last issued operation *)
+}
+
+val run_loop :
+  Arch.t ->
+  Kernel.loop ->
+  Dfg.t ->
+  Mapper.mapping ->
+  arrays:(string * float array) list ->
+  scalars:(string * float) list ->
+  result
+(** The trip count comes from the loop's trip scalar (like the reference
+    interpreter). Requires [vector_width = 1] (the INT16 lane mode shares
+    this schedule; its lanes are SIMD within a tile). *)

@@ -1,0 +1,39 @@
+module Op = Picachu_ir.Op
+
+type tile_kind = BaT | BrT | CoT | UniT
+
+let kind_name = function BaT -> "BaT" | BrT -> "BrT" | CoT -> "CoT" | UniT -> "UniT"
+
+let rec supports_hetero kind (op : Op.t) =
+  match (kind, op) with
+  | UniT, _ ->
+      supports_hetero BaT op || supports_hetero BrT op || supports_hetero CoT op
+  (* memory ops can issue from any tile that has a port; capability-wise all
+     kinds include a load/store unit *)
+  | _, (Op.Load _ | Op.Store _) -> true
+  | BaT, (Op.Bin (Add | Sub | Max | Min) | Op.Un (Neg | Abs) | Op.Cmp _ | Op.Select)
+    -> true
+  | BaT, Op.Fused (Add_add | Cmp_sel) -> true
+  | BrT, (Op.Phi | Op.Br | Op.Cmp _ | Op.Select | Op.Bin (Add | Sub | Max | Min)) -> true
+  | BrT, Op.Fused (Phi_add | Phi_add_add | Cmp_br | Cmp_sel) -> true
+  | ( CoT,
+      ( Op.Bin (Mul | Div | Add | Sub)
+      | Op.Un Floor (* exponent manipulation lives with the FP2FX family *)
+      | Op.Fp2fx_int | Op.Fp2fx_frac | Op.Shift_exp | Op.Lut _ ) ) -> true
+  | CoT, Op.Fused (Mul_add | Mul_add_add) -> true
+  | _, (Op.Const _ | Op.Input _) -> true (* config registers, free *)
+  | _, _ -> false
+
+let supports_baseline (op : Op.t) =
+  match op with
+  | Op.Fused _ | Op.Lut _ | Op.Fp2fx_int | Op.Fp2fx_frac -> false
+  | _ -> true
+
+let latency_hetero (op : Op.t) =
+  match op with Op.Bin Op.Div -> 4 | Op.Fused _ -> 1 | _ -> 1
+
+let latency_baseline (op : Op.t) =
+  match op with
+  | Op.Bin Op.Div -> 4
+  | Op.Shift_exp -> 3 (* exponent-field assembly on the integer pipe *)
+  | _ -> 1

@@ -1,0 +1,37 @@
+(** Functional-unit capability sets of the three tile kinds (paper §4.2.1).
+
+    - {b BaT} (Basic Tile): add/sub/min/max, compares, selects, and the fused
+      [add+add] / [cmp+select] patterns.
+    - {b BrT} (Branch-optimized Tile): control — phi, branch, and the fused
+      [phi+add(+add)] / [cmp+br] patterns — plus basic adds so induction
+      arithmetic does not hop tiles.
+    - {b CoT} (Compute Tile): multiplier, pipelined divider, the FP2FX
+      conversion module, the exponent-shift unit, the LUT, and the fused
+      [mul+add(+add)] Horner patterns.
+
+    The homogeneous baseline CGRA of §5.3.2 supports every *primitive* op on
+    every tile but has no fused patterns, no LUT, no FP2FX, and executes the
+    exponent shift by a 3-cycle integer-pipe emulation (field assembly). *)
+
+module Op = Picachu_ir.Op
+
+type tile_kind = BaT | BrT | CoT | UniT
+(** [UniT] is not part of the paper's design: a hypothetical universal tile
+    carrying every FU, used by the heterogeneity ablation to quantify what
+    the BaT/BrT/CoT split saves. *)
+
+val kind_name : tile_kind -> string
+
+val supports_hetero : tile_kind -> Op.t -> bool
+(** PICACHU tile capability. Memory ops are *not* decided here — port
+    placement is an {!Arch} property. *)
+
+val supports_baseline : Op.t -> bool
+(** Baseline homogeneous tile capability (false for fused/LUT/FP2FX ops). *)
+
+val latency_hetero : Op.t -> int
+(** All 1 cycle except the pipelined divider (4). Fused ops are 1 — the
+    point of the specialized FUs. *)
+
+val latency_baseline : Op.t -> int
+(** As hetero, plus [Shift_exp] = 3 (no exponent-manipulation unit). *)

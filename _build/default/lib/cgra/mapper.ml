@@ -1,0 +1,253 @@
+module Op = Picachu_ir.Op
+module Dfg = Picachu_dfg.Dfg
+module Analysis = Picachu_dfg.Analysis
+
+type placement = { time : int; tile : int }
+
+type mapping = {
+  ii : int;
+  schedule : placement array;
+  makespan : int;
+  routed_hops : int;
+  arch_name : string;
+}
+
+exception Unmappable of string
+
+let res_mii arch (g : Dfg.t) =
+  (* group nodes by the exact set of tiles able to execute them *)
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun (node : Dfg.node) ->
+      let supp = ref [] in
+      for t = Arch.tiles arch - 1 downto 0 do
+        if Arch.supports arch ~tile:t node.op then supp := t :: !supp
+      done;
+      let key = !supp in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    g.nodes;
+  let bound = ref 1 in
+  Hashtbl.iter
+    (fun tiles count ->
+      let k = List.length tiles in
+      if k = 0 then
+        raise (Unmappable (Printf.sprintf "%s: op supported by no tile" g.label));
+      bound := Stdlib.max !bound ((count + k - 1) / k))
+    tbl;
+  let total = Dfg.node_count g and tiles = Arch.tiles arch in
+  Stdlib.max !bound ((total + tiles - 1) / tiles)
+
+let min_ii arch g = Stdlib.max (res_mii arch g) (Analysis.rec_mii g)
+
+(* Rau-style iterative modulo scheduling with ejection, extended with spatial
+   placement: a schedule slot is a (cycle, tile) pair; operand transport over
+   the mesh adds Manhattan-distance cycles to dependence latencies. *)
+let rec rotate k = function
+  | [] -> []
+  | x :: rest when k > 0 -> rotate (k - 1) (rest @ [ x ])
+  | l -> l
+
+let try_map ?(salt = 0) arch (g : Dfg.t) ii =
+  let n = Dfg.node_count g in
+  let tiles = Arch.tiles arch in
+  let lat u = Arch.latency arch g.nodes.(u).op in
+  (* priority: height = longest latency path to any sink over forward edges *)
+  let height = Array.make n 0 in
+  List.iter
+    (fun u ->
+      height.(u) <- lat u;
+      List.iter
+        (fun ((v, d) : int * int) ->
+          if d = 0 then height.(u) <- Stdlib.max height.(u) (lat u + height.(v)))
+        (Dfg.succs g u))
+    (List.rev (Dfg.topo_order g));
+  let sched = Array.make n None in
+  let never_scheduled = Array.make n true in
+  (* Phis have no forward predecessors, so a naive first placement at cycle 0
+     imposes a back-edge deadline their source cannot meet when the
+     recurrence body is long; anchor each phi's *first* placement near the
+     ASAP finish of its loop-carried source (ejected phis re-place from
+     their then-known constraints). *)
+  let asap = Array.make n 0 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun ((v, d) : int * int) ->
+          if d = 0 then asap.(v) <- Stdlib.max asap.(v) (asap.(u) + lat u))
+        (Dfg.succs g u))
+    (Dfg.topo_order g);
+  let phi_anchor = Array.make n 0 in
+  List.iter
+    (fun (e : Dfg.edge) ->
+      if e.distance > 0 && e.src <> e.dst then
+        phi_anchor.(e.dst) <- Stdlib.max phi_anchor.(e.dst) (asap.(e.src) + lat e.src))
+    g.edges;
+  let prev_forced = Array.make n (-1) in
+  let occupant = Array.make_matrix tiles ii (-1) in
+  let budget = ref (Stdlib.max 1000 (50 * n)) in
+  (* worklist: simple repeated max-height scan (graphs are small) *)
+  let pick_unplaced () =
+    let best = ref (-1) in
+    for u = 0 to n - 1 do
+      if sched.(u) = None
+         && (!best = -1
+             || height.(u) > height.(!best)
+             || (height.(u) = height.(!best) && u < !best))
+      then best := u
+    done;
+    !best
+  in
+  let eject u =
+    match sched.(u) with
+    | None -> ()
+    | Some { time; tile } ->
+        occupant.(tile).(time mod ii) <- -1;
+        sched.(u) <- None
+  in
+  let dep_latency p tile_p tile_u d =
+    lat p + Arch.distance arch tile_p tile_u - (d * ii)
+  in
+  let place u =
+    (* earliest start per tile from placed predecessors (either direction) *)
+    let preds = Dfg.preds g u in
+    let floor_time = if never_scheduled.(u) then phi_anchor.(u) else 0 in
+    let earliest tile =
+      List.fold_left
+        (fun acc ((p, d) : int * int) ->
+          match sched.(p) with
+          | Some sp when p <> u -> Stdlib.max acc (sp.time + dep_latency p sp.tile tile d)
+          | _ -> acc)
+        floor_time preds
+    in
+    let cands = ref [] in
+    for t = 0 to tiles - 1 do
+      if Arch.supports arch ~tile:t g.nodes.(u).op then begin
+        let cost =
+          List.fold_left
+            (fun acc ((p, _) : int * int) ->
+              match sched.(p) with
+              | Some sp -> acc + Arch.distance arch sp.tile t
+              | None -> acc)
+            0 preds
+        in
+        let occupancy =
+          Array.fold_left (fun acc o -> if o >= 0 then acc + 1 else acc) 0 occupant.(t)
+        in
+        cands := ((cost, occupancy, t), t) :: !cands
+      end
+    done;
+    let cands = rotate salt (List.sort compare !cands) in
+    if cands = [] then raise (Unmappable (g.label ^ ": op supported by no tile"));
+    (* latest feasible issue per tile, from placed successors (deadline-aware
+       pass 1 — placements that would immediately eject a consumer are worse
+       than a slightly later slot that would not) *)
+    let latest tile =
+      List.fold_left
+        (fun acc ((v, d) : int * int) ->
+          if v = u then acc
+          else
+            match sched.(v) with
+            | Some sv ->
+                Stdlib.min acc
+                  (sv.time + (d * ii) - lat u - Arch.distance arch tile sv.tile)
+            | None -> acc)
+        max_int (Dfg.succs g u)
+    in
+    (* pass 1: a free slot within one II window of the earliest start that
+       also meets every placed successor's deadline *)
+    let found = ref None in
+    List.iter
+      (fun (_, tile) ->
+        if !found = None then
+          let e = earliest tile in
+          let lim = Stdlib.min (e + ii - 1) (latest tile) in
+          let t = ref e in
+          while !found = None && !t <= lim do
+            if occupant.(tile).(!t mod ii) = -1 then found := Some (tile, !t);
+            incr t
+          done)
+      cands;
+    let tile, t =
+      match !found with
+      | Some tt -> tt
+      | None ->
+          (* force placement, ejecting the occupant (Rau's rule: never at the
+             same slot as the previous forced attempt) *)
+          let _, tile = List.hd cands in
+          let e = earliest tile in
+          let t = if e > prev_forced.(u) then e else prev_forced.(u) + 1 in
+          prev_forced.(u) <- t;
+          (tile, t)
+    in
+    (match occupant.(tile).(t mod ii) with -1 -> () | v -> eject v);
+    occupant.(tile).(t mod ii) <- u;
+    sched.(u) <- Some { time = t; tile };
+    never_scheduled.(u) <- false;
+    (* eject placed successors whose dependence is now violated *)
+    List.iter
+      (fun ((v, d) : int * int) ->
+        if v <> u then
+          match sched.(v) with
+          | Some sv when sv.time < t + dep_latency u tile sv.tile d -> eject v
+          | _ -> ())
+      (Dfg.succs g u);
+    (* self-loop sanity: a fused accumulator needs lat <= ii *)
+    List.iter
+      (fun ((v, d) : int * int) ->
+        if v = u && d > 0 && lat u > d * ii then eject u)
+      (Dfg.succs g u)
+  in
+  let rec loop () =
+    let u = pick_unplaced () in
+    if u = -1 then true
+    else if !budget <= 0 then false
+    else begin
+      decr budget;
+      place u;
+      loop ()
+    end
+  in
+  if not (loop ()) then None
+  else begin
+    let schedule =
+      Array.init n (fun u ->
+          match sched.(u) with Some s -> s | None -> { time = -1; tile = -1 })
+    in
+    let makespan =
+      Array.to_list schedule
+      |> List.mapi (fun u (s : placement) -> s.time + lat u)
+      |> List.fold_left Stdlib.max 0
+    in
+    let routed_hops =
+      List.fold_left
+        (fun acc (e : Dfg.edge) ->
+          acc + Arch.distance arch schedule.(e.src).tile schedule.(e.dst).tile)
+        0 g.edges
+    in
+    Some { ii; schedule; makespan; routed_hops; arch_name = arch.Arch.name }
+  end
+
+let map_dfg ?(max_ii = 128) arch g =
+  let start = min_ii arch g in
+  (* a few salted attempts per II escape deterministic ejection livelocks
+     (the phi/source pair chasing each other through the same tile order) *)
+  let rec attempts ii salt =
+    if salt > 3 then None
+    else
+      match try_map ~salt arch g ii with
+      | Some m -> Some m
+      | None -> attempts ii (salt + 1)
+  in
+  let rec go ii =
+    if ii > max_ii then
+      raise
+        (Unmappable
+           (Printf.sprintf "%s: no II <= %d on %s" g.Dfg.label max_ii arch.Arch.name))
+    else match attempts ii 0 with Some m -> m | None -> go (ii + 1)
+  in
+  go start
+
+let loop_cycles m ~trips = if trips <= 0 then 0 else m.makespan + ((trips - 1) * m.ii)
+
+let utilization m g arch =
+  float_of_int (Dfg.node_count g) /. float_of_int (m.ii * Arch.tiles arch)

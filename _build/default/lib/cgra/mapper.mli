@@ -1,0 +1,50 @@
+(** Modulo-scheduling mapper (paper §4.3 "DFG Mapping").
+
+    Maps a DFG onto the CGRA's modulo routing resource graph using Rau-style
+    iterative modulo scheduling with ejection, extended with spatial
+    placement: a schedule slot is a (cycle, tile) pair, each tile issues one
+    operation per cycle modulo II, and operand transport over the mesh adds
+    Manhattan-distance cycles to every dependence.  The search starts at
+    [max(ResMII, RecMII)] and raises II until the scheduler converges within
+    its ejection budget, honouring:
+
+    - tile capability (heterogeneous FU sets, §4.2.1),
+    - memory-port columns for loads/stores,
+    - loop-carried dependences [t(phi) >= t(src) + lat + hops - II*distance].
+
+    Simplifications, documented in DESIGN.md: mesh links are modelled by
+    distance latency (no per-hop slot contention), and values arriving early
+    wait in the consumer's register file.  Like the paper's own compiler the
+    heuristic is not optimal (their §5.3.4 blames the mapper for sub-linear
+    4x8 scaling). *)
+
+module Dfg = Picachu_dfg.Dfg
+
+type placement = { time : int; tile : int }
+
+type mapping = {
+  ii : int;
+  schedule : placement array;  (** indexed by DFG node id *)
+  makespan : int;  (** completion time of the first iteration *)
+  routed_hops : int;  (** total mesh hops used (wire-pressure metric) *)
+  arch_name : string;
+}
+
+exception Unmappable of string
+
+val res_mii : Arch.t -> Dfg.t -> int
+(** Resource-constrained lower bound on II (capability-class aware). *)
+
+val min_ii : Arch.t -> Dfg.t -> int
+(** [max (res_mii, rec_mii)]. *)
+
+val map_dfg : ?max_ii:int -> Arch.t -> Dfg.t -> mapping
+(** Raises [Unmappable] if no II up to [max_ii] (default 128) works — e.g. a
+    node's op is supported by no tile. *)
+
+val loop_cycles : mapping -> trips:int -> int
+(** Steady-state execution time of [trips] iterations:
+    [makespan + (trips - 1) * ii]. *)
+
+val utilization : mapping -> Dfg.t -> Arch.t -> float
+(** Fraction of FU slots per II window actually issuing. *)

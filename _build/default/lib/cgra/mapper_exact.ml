@@ -1,0 +1,98 @@
+module Dfg = Picachu_dfg.Dfg
+
+type verdict = Feasible of int | Infeasible_up_to of int | Unknown
+
+exception Out_of_budget
+
+(* Backtracking search for a complete modulo schedule at a fixed II. Nodes
+   are placed in topological order; each candidate (tile, cycle) must respect
+   capability, the one-issue-per-slot rule, all already-placed dependence
+   constraints in both directions, and self-loop latency. *)
+let search arch (g : Dfg.t) ii ~window ~budget =
+  let n = Dfg.node_count g in
+  let tiles = Arch.tiles arch in
+  let order = Array.of_list (Dfg.topo_order g) in
+  let lat u = Arch.latency arch g.Dfg.nodes.(u).Dfg.op in
+  let time = Array.make n (-1) and tile = Array.make n (-1) in
+  let busy = Array.make_matrix tiles ii false in
+  let steps = ref 0 in
+  (* dependence check between u (being placed at t,tl) and a placed v *)
+  let edge_ok (e : Dfg.edge) =
+    let ts = time.(e.src) and td = time.(e.dst) in
+    if ts < 0 || td < 0 then true
+    else if e.src = e.dst then lat e.src <= e.distance * ii
+    else
+      td
+      >= ts + lat e.src
+         + Arch.distance arch tile.(e.src) tile.(e.dst)
+         - (e.distance * ii)
+  in
+  let edges_of u =
+    List.filter (fun (e : Dfg.edge) -> e.src = u || e.dst = u) g.Dfg.edges
+  in
+  let rec place idx =
+    incr steps;
+    if !steps > budget then raise Out_of_budget;
+    if idx = n then true
+    else begin
+      let u = order.(idx) in
+      (* earliest from placed forward predecessors, ignoring distances *)
+      let earliest =
+        List.fold_left
+          (fun acc (e : Dfg.edge) ->
+            if e.dst = u && e.distance = 0 && time.(e.src) >= 0 then
+              Stdlib.max acc (time.(e.src) + lat e.src)
+            else acc)
+          0 g.Dfg.edges
+      in
+      let found = ref false in
+      let t = ref earliest in
+      (* the window must cover mesh transport on top of the II periods *)
+      let diameter = arch.Arch.rows + arch.Arch.cols - 2 in
+      while (not !found) && !t < earliest + (window * ii) + diameter do
+        for tl = 0 to tiles - 1 do
+          if
+            (not !found)
+            && Arch.supports arch ~tile:tl g.Dfg.nodes.(u).Dfg.op
+            && not busy.(tl).(!t mod ii)
+          then begin
+            time.(u) <- !t;
+            tile.(u) <- tl;
+            if List.for_all edge_ok (edges_of u) then begin
+              busy.(tl).(!t mod ii) <- true;
+              if place (idx + 1) then found := true
+              else busy.(tl).(!t mod ii) <- false
+            end;
+            if not !found then begin
+              time.(u) <- -1;
+              tile.(u) <- -1
+            end
+          end
+        done;
+        incr t
+      done;
+      !found
+    end
+  in
+  try if place 0 then Some true else Some false with Out_of_budget -> None
+
+let probe ?(max_nodes = 14) ?max_ii ?(window = 3) ?(budget = 2_000_000) arch g =
+  if Dfg.node_count g > max_nodes then Unknown
+  else begin
+    let lower = Mapper.min_ii arch g in
+    let upper = match max_ii with Some m -> m | None -> lower + 3 in
+    let rec go ii =
+      if ii > upper then Infeasible_up_to upper
+      else
+        match search arch g ii ~window ~budget with
+        | Some true -> Feasible ii
+        | Some false -> go (ii + 1)
+        | None -> Unknown
+    in
+    go lower
+  end
+
+let heuristic_gap arch g =
+  let lower = Mapper.min_ii arch g in
+  let achieved = (Mapper.map_dfg arch g).Mapper.ii in
+  (lower, achieved, probe arch g)

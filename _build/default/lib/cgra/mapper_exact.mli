@@ -1,0 +1,35 @@
+(** Bounded-exhaustive II probe — the heuristic-quality audit.
+
+    The paper attributes its sub-linear 4x8 scaling to "the compiler's
+    mapping capability"; this module measures the same property here: for
+    small DFGs it searches *all* placements (every node over every capable
+    tile and every cycle within a bounded window) by backtracking, so a
+    feasible schedule at the II lower bound is found if one exists within
+    the window.  The search is budgeted; graphs that exhaust the budget
+    report [Unknown]. *)
+
+module Dfg = Picachu_dfg.Dfg
+
+type verdict =
+  | Feasible of int  (** a complete schedule exists at this II *)
+  | Infeasible_up_to of int
+      (** no schedule within the window for any II up to the given bound *)
+  | Unknown  (** search budget exhausted before a conclusion *)
+
+val probe :
+  ?max_nodes:int ->
+  ?max_ii:int ->
+  ?window:int ->
+  ?budget:int ->
+  Arch.t ->
+  Dfg.t ->
+  verdict
+(** Defaults: graphs above [max_nodes] = 14 return [Unknown] immediately;
+    IIs are tried from the {!Mapper.min_ii} bound to [max_ii] = bound + 3;
+    each node's issue cycle is searched within [window] = 3 II periods of
+    its dependence-earliest cycle; [budget] = 2_000_000 backtracking
+    steps. *)
+
+val heuristic_gap : Arch.t -> Dfg.t -> int * int * verdict
+(** [(lower_bound, achieved_ii, probe_verdict)] for one graph: the complete
+    audit row. *)

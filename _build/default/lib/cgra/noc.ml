@@ -1,0 +1,55 @@
+module Dfg = Picachu_dfg.Dfg
+
+type report = {
+  total_hops : int;
+  links_used : int;
+  max_link_load : int;
+  mean_link_load : float;
+}
+
+let analyze arch (g : Dfg.t) (m : Mapper.mapping) =
+  (* (from_tile, to_tile, cycle mod II) -> load *)
+  let loads = Hashtbl.create 64 in
+  let bump key =
+    Hashtbl.replace loads key (1 + Option.value ~default:0 (Hashtbl.find_opt loads key))
+  in
+  let total = ref 0 in
+  List.iter
+    (fun (e : Dfg.edge) ->
+      if e.Dfg.src <> e.Dfg.dst then begin
+        let ps = m.Mapper.schedule.(e.Dfg.src) in
+        let pd = m.Mapper.schedule.(e.Dfg.dst) in
+        let lat = Arch.latency arch g.Dfg.nodes.(e.Dfg.src).Dfg.op in
+        let depart = ps.Mapper.time + lat in
+        (* the full tile sequence: source, intermediates, destination *)
+        let path = (ps.Mapper.tile :: Arch.xy_path arch ps.Mapper.tile pd.Mapper.tile)
+                   @ [ pd.Mapper.tile ] in
+        let rec hops k = function
+          | a :: (b :: _ as rest) when a <> b ->
+              incr total;
+              bump (a, b, (depart + k) mod m.Mapper.ii);
+              hops (k + 1) rest
+          | _ :: rest -> hops k rest
+          | [] -> ()
+        in
+        hops 0 path
+      end)
+    g.Dfg.edges;
+  let links = Hashtbl.create 16 in
+  let max_load = ref 0 and sum = ref 0 and slots = ref 0 in
+  Hashtbl.iter
+    (fun (a, b, _) load ->
+      Hashtbl.replace links (a, b) ();
+      if load > !max_load then max_load := load;
+      sum := !sum + load;
+      incr slots)
+    loads;
+  {
+    total_hops = !total;
+    links_used = Hashtbl.length links;
+    max_link_load = !max_load;
+    mean_link_load =
+      (if !slots = 0 then 0.0 else float_of_int !sum /. float_of_int !slots);
+  }
+
+let within_capacity r ~lanes_per_link = r.max_link_load <= lanes_per_link

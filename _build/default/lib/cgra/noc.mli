@@ -1,0 +1,23 @@
+(** Mesh-interconnect traffic analysis.
+
+    The mapper models routing as distance latency without reserving
+    individual link slots (DESIGN.md, "Modelling simplifications"); this
+    module audits that abstraction after the fact: it walks every
+    dependence's XY route through a mapping, charges each directed link at
+    the cycle (mod II) the value crosses it, and reports the worst
+    per-link-per-slot contention.  A result within the fabric's physical
+    link capacity means the simplification was safe for that kernel. *)
+
+module Dfg = Picachu_dfg.Dfg
+
+type report = {
+  total_hops : int;  (** link traversals per II window *)
+  links_used : int;  (** distinct directed links carrying traffic *)
+  max_link_load : int;  (** worst (link, cycle mod II) occupancy *)
+  mean_link_load : float;  (** average over used (link, slot) pairs *)
+}
+
+val analyze : Arch.t -> Dfg.t -> Mapper.mapping -> report
+
+val within_capacity : report -> lanes_per_link:int -> bool
+(** Does the worst contention fit the physical link width? *)

@@ -1,0 +1,41 @@
+module Dfg = Picachu_dfg.Dfg
+
+type report = {
+  max_tile_registers : int;
+  total_registers : int;
+  longest_lifetime : int;
+}
+
+let analyze arch (g : Dfg.t) (m : Mapper.mapping) =
+  let n = Dfg.node_count g in
+  let lat u = Arch.latency arch g.Dfg.nodes.(u).Dfg.op in
+  (* per producer: the latest departure among its consumers (a value leaves
+     the tile [hops] cycles before the consumer issues; loop-carried uses
+     shift one iteration later) *)
+  let per_tile = Hashtbl.create 16 in
+  let total = ref 0 and longest = ref 0 in
+  for u = 0 to n - 1 do
+    let pu = m.Mapper.schedule.(u) in
+    let ready = pu.Mapper.time + lat u in
+    let last_departure =
+      List.fold_left
+        (fun acc (e : Dfg.edge) ->
+          if e.Dfg.src = u then
+            let pv = m.Mapper.schedule.(e.Dfg.dst) in
+            let hops = Arch.distance arch pu.Mapper.tile pv.Mapper.tile in
+            let departure = pv.Mapper.time + (e.Dfg.distance * m.Mapper.ii) - hops in
+            Stdlib.max acc departure
+          else acc)
+        ready g.Dfg.edges
+    in
+    let lifetime = last_departure - ready + 1 in
+    if lifetime > !longest then longest := lifetime;
+    let regs = Stdlib.max 1 ((lifetime + m.Mapper.ii - 1) / m.Mapper.ii) in
+    total := !total + regs;
+    Hashtbl.replace per_tile pu.Mapper.tile
+      (regs + Option.value ~default:0 (Hashtbl.find_opt per_tile pu.Mapper.tile))
+  done;
+  let max_tile = Hashtbl.fold (fun _ v acc -> Stdlib.max v acc) per_tile 0 in
+  { max_tile_registers = max_tile; total_registers = !total; longest_lifetime = !longest }
+
+let fits r ~registers_per_tile = r.max_tile_registers <= registers_per_tile

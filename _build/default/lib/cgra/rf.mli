@@ -1,0 +1,22 @@
+(** Register-file pressure audit.
+
+    The mapper assumes values waiting for their consumers sit in adequately
+    sized register files (DESIGN.md, "Modelling simplifications").  This
+    module counts what "adequate" means for a given mapping, using standard
+    modulo-variable-expansion accounting: a value produced at cycle
+    [t + lat] that must remain available until its last consumer's
+    departure occupies [ceil(lifetime / II)] rotating registers on its
+    producer tile; a tile's pressure is the sum over the values it
+    produces. *)
+
+module Dfg = Picachu_dfg.Dfg
+
+type report = {
+  max_tile_registers : int;  (** worst per-tile register demand *)
+  total_registers : int;  (** fabric-wide register demand *)
+  longest_lifetime : int;  (** cycles the longest-lived value persists *)
+}
+
+val analyze : Arch.t -> Dfg.t -> Mapper.mapping -> report
+
+val fits : report -> registers_per_tile:int -> bool

@@ -1,0 +1,1 @@
+lib/dfg/analysis.ml: Array Dfg List Picachu_ir Stdlib

@@ -1,0 +1,1 @@
+lib/dfg/analysis.mli: Dfg

@@ -1,0 +1,1 @@
+lib/dfg/dfg.ml: Array Format List Picachu_ir Queue

@@ -1,0 +1,1 @@
+lib/dfg/fuse.ml: Array Dfg Hashtbl List Option Picachu_ir

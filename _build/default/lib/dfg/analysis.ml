@@ -1,0 +1,75 @@
+module Op = Picachu_ir.Op
+
+let member_ops (node : Dfg.node) = node.members
+
+let compute_node_count g =
+  Array.fold_left
+    (fun acc node ->
+      acc + List.length (List.filter Op.is_compute (member_ops node)))
+    0 g.Dfg.nodes
+
+let memory_node_count g =
+  Array.fold_left
+    (fun acc node ->
+      acc + List.length (List.filter Op.is_memory (member_ops node)))
+    0 g.Dfg.nodes
+
+let computational_intensity g =
+  let mem = memory_node_count g in
+  if mem = 0 then infinity
+  else float_of_int (compute_node_count g) /. float_of_int mem
+
+let node_latency (node : Dfg.node) =
+  match node.Dfg.op with
+  | Op.Fused _ -> 1 (* the point of fusion: one cycle for the whole pattern *)
+  | op -> Op.latency op
+
+(* Longest forward path from [src] to [dst] in latency terms; -1 if
+   unreachable. *)
+let longest_path g ~src ~dst =
+  let order = Dfg.topo_order g in
+  let n = Dfg.node_count g in
+  let dist = Array.make n min_int in
+  dist.(src) <- node_latency g.Dfg.nodes.(src);
+  List.iter
+    (fun u ->
+      if dist.(u) > min_int then
+        List.iter
+          (fun (v, d) ->
+            if d = 0 then
+              let cand = dist.(u) + node_latency g.Dfg.nodes.(v) in
+              if cand > dist.(v) then dist.(v) <- cand)
+          (Dfg.succs g u))
+    order;
+  if dist.(dst) = min_int then -1 else dist.(dst)
+
+let rec_mii g =
+  let back = List.filter (fun (e : Dfg.edge) -> e.distance > 0) g.Dfg.edges in
+  List.fold_left
+    (fun acc (e : Dfg.edge) ->
+      let cycle_latency =
+        if e.src = e.dst then node_latency g.Dfg.nodes.(e.src)
+        else
+          (* path dst ->...-> src plus the back edge *)
+          let p = longest_path g ~src:e.dst ~dst:e.src in
+          if p < 0 then node_latency g.Dfg.nodes.(e.src) else p
+      in
+      Stdlib.max acc ((cycle_latency + e.distance - 1) / e.distance))
+    1 back
+
+let critical_path g =
+  let order = Dfg.topo_order g in
+  let n = Dfg.node_count g in
+  let dist = Array.make n 0 in
+  List.iter
+    (fun u ->
+      let du = Stdlib.max dist.(u) (node_latency g.Dfg.nodes.(u)) in
+      dist.(u) <- du;
+      List.iter
+        (fun (v, d) ->
+          if d = 0 then
+            let cand = du + node_latency g.Dfg.nodes.(v) in
+            if cand > dist.(v) then dist.(v) <- cand)
+        (Dfg.succs g u))
+    order;
+  Array.fold_left Stdlib.max 0 dist

@@ -1,0 +1,19 @@
+(** DFG-level analyses (paper §3.1 and the scheduler's lower bounds). *)
+
+val computational_intensity : Dfg.t -> float
+(** Ratio of compute nodes to memory-access nodes at the DFG level — the
+    paper's §3.1 metric (all Table 1 kernels except ReLU exceed 5.3).
+    Fused nodes count each subsumed primitive.  Returns [infinity] for a
+    graph with no memory nodes. *)
+
+val compute_node_count : Dfg.t -> int
+val memory_node_count : Dfg.t -> int
+
+val rec_mii : Dfg.t -> int
+(** Recurrence-constrained minimum II: the maximum over elementary cycles of
+    (total latency / total distance).  The only cycles in these DFGs go
+    through phi back edges, so the maximum is found by longest-path search
+    from each distance-1 edge target back to its source. *)
+
+val critical_path : Dfg.t -> int
+(** Longest latency chain over forward edges (schedule-length lower bound). *)

@@ -1,0 +1,113 @@
+module Op = Picachu_ir.Op
+module Kernel = Picachu_ir.Kernel
+module Instr = Picachu_ir.Instr
+
+type node = {
+  id : int;
+  op : Op.t;
+  members : Op.t list;
+  origins : int list;
+  vector : bool;
+}
+type edge = { src : int; dst : int; distance : int }
+
+type t = {
+  nodes : node array;
+  edges : edge list;
+  vector_width : int;
+  label : string;
+}
+
+let of_loop (loop : Kernel.loop) =
+  let body = Array.of_list loop.body in
+  (* constants and scalar inputs become configuration registers, not nodes *)
+  let is_node (i : Instr.t) =
+    match i.op with Op.Const _ | Op.Input _ -> false | _ -> true
+  in
+  let remap = Array.make (Array.length body) (-1) in
+  let nodes = ref [] and fresh = ref 0 in
+  Array.iter
+    (fun (i : Instr.t) ->
+      if is_node i then begin
+        remap.(i.id) <- !fresh;
+        nodes :=
+          {
+            id = !fresh;
+            op = i.op;
+            members = [ i.op ];
+            origins = [ i.id ];
+            vector = loop.vector_width > 1 && Op.is_vectorizable i.op;
+          }
+          :: !nodes;
+        incr fresh
+      end)
+    body;
+  let edges = ref [] in
+  Array.iter
+    (fun (i : Instr.t) ->
+      if is_node i then
+        match i.op with
+        | Op.Phi ->
+            (* only the loop-carried (distance-1) back edge is a steady-state
+               dependence; the init value is prologue-only *)
+            let next = List.nth i.args 1 in
+            if remap.(next) >= 0 then
+              edges := { src = remap.(next); dst = remap.(i.id); distance = 1 } :: !edges
+        | _ ->
+            List.iter
+              (fun a ->
+                if remap.(a) >= 0 then
+                  edges := { src = remap.(a); dst = remap.(i.id); distance = 0 } :: !edges)
+              i.args)
+    body;
+  {
+    nodes = Array.of_list (List.rev !nodes);
+    edges = List.rev !edges;
+    vector_width = loop.vector_width;
+    label = loop.label;
+  }
+
+let preds g id =
+  List.filter_map
+    (fun e -> if e.dst = id then Some (e.src, e.distance) else None)
+    g.edges
+
+let succs g id =
+  List.filter_map
+    (fun e -> if e.src = id then Some (e.dst, e.distance) else None)
+    g.edges
+
+let node_count g = Array.length g.nodes
+let forward_edges g = List.filter (fun e -> e.distance = 0) g.edges
+
+let topo_order g =
+  let n = node_count g in
+  let indeg = Array.make n 0 in
+  List.iter (fun e -> if e.distance = 0 then indeg.(e.dst) <- indeg.(e.dst) + 1) g.edges;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = ref [] and seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    incr seen;
+    List.iter
+      (fun (v, dist) ->
+        if dist = 0 then begin
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then Queue.add v queue
+        end)
+      (succs g u)
+  done;
+  if !seen <> n then failwith ("Dfg.topo_order: cycle in forward edges of " ^ g.label);
+  List.rev !order
+
+let pp fmt g =
+  Format.fprintf fmt "dfg %s: %d nodes, %d edges (vw %d)@." g.label (node_count g)
+    (List.length g.edges) g.vector_width;
+  Array.iter
+    (fun n ->
+      Format.fprintf fmt "  n%d %a%s <-" n.id Op.pp n.op (if n.vector then " [vec]" else "");
+      List.iter (fun (s, d) -> Format.fprintf fmt " n%d%s" s (if d > 0 then "'" else "")) (preds g n.id);
+      Format.fprintf fmt "@.")
+    g.nodes

@@ -1,0 +1,55 @@
+(** Data-flow graphs extracted from kernel loops (paper §4.3).
+
+    Nodes are the FU-occupying operations of one loop iteration; constants
+    and scalar live-ins live in tile configuration registers and do not
+    appear.  Edges carry a distance: 0 for intra-iteration dependences, 1 for
+    the loop-carried phi back edge.  Control flow has already been converted
+    to data flow (partial predication): the branch is an ordinary node whose
+    result steers the tile sequencer.
+
+    The graph is immutable; the fusion pass produces a new graph. *)
+
+module Op = Picachu_ir.Op
+module Kernel = Picachu_ir.Kernel
+
+type node = {
+  id : int;
+  op : Op.t;
+  members : Op.t list;
+      (** for a fused node, the primitive ops it subsumes; a singleton
+          otherwise *)
+  origins : int list;
+      (** ids of the kernel-IR instructions this node executes, in program
+          order — the link the configuration generator and the cycle-level
+          executor follow back into the loop body *)
+  vector : bool;  (** executes on the widened lanes when the loop is vectorized *)
+}
+
+type edge = { src : int; dst : int; distance : int }
+
+type t = {
+  nodes : node array;
+  edges : edge list;
+  vector_width : int;
+  label : string;
+}
+
+val of_loop : Kernel.loop -> t
+(** Extract the DFG of one loop body. *)
+
+val preds : t -> int -> (int * int) list
+(** [(src, distance)] pairs of incoming edges. *)
+
+val succs : t -> int -> (int * int) list
+(** [(dst, distance)] pairs of outgoing edges. *)
+
+val node_count : t -> int
+
+val forward_edges : t -> edge list
+(** Edges with distance 0. *)
+
+val topo_order : t -> int list
+(** Topological order over forward edges (back edges ignored). Raises
+    [Failure] if the forward subgraph is cyclic. *)
+
+val pp : Format.formatter -> t -> unit

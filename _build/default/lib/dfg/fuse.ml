@@ -1,0 +1,133 @@
+module Op = Picachu_ir.Op
+
+let fuse (g : Dfg.t) =
+  let n = Dfg.node_count g in
+  let fwd_cons = Array.make n [] in
+  let back_src = Array.make n None in
+  List.iter
+    (fun (e : Dfg.edge) ->
+      if e.distance = 0 then fwd_cons.(e.src) <- e.dst :: fwd_cons.(e.src)
+      else back_src.(e.dst) <- Some e.src)
+    g.edges;
+  let taken = Array.make n false in
+  let groups = ref [] (* (fused kind, members in op order) *) in
+  let op i = g.nodes.(i).op in
+  let is_add i = op i = Op.Bin Op.Add in
+  let is_mul i = op i = Op.Bin Op.Mul in
+  let is_cmp i = match op i with Op.Cmp _ -> true | _ -> false in
+  let single_cons i = match fwd_cons.(i) with [ c ] -> Some c | _ -> None in
+  let free ids = List.for_all (fun i -> not taken.(i)) ids in
+  let grab kind ids =
+    List.iter (fun i -> taken.(i) <- true) ids;
+    groups := (kind, ids) :: !groups
+  in
+  (* phi chains *)
+  for p = 0 to n - 1 do
+    if op p = Op.Phi && not taken.(p) then
+      match back_src.(p) with
+      | None -> ()
+      | Some closer ->
+          let a1_via_a2 =
+            (* p -> a1 -> a2(=closer) *)
+            List.find_opt
+              (fun a1 ->
+                is_add a1 && single_cons a1 = Some closer && is_add closer
+                && List.mem a1 fwd_cons.(p))
+              fwd_cons.(p)
+          in
+          (match a1_via_a2 with
+          | Some a1 when a1 <> closer && free [ p; a1; closer ] ->
+              grab Op.Phi_add_add [ p; a1; closer ]
+          | _ ->
+              if is_add closer && List.mem closer fwd_cons.(p) && free [ p; closer ]
+              then grab Op.Phi_add [ p; closer ])
+  done;
+  (* cmp+br / cmp+select *)
+  for i = 0 to n - 1 do
+    if not taken.(i) && is_cmp i then
+      match single_cons i with
+      | Some c when not taken.(c) && op c = Op.Br -> grab Op.Cmp_br [ i; c ]
+      | Some c when not taken.(c) && op c = Op.Select -> grab Op.Cmp_sel [ i; c ]
+      | _ -> ()
+  done;
+  (* mul+add(+add) *)
+  for m = 0 to n - 1 do
+    if not taken.(m) && is_mul m then
+      match single_cons m with
+      | Some a1 when (not taken.(a1)) && is_add a1 -> (
+          match single_cons a1 with
+          | Some a2 when (not taken.(a2)) && is_add a2 && a2 <> m ->
+              grab Op.Mul_add_add [ m; a1; a2 ]
+          | _ -> grab Op.Mul_add [ m; a1 ])
+      | _ -> ()
+  done;
+  (* add+add *)
+  for a = 0 to n - 1 do
+    if not taken.(a) && is_add a then
+      match single_cons a with
+      | Some a2 when (not taken.(a2)) && is_add a2 && a2 <> a -> grab Op.Add_add [ a; a2 ]
+      | _ -> ()
+  done;
+  (* rebuild *)
+  let group_of = Array.make n (-1) in
+  List.iteri (fun gi (_, ids) -> List.iter (fun i -> group_of.(i) <- gi) ids) !groups;
+  let groups_arr = Array.of_list !groups in
+  let fresh = ref 0 in
+  let new_id = Array.make n (-1) in
+  let group_new_id = Array.make (Array.length groups_arr) (-1) in
+  let nodes = ref [] in
+  Array.iteri
+    (fun i (node : Dfg.node) ->
+      let gi = group_of.(i) in
+      if gi < 0 then begin
+        new_id.(i) <- !fresh;
+        nodes := { node with Dfg.id = !fresh } :: !nodes;
+        incr fresh
+      end
+      else if group_new_id.(gi) < 0 then begin
+        let kind, ids = groups_arr.(gi) in
+        let members = List.map (fun j -> op j) ids in
+        let origins = List.concat_map (fun j -> g.nodes.(j).Dfg.origins) ids in
+        let vector =
+          g.vector_width > 1 && List.for_all Op.is_vectorizable members
+        in
+        group_new_id.(gi) <- !fresh;
+        nodes :=
+          { Dfg.id = !fresh; op = Op.Fused kind; members; origins; vector } :: !nodes;
+        incr fresh
+      end)
+    g.nodes;
+  let map i = if group_of.(i) < 0 then new_id.(i) else group_new_id.(group_of.(i)) in
+  let edges =
+    List.filter_map
+      (fun (e : Dfg.edge) ->
+        let s = map e.src and d = map e.dst in
+        if s = d && e.distance = 0 then None
+        else Some { Dfg.src = s; dst = d; distance = e.distance })
+      g.edges
+  in
+  let edges = List.sort_uniq compare edges in
+  {
+    Dfg.nodes = Array.of_list (List.rev !nodes);
+    edges;
+    vector_width = g.vector_width;
+    label = g.label;
+  }
+
+let pattern_counts (g : Dfg.t) =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun (node : Dfg.node) ->
+      match node.op with
+      | Op.Fused f ->
+          Hashtbl.replace tbl f (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f))
+      | _ -> ())
+    g.nodes;
+  let order =
+    Op.[ Phi_add_add; Phi_add; Add_add; Cmp_sel; Mul_add_add; Mul_add; Cmp_br ]
+  in
+  List.filter_map
+    (fun f -> Option.map (fun c -> (f, c)) (Hashtbl.find_opt tbl f))
+    order
+
+let contains_pattern g f = List.mem_assoc f (pattern_counts g)

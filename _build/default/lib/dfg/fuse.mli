@@ -1,0 +1,25 @@
+(** Operation fusion (paper §4.2.1 "Operation fusion", Table 4).
+
+    Recurring def-use patterns are collapsed into single complex nodes that a
+    specialized FU executes in one cycle, shrinking the DFG and the critical
+    recurrence (a fused [phi+add] accumulator has RecMII 1).  Patterns, in
+    matching priority order:
+
+    - [phi+add+add], [phi+add] — reduction/induction update chains
+    - [cmp+br] — the loop back edge
+    - [cmp+select] — predicated selection (ReLU)
+    - [mul+add+add], [mul+add] — Horner steps of the Taylor polynomials
+    - [add+add] — addition chains
+
+    Fusion is greedy over node ids; interior values must be single-consumer;
+    a phi's register is exposed, so other readers of the phi are rewired to
+    the fused node. *)
+
+val fuse : Dfg.t -> Dfg.t
+(** Returns a new graph; input is unchanged. *)
+
+val pattern_counts : Dfg.t -> (Dfg.Op.fused * int) list
+(** How many fused nodes of each kind the graph contains (only non-zero
+    entries, in Table 4 column order). *)
+
+val contains_pattern : Dfg.t -> Dfg.Op.fused -> bool

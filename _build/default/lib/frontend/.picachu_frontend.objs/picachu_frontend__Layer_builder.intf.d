@@ -1,0 +1,1 @@
+lib/frontend/layer_builder.mli: Picachu_llm Picachu_nonlinear Tensor_ir

@@ -1,0 +1,1 @@
+lib/frontend/offload.ml: Array Format List Picachu_nonlinear Printf Tensor_ir

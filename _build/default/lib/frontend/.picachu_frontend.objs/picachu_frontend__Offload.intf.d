@@ -1,0 +1,1 @@
+lib/frontend/offload.mli: Format Picachu_nonlinear Tensor_ir

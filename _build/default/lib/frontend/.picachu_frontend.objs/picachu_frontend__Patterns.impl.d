@@ -1,0 +1,1 @@
+lib/frontend/patterns.ml: Array Float List Option Picachu_nonlinear Tensor_ir

@@ -1,0 +1,1 @@
+lib/frontend/patterns.mli: Tensor_ir

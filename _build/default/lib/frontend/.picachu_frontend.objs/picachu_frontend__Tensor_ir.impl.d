@@ -1,0 +1,1 @@
+lib/frontend/tensor_ir.ml: Array Format Hashtbl List Picachu_nonlinear Printf

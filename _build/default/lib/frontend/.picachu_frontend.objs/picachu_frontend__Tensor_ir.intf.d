@@ -1,0 +1,1 @@
+lib/frontend/tensor_ir.mli: Format Picachu_nonlinear

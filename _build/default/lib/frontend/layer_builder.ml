@@ -1,0 +1,108 @@
+open Tensor_ir
+module Mz = Picachu_llm.Model_zoo
+module Registry = Picachu_nonlinear.Registry
+module B = Tensor_ir.Build
+
+let eps = 1e-5
+
+(* The primitive spellings a framework lowers to. *)
+let emit_layernorm b x =
+  let mu = B.rowmean b x in
+  let d = B.sub b x mu in
+  let sq = B.mul b d d in
+  let v = B.rowmean b sq in
+  let ve = B.addc b eps v in
+  let r = B.rsqrt b ve in
+  B.mul b d r
+
+let emit_rmsnorm b x =
+  let sq = B.mul b x x in
+  let ms = B.rowmean b sq in
+  let mse = B.addc b eps ms in
+  let r = B.rsqrt b mse in
+  B.mul b x r
+
+let emit_norm (m : Mz.t) b x =
+  match m.Mz.norm with
+  | Mz.Layernorm_norm -> emit_layernorm b x
+  | Mz.Rmsnorm_norm -> emit_rmsnorm b x
+
+let emit_gelu_tanh b x =
+  let p3 = B.pow b 3 x in
+  let c1 = B.scale b 0.044715 p3 in
+  let s = B.add b x c1 in
+  let z = B.scale b (sqrt (2.0 /. Float.pi)) s in
+  let t = B.tanh_ b z in
+  let w = B.addc b 1.0 t in
+  let hx = B.scale b 0.5 x in
+  B.mul b hx w
+
+let emit_silu b x =
+  let s = B.sigmoid_ b x in
+  B.mul b x s
+
+let emit_softmax b x =
+  let m = B.rowmax b x in
+  let d = B.sub b x m in
+  let e = B.exp_ b d in
+  let s = B.rowsum b e in
+  B.div b e s
+
+let transformer_block (m : Mz.t) ~seq =
+  let d = m.Mz.d_model in
+  let dh = Mz.d_head m in
+  let heads = m.Mz.heads in
+  let b = B.create (m.Mz.name ^ "-block") in
+  let kv = m.Mz.kv_heads in
+  let x = B.input b "x" { rows = seq; cols = d } in
+  (* attention; K/V projections carry the (possibly grouped) KV width *)
+  let h = emit_norm m b x in
+  let proj name cols = B.matmul b h (B.weight b name { rows = d; cols }) in
+  let q = proj "wq" d in
+  let k = proj "wk" (kv * dh) in
+  let v = proj "wv" (kv * dh) in
+  let rot t = if m.Mz.pos = Mz.Rope_pos then B.rotate b t else t in
+  let q = rot q and k = rot k in
+  (* fold heads into the batch: [seq x d] -> [heads*seq x dh]; GQA KV heads
+     are broadcast up to the query head count *)
+  let qh = B.reshape b { rows = heads * seq; cols = dh } q in
+  let expand t =
+    let folded = B.reshape b { rows = kv * seq; cols = dh } t in
+    if kv = heads then folded else B.broadcast b (heads / kv) folded
+  in
+  let kh = expand k and vh = expand v in
+  let scores = B.bmm b ~heads qh kh in
+  let scaled = B.scale b (1.0 /. sqrt (float_of_int dh)) scores in
+  let probs = emit_softmax b scaled in
+  (* per-head transpose of v, expressed at shape level *)
+  let vt = B.reshape b { rows = heads * dh; cols = seq } vh in
+  let ctx = B.bmm b ~heads probs vt in
+  let ctx = B.reshape b { rows = seq; cols = d } ctx in
+  let out = B.matmul b ctx (B.weight b "wo" { rows = d; cols = d }) in
+  let x1 = B.add b x out in
+  (* ffn *)
+  let h2 = emit_norm m b x1 in
+  let up name cols = B.matmul b h2 (B.weight b name { rows = d; cols }) in
+  let act =
+    match m.Mz.ffn with
+    | Mz.Relu_ffn -> B.maximum0 b (up "w_up" m.Mz.d_ffn)
+    | Mz.Gelu_ffn -> emit_gelu_tanh b (up "w_up" m.Mz.d_ffn)
+    | Mz.Swiglu_ffn ->
+        let gate = emit_silu b (up "w_gate" m.Mz.d_ffn) in
+        B.mul b gate (up "w_up" m.Mz.d_ffn)
+    | Mz.Geglu_ffn ->
+        let gate = emit_gelu_tanh b (up "w_gate" m.Mz.d_ffn) in
+        B.mul b gate (up "w_up" m.Mz.d_ffn)
+  in
+  let down =
+    B.matmul b act (B.weight b "w_down" { rows = m.Mz.d_ffn; cols = d })
+  in
+  let x2 = B.add b x1 down in
+  B.finish b ~outputs:[ x2 ]
+
+let expected_nonlinears (m : Mz.t) =
+  let base = [ Mz.norm_op m; Mz.norm_op m; Registry.Softmax; Mz.activation_op m ] in
+  let with_rope =
+    if m.Mz.pos = Mz.Rope_pos then Registry.Rope :: Registry.Rope :: base else base
+  in
+  List.sort compare with_rope

@@ -1,0 +1,18 @@
+(** Framework stand-in: emit the tensor program of one transformer block
+    exactly as a PyTorch lowering would — every nonlinear operation spelled
+    out in primitives (the norm as sub/mean/rsqrt chains, GeLU as its
+    five-instruction expansion, softmax as exp/rowsum/div), so that the
+    §4.3 pattern matcher has real work to do.
+
+    [attention ~heads] folds heads into batched matmuls; the per-head value
+    transpose is expressed as a reshape (shape-level fidelity — this IR is
+    never executed). *)
+
+val transformer_block :
+  Picachu_llm.Model_zoo.t -> seq:int -> Tensor_ir.program
+(** One block: pre-norm, attention (with RoPE when the model uses it),
+    residual, pre-norm, FFN (ReLU/GeLU/SwiGLU/GeGLU per the model),
+    residual. *)
+
+val expected_nonlinears : Picachu_llm.Model_zoo.t -> Picachu_nonlinear.Registry.opkind list
+(** The nonlinear operations a matched block must contain (sorted). *)

@@ -1,0 +1,81 @@
+open Tensor_ir
+module Registry = Picachu_nonlinear.Registry
+
+type stage =
+  | Gemm of { m : int; k : int; n : int; count : int; tag : string }
+  | Nonlinear of { op : Registry.opkind; rows : int; dim : int; tag : string }
+  | Fallback of string
+
+type plan = stage list
+
+let offload (p : program) =
+  let ins = Array.of_list p.instrs in
+  List.filter_map
+    (fun (i : tinstr) ->
+      match i.op with
+      | TMatmul ->
+          let a = ins.(List.nth i.args 0) in
+          Some
+            (Gemm
+               {
+                 m = i.shape.rows;
+                 k = a.shape.cols;
+                 n = i.shape.cols;
+                 count = 1;
+                 tag = Printf.sprintf "%%%d" i.id;
+               })
+      | TBmm b ->
+          let a = ins.(List.nth i.args 0) in
+          Some
+            (Gemm
+               {
+                 m = i.shape.rows / b;
+                 k = a.shape.cols;
+                 n = i.shape.cols;
+                 count = b;
+                 tag = Printf.sprintf "%%%d(bmm)" i.id;
+               })
+      | TNonlinear op ->
+          Some
+            (Nonlinear
+               {
+                 op;
+                 rows = i.shape.rows;
+                 dim = i.shape.cols;
+                 tag = Printf.sprintf "%%%d" i.id;
+               })
+      (* free riders *)
+      | TAdd | TSub | TMul | TDiv | TScale _ | TAddc _ | TPow _ | TTranspose
+      | TReshape _ | TBroadcast _ | TInput _ | TWeight _ -> None
+      (* unmatched nonlinear primitives fall to the host *)
+      | TTanh | TErf | TExp | TSigmoid | TMaximum0 | TRsqrt | TRowmax | TRowsum
+      | TRowmean | TRotate -> Some (Fallback (op_name i.op)))
+    p.instrs
+
+let gemm_flops plan =
+  List.fold_left
+    (fun acc -> function
+      | Gemm { m; k; n; count; _ } ->
+          acc +. (2.0 *. float_of_int m *. float_of_int k *. float_of_int n
+                  *. float_of_int count)
+      | _ -> acc)
+    0.0 plan
+
+let nonlinear_elements plan =
+  List.fold_left
+    (fun acc -> function Nonlinear { rows; dim; _ } -> acc + (rows * dim) | _ -> acc)
+    0 plan
+
+let fallbacks plan =
+  List.filter_map (function Fallback s -> Some s | _ -> None) plan
+
+let pp fmt plan =
+  List.iter
+    (function
+      | Gemm { m; k; n; count; tag } ->
+          Format.fprintf fmt "  systolic  %-10s %dx%dx%d x%d@." tag m k n count
+      | Nonlinear { op; rows; dim; tag } ->
+          Format.fprintf fmt "  cgra      %-10s %s rows=%d dim=%d@." tag
+            (Registry.name op) rows dim
+      | Fallback s -> Format.fprintf fmt "  host!     %s@." s)
+    plan

@@ -1,0 +1,27 @@
+(** The offload pass (paper §4.3, "Offloading"): split a pattern-matched
+    tensor program between the systolic array (matmuls) and the CGRA
+    (recognized nonlinear operations).
+
+    Element-wise glue (residual adds, reshapes, transposes) rides along for
+    free — residual adds execute on the systolic array's accumulators,
+    layout ops are address arithmetic.  Nonlinear *primitives* that escaped
+    the pattern matcher are flagged: on real hardware they would fall to the
+    host CPU, the paper's slow path. *)
+
+module Registry = Picachu_nonlinear.Registry
+
+type stage =
+  | Gemm of { m : int; k : int; n : int; count : int; tag : string }
+  | Nonlinear of { op : Registry.opkind; rows : int; dim : int; tag : string }
+  | Fallback of string
+      (** an unmatched nonlinear primitive — host CPU territory *)
+
+type plan = stage list
+
+val offload : Tensor_ir.program -> plan
+(** Stages in program order. *)
+
+val gemm_flops : plan -> float
+val nonlinear_elements : plan -> int
+val fallbacks : plan -> string list
+val pp : Format.formatter -> plan -> unit

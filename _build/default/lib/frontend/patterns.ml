@@ -1,0 +1,299 @@
+open Tensor_ir
+module Registry = Picachu_nonlinear.Registry
+
+(* A match: the nonlinear op, its tensor inputs, the instruction ids the
+   pattern consumes (root excluded), rooted at [root]. *)
+type found = { op : Registry.opkind; inputs : int list; interior : int list }
+
+let approx a b = Float.abs (a -. b) < 1e-4
+let is_eps v = v > 0.0 && v <= 1e-3
+
+(* Try both operand orders of a commutative node. *)
+let comm args f =
+  match args with
+  | [ a; b ] -> ( match f a b with Some r -> Some r | None -> f b a)
+  | _ -> None
+
+let matchers (ins : tinstr array) =
+  let get i = ins.(i) in
+  let op i = (get i).op in
+  (* silu root: mul x (sigmoid x) *)
+  let match_silu (root : tinstr) =
+    match root.op with
+    | TMul ->
+        comm root.args (fun x s ->
+            match op s with
+            | TSigmoid when (get s).args = [ x ] ->
+                Some { op = Registry.Silu; inputs = [ x ]; interior = [ s ] }
+            | _ -> None)
+    | _ -> None
+  in
+  (* gelu tanh form; the half-scale may wrap the product or one factor *)
+  let match_gelu_tanh_core x w =
+    (* w = 1 + tanh(c (x + 0.044715 x^3)) *)
+    match op w with
+    | TAddc one when approx one 1.0 -> (
+        let t = List.hd (get w).args in
+        match op t with
+        | TTanh -> (
+            let z = List.hd (get t).args in
+            match op z with
+            | TScale c when approx c (sqrt (2.0 /. Float.pi)) -> (
+                let s = List.hd (get z).args in
+                match op s with
+                | TAdd ->
+                    comm (get s).args (fun x' c1 ->
+                        if x' <> x then None
+                        else
+                          match op c1 with
+                          | TScale k when approx k 0.044715 -> (
+                              let p3 = List.hd (get c1).args in
+                              match op p3 with
+                              | TPow 3 when (get p3).args = [ x ] ->
+                                  Some [ w; t; z; s; c1; p3 ]
+                              | _ -> None)
+                          | _ -> None)
+                | _ -> None)
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+  in
+  let match_gelu_erf_core x w =
+    (* w = 0.5 * (1 + erf(x / sqrt 2)) or the half is outside *)
+    let inner w =
+      match op w with
+      | TAddc one when approx one 1.0 -> (
+          let e = List.hd (get w).args in
+          match op e with
+          | TErf -> (
+              let z = List.hd (get e).args in
+              match op z with
+              | TScale c when approx c (1.0 /. sqrt 2.0) && (get z).args = [ x ] ->
+                  Some [ w; e; z ]
+              | _ -> None)
+          | _ -> None)
+      | _ -> None
+    in
+    match op w with
+    | TScale h when approx h 0.5 -> (
+        let w' = List.hd (get w).args in
+        match inner w' with Some ids -> Some (w :: ids) | None -> None)
+    | _ -> inner w
+  in
+  let match_gelu (root : tinstr) =
+    match root.op with
+    | TMul ->
+        comm root.args (fun a b ->
+            (* variant 1: (0.5 x) * w_tanh *)
+            let v1 =
+              match op a with
+              | TScale h when approx h 0.5 ->
+                  let x = List.hd (get a).args in
+                  Option.map
+                    (fun ids ->
+                      { op = Registry.Gelu; inputs = [ x ]; interior = a :: ids })
+                    (match_gelu_tanh_core x b)
+              | _ -> None
+            in
+            if v1 <> None then v1
+            else
+              (* variant 2: x * (0.5 (1 + erf(x/sqrt2))) *)
+              Option.map
+                (fun ids -> { op = Registry.Gelu; inputs = [ a ]; interior = ids })
+                (match_gelu_erf_core a b))
+    | TScale h when approx h 0.5 -> (
+        (* variant 3: 0.5 * (x * w_tanh) *)
+        let m = List.hd root.args in
+        match op m with
+        | TMul ->
+            comm (get m).args (fun x w ->
+                Option.map
+                  (fun ids ->
+                    { op = Registry.Gelu; inputs = [ x ]; interior = m :: ids })
+                  (match_gelu_tanh_core x w))
+        | _ -> None)
+    | _ -> None
+  in
+  let match_softmax (root : tinstr) =
+    match (root.op, root.args) with
+    | TDiv, [ e; s ] -> (
+        match (op e, op s) with
+        | TExp, TRowsum when (get s).args = [ e ] -> (
+            let d = List.hd (get e).args in
+            match (op d, (get d).args) with
+            | TSub, [ x; m ] when op m = TRowmax && (get m).args = [ x ] ->
+                Some { op = Registry.Softmax; inputs = [ x ]; interior = [ e; s; d; m ] }
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+  in
+  let match_norms (root : tinstr) =
+    match root.op with
+    | TMul ->
+        comm root.args (fun d r ->
+            match op r with
+            | TRsqrt -> (
+                let ve = List.hd (get r).args in
+                match op ve with
+                | TAddc eps when is_eps eps -> (
+                    let v = List.hd (get ve).args in
+                    match op v with
+                    | TRowmean -> (
+                        let sq = List.hd (get v).args in
+                        let squared_of =
+                          match (op sq, (get sq).args) with
+                          | TMul, [ a; b ] when a = b -> Some a
+                          | TPow 2, [ a ] -> Some a
+                          | _ -> None
+                        in
+                        match squared_of with
+                        | Some base when base = d -> (
+                            (* layernorm if d = x - rowmean x, else rmsnorm *)
+                            match (op d, (get d).args) with
+                            | TSub, [ x; mu ]
+                              when op mu = TRowmean && (get mu).args = [ x ] ->
+                                Some
+                                  {
+                                    op = Registry.Layernorm;
+                                    inputs = [ x ];
+                                    interior = [ r; ve; v; sq; d; mu ];
+                                  }
+                            | _ ->
+                                Some
+                                  {
+                                    op = Registry.Rmsnorm;
+                                    inputs = [ d ];
+                                    interior = [ r; ve; v; sq ];
+                                  })
+                        | _ -> None)
+                    | _ -> None)
+                | _ -> None)
+            | _ -> None)
+    | _ -> None
+  in
+  let match_simple (root : tinstr) =
+    match root.op with
+    | TMaximum0 ->
+        Some { op = Registry.Relu; inputs = root.args; interior = [] }
+    | TRotate -> Some { op = Registry.Rope; inputs = root.args; interior = [] }
+    | _ -> None
+  in
+  (* gating pass: nonlinear.silu/gelu feeding an element-wise product *)
+  let match_gated (root : tinstr) =
+    match root.op with
+    | TMul ->
+        comm root.args (fun g v ->
+            match op g with
+            | TNonlinear Registry.Silu ->
+                Some
+                  {
+                    op = Registry.Swiglu;
+                    inputs = (get g).args @ [ v ];
+                    interior = [ g ];
+                  }
+            | TNonlinear Registry.Gelu ->
+                Some
+                  {
+                    op = Registry.Geglu;
+                    inputs = (get g).args @ [ v ];
+                    interior = [ g ];
+                  }
+            | _ -> None)
+    | _ -> None
+  in
+  (* largest templates first so GeLU wins over SiLU-ish submatches *)
+  [
+    match_gelu;
+    match_norms;
+    match_softmax;
+    match_silu;
+    match_gated;
+    match_simple;
+  ]
+
+(* One rewrite round: find the first applicable match whose interior values
+   are single-use, apply it, and compact the program. *)
+let rewrite_once (p : program) =
+  let ins = Array.of_list p.instrs in
+  let consumers = Array.make (Array.length ins) [] in
+  List.iter
+    (fun (i : tinstr) ->
+      List.iter (fun a -> consumers.(a) <- i.id :: consumers.(a)) i.args)
+    p.instrs;
+  let output_set = p.outputs in
+  (* every consumer of an interior value must itself be inside the pattern:
+     values observed elsewhere cannot be fused away *)
+  let internal_only root (f : found) =
+    let inside i = i = root || List.mem i f.interior in
+    List.for_all
+      (fun i ->
+        (not (List.mem i output_set))
+        && List.for_all inside consumers.(i))
+      f.interior
+  in
+  let try_match (root : tinstr) =
+    List.find_map
+      (fun m ->
+        match m root with
+        | Some f when internal_only root.id f -> Some f
+        | _ -> None)
+      (matchers ins)
+  in
+  let found =
+    Array.fold_left
+      (fun acc root ->
+        match acc with Some _ -> acc | None -> Option.map (fun f -> (root, f)) (try_match root))
+      None ins
+  in
+  match found with
+  | None -> None
+  | Some (root, f) ->
+      let dead = f.interior in
+      let remap = Array.make (Array.length ins) (-1) in
+      let fresh = ref 0 in
+      let kept =
+        List.filter_map
+          (fun (i : tinstr) ->
+            if List.mem i.id dead then None
+            else begin
+              remap.(i.id) <- !fresh;
+              incr fresh;
+              Some i
+            end)
+          p.instrs
+      in
+      let instrs =
+        List.map
+          (fun (i : tinstr) ->
+            if i.id = root.id then
+              {
+                i with
+                id = remap.(i.id);
+                op = TNonlinear f.op;
+                args = List.map (fun a -> remap.(a)) f.inputs;
+              }
+            else { i with id = remap.(i.id); args = List.map (fun a -> remap.(a)) i.args })
+          kept
+      in
+      Some
+        { p with instrs; outputs = List.map (fun o -> remap.(o)) p.outputs }
+
+let rewrite p =
+  let rec go p =
+    match rewrite_once p with Some p' -> go p' | None -> p
+  in
+  let result = go p in
+  match validate result with
+  | Ok () -> result
+  | Error e -> invalid_arg ("Patterns.rewrite produced invalid program: " ^ e)
+
+let unmatched_primitives (p : program) =
+  List.filter_map
+    (fun (i : tinstr) ->
+      match i.op with
+      | TTanh | TErf | TExp | TSigmoid | TMaximum0 | TRsqrt | TRowmax | TRowsum
+      | TRowmean | TRotate | TDiv -> Some (op_name i.op)
+      | TInput _ | TWeight _ | TMatmul | TAdd | TSub | TMul | TScale _ | TAddc _
+      | TPow _ | TTranspose | TBmm _ | TReshape _ | TBroadcast _ | TNonlinear _ ->
+          None)
+    p.instrs

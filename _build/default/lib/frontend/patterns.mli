@@ -1,0 +1,32 @@
+(** Nonlinear-operation pattern matching (paper §4.3, "Pattern Matching").
+
+    Frameworks lower a GeLU into five primitive tensor instructions; this
+    pass locates such subgraphs in a {!Tensor_ir.program} and collapses each
+    into a single [TNonlinear] instruction, so the offload pass can hand it
+    to the CGRA as one task.  "It supports future operations without the
+    need to modify the MLIR dialect" — here: adding a template to
+    {!rewrite}'s table, nothing else.
+
+    Recognized templates (with commutative element-wise operands and the
+    usual framework-emission variants):
+
+    - ReLU ([max(x,0)]), RoPE ([rotate])
+    - SiLU ([x * sigmoid x])
+    - GeLU, tanh form ([0.5 x (1 + tanh(c (x + 0.044715 x^3)))]) and erf
+      form ([0.5 x (1 + erf(x/sqrt2))])
+    - Softmax ([exp(x - rowmax x) / rowsum ...])
+    - LayerNorm ([(x - mu) * rsqrt(var + eps)]) and RMSNorm
+    - gated pairs: [silu(a) * b] -> SwiGLU, [gelu(a) * b] -> GeGLU
+      (second pass over already-collapsed activations)
+
+    Interior values must be single-use (a value observed elsewhere cannot be
+    fused away); matching is greedy, largest templates first, iterated to a
+    fixpoint. *)
+
+val rewrite : Tensor_ir.program -> Tensor_ir.program
+(** Returns a new valid program with matched subgraphs collapsed. *)
+
+val unmatched_primitives : Tensor_ir.program -> string list
+(** Names of nonlinear primitive instructions (tanh/erf/exp/sigmoid/rsqrt/
+    max0/rowmax/...) still present — non-empty means some nonlinearity
+    escaped the matcher and would fall to a slow path. *)

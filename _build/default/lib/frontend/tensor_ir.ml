@@ -1,0 +1,185 @@
+module Registry = Picachu_nonlinear.Registry
+
+type shape = { rows : int; cols : int }
+
+type top =
+  | TInput of string
+  | TWeight of string
+  | TMatmul
+  | TAdd
+  | TSub
+  | TMul
+  | TDiv
+  | TScale of float
+  | TAddc of float
+  | TPow of int
+  | TTanh
+  | TErf
+  | TExp
+  | TSigmoid
+  | TMaximum0
+  | TRsqrt
+  | TRowmax
+  | TRowsum
+  | TRowmean
+  | TRotate
+  | TTranspose
+  | TBmm of int
+  | TReshape of shape
+  | TBroadcast of int
+  | TNonlinear of Registry.opkind
+
+type tinstr = { id : int; op : top; args : int list; shape : shape }
+type program = { pname : string; instrs : tinstr list; outputs : int list }
+
+let arity = function
+  | TInput _ | TWeight _ -> 0
+  | TMatmul | TAdd | TSub | TMul | TDiv -> 2
+  | TBmm _ -> 2
+  | TScale _ | TAddc _ | TPow _ | TTanh | TErf | TExp | TSigmoid | TMaximum0
+  | TRsqrt | TRowmax | TRowsum | TRowmean | TRotate | TTranspose | TReshape _
+  | TBroadcast _ -> 1
+  | TNonlinear op -> (
+      match op with Registry.Geglu | Registry.Swiglu -> 2 | _ -> 1)
+
+let validate p =
+  let err fmt = Printf.ksprintf (fun s -> Error (p.pname ^ ": " ^ s)) fmt in
+  let n = List.length p.instrs in
+  let rec check pos = function
+    | [] ->
+        if List.for_all (fun o -> o >= 0 && o < n) p.outputs then Ok ()
+        else err "output out of range"
+    | i :: rest ->
+        if i.id <> pos then err "ids must be dense (instr %d has id %d)" pos i.id
+        else if List.length i.args <> arity i.op then err "instr %%%d: arity" i.id
+        else if List.exists (fun a -> a < 0 || a >= pos) i.args then
+          err "instr %%%d: forward or invalid argument" i.id
+        else check (pos + 1) rest
+  in
+  check 0 p.instrs
+
+let uses p =
+  let u = Array.make (List.length p.instrs) 0 in
+  List.iter (fun i -> List.iter (fun a -> u.(a) <- u.(a) + 1) i.args) p.instrs;
+  List.iter (fun o -> u.(o) <- u.(o) + 1) p.outputs;
+  u
+
+let op_name = function
+  | TInput s -> "input." ^ s
+  | TWeight s -> "weight." ^ s
+  | TMatmul -> "matmul"
+  | TAdd -> "add"
+  | TSub -> "sub"
+  | TMul -> "mul"
+  | TDiv -> "div"
+  | TScale v -> Printf.sprintf "scale[%g]" v
+  | TAddc v -> Printf.sprintf "addc[%g]" v
+  | TPow k -> Printf.sprintf "pow[%d]" k
+  | TTanh -> "tanh"
+  | TErf -> "erf"
+  | TExp -> "exp"
+  | TSigmoid -> "sigmoid"
+  | TMaximum0 -> "max0"
+  | TRsqrt -> "rsqrt"
+  | TRowmax -> "rowmax"
+  | TRowsum -> "rowsum"
+  | TRowmean -> "rowmean"
+  | TRotate -> "rotate"
+  | TTranspose -> "transpose"
+  | TBmm b -> Printf.sprintf "bmm[%d]" b
+  | TReshape s -> Printf.sprintf "reshape[%dx%d]" s.rows s.cols
+  | TBroadcast f -> Printf.sprintf "broadcast[%d]" f
+  | TNonlinear op -> "nonlinear." ^ Registry.name op
+
+let pp fmt p =
+  Format.fprintf fmt "program %s@." p.pname;
+  List.iter
+    (fun i ->
+      Format.fprintf fmt "  %%%d : %dx%d = %s" i.id i.shape.rows i.shape.cols
+        (op_name i.op);
+      List.iter (Format.fprintf fmt " %%%d") i.args;
+      Format.fprintf fmt "@.")
+    p.instrs;
+  Format.fprintf fmt "  outputs:";
+  List.iter (Format.fprintf fmt " %%%d") p.outputs;
+  Format.fprintf fmt "@."
+
+module Build = struct
+  type b = {
+    name : string;
+    mutable rev : tinstr list;
+    mutable next : int;
+    shapes : (int, shape) Hashtbl.t;
+  }
+
+  type t = b
+
+  let create name = { name; rev = []; next = 0; shapes = Hashtbl.create 32 }
+
+  let emit b op args shape =
+    let id = b.next in
+    b.next <- id + 1;
+    b.rev <- { id; op; args; shape } :: b.rev;
+    Hashtbl.add b.shapes id shape;
+    id
+
+  let shape_of b a =
+    match Hashtbl.find_opt b.shapes a with
+    | Some s -> s
+    | None -> invalid_arg "Tensor_ir: unknown value id"
+  let input b name shape = emit b (TInput name) [] shape
+  let weight b name shape = emit b (TWeight name) [] shape
+
+  let matmul b x w =
+    let sx = shape_of b x and sw = shape_of b w in
+    if sx.cols <> sw.rows then invalid_arg "Tensor_ir.matmul: inner dims";
+    emit b TMatmul [ x; w ] { rows = sx.rows; cols = sw.cols }
+
+  let bin op b x y =
+    let sx = shape_of b x and sy = shape_of b y in
+    if sx <> sy then invalid_arg "Tensor_ir: element-wise shape mismatch";
+    emit b op [ x; y ] sx
+
+  let add b = bin TAdd b
+  let sub b = bin TSub b
+  let mul b = bin TMul b
+  let div b = bin TDiv b
+  let un op b x = emit b op [ x ] (shape_of b x)
+  let scale b v = un (TScale v) b
+  let addc b v = un (TAddc v) b
+  let pow b k = un (TPow k) b
+  let tanh_ b = un TTanh b
+  let erf_ b = un TErf b
+  let exp_ b = un TExp b
+  let sigmoid_ b = un TSigmoid b
+  let maximum0 b = un TMaximum0 b
+  let rsqrt b = un TRsqrt b
+  let rowmax b = un TRowmax b
+  let rowsum b = un TRowsum b
+  let rowmean b = un TRowmean b
+  let rotate b = un TRotate b
+
+  let transpose b x =
+    let s = shape_of b x in
+    emit b TTranspose [ x ] { rows = s.cols; cols = s.rows }
+
+  let bmm b ~heads x y =
+    let sx = shape_of b x and sy = shape_of b y in
+    if sx.rows mod heads <> 0 || sy.rows mod heads <> 0 || sx.cols <> sy.cols then
+      invalid_arg "Tensor_ir.bmm: shapes";
+    emit b (TBmm heads) [ x; y ] { rows = sx.rows; cols = sy.rows / heads }
+
+  let broadcast b factor x =
+    if factor < 1 then invalid_arg "Tensor_ir.broadcast: factor";
+    let s = shape_of b x in
+    emit b (TBroadcast factor) [ x ] { rows = s.rows * factor; cols = s.cols }
+
+  let reshape b s x =
+    let sx = shape_of b x in
+    if sx.rows * sx.cols <> s.rows * s.cols then invalid_arg "Tensor_ir.reshape: size";
+    emit b (TReshape s) [ x ] s
+
+  let finish b ~outputs =
+    let p = { pname = b.name; instrs = List.rev b.rev; outputs } in
+    match validate p with Ok () -> p | Error e -> invalid_arg e
+end

@@ -1,0 +1,93 @@
+(** Tensor-level program IR — the Linalg/Affine altitude of the paper's
+    Figure 6, where an ML model arrives as a DAG of framework-level tensor
+    operations before any nonlinear operation has been identified.
+
+    Programs are SSA: each instruction produces one tensor value, identified
+    by a dense id; shapes are rank-2 [(rows, cols)] (1-D values use one
+    row).  A GeLU written by a framework shows up here as its five
+    primitive instructions (mul, mul, add, tanh/erf, mul) — exactly the
+    form the §4.3 pattern matcher must recognize. *)
+
+module Registry = Picachu_nonlinear.Registry
+
+type shape = { rows : int; cols : int }
+
+type top =
+  | TInput of string  (** activation input *)
+  | TWeight of string  (** parameter tensor *)
+  | TMatmul  (** args: activation, weight *)
+  | TAdd
+  | TSub
+  | TMul  (** element-wise *)
+  | TDiv
+  | TScale of float  (** multiply by a compile-time scalar *)
+  | TAddc of float  (** add a compile-time scalar *)
+  | TPow of int  (** integer power (x^3 in the GeLU cubic) *)
+  | TTanh
+  | TErf
+  | TExp
+  | TSigmoid
+  | TMaximum0  (** max(x, 0) *)
+  | TRsqrt
+  | TRowmax  (** row-wise max, broadcast back *)
+  | TRowsum
+  | TRowmean
+  | TRotate  (** rotary position application *)
+  | TTranspose
+  | TBmm of int  (** batched matmul over [b] heads: args [b*m x k], [b*n x k] *)
+  | TReshape of shape
+  | TBroadcast of int
+      (** repeat the rows [factor] times (GQA KV-head expansion); layout
+          only, free at offload *)
+  | TNonlinear of Registry.opkind
+      (** produced by the pattern matcher, never by a frontend *)
+
+type tinstr = { id : int; op : top; args : int list; shape : shape }
+
+type program = {
+  pname : string;
+  instrs : tinstr list;  (** dense ids, topologically ordered *)
+  outputs : int list;
+}
+
+val validate : program -> (unit, string) result
+(** Dense ordered ids, args in range and backward, arities consistent. *)
+
+val uses : program -> int array
+(** Use count per instruction id (outputs count as a use). *)
+
+val op_name : top -> string
+
+val pp : Format.formatter -> program -> unit
+
+(** Imperative construction (mirrors the kernel-IR builder). *)
+module Build : sig
+  type t
+
+  val create : string -> t
+  val input : t -> string -> shape -> int
+  val weight : t -> string -> shape -> int
+  val matmul : t -> int -> int -> int
+  val add : t -> int -> int -> int
+  val sub : t -> int -> int -> int
+  val mul : t -> int -> int -> int
+  val div : t -> int -> int -> int
+  val scale : t -> float -> int -> int
+  val addc : t -> float -> int -> int
+  val pow : t -> int -> int -> int
+  val tanh_ : t -> int -> int
+  val erf_ : t -> int -> int
+  val exp_ : t -> int -> int
+  val sigmoid_ : t -> int -> int
+  val maximum0 : t -> int -> int
+  val rsqrt : t -> int -> int
+  val rowmax : t -> int -> int
+  val rowsum : t -> int -> int
+  val rowmean : t -> int -> int
+  val rotate : t -> int -> int
+  val transpose : t -> int -> int
+  val bmm : t -> heads:int -> int -> int -> int
+  val reshape : t -> shape -> int -> int
+  val broadcast : t -> int -> int -> int
+  val finish : t -> outputs:int list -> program
+end

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Hashtbl Instr Kernel List Op Picachu_numerics

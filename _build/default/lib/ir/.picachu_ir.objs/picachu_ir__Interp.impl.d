@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Float Hashtbl Instr Kernel Lazy List Op Picachu_numerics Printf

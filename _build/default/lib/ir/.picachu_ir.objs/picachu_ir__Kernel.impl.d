@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Format Instr List Op Printf

@@ -1,0 +1,1 @@
+lib/ir/kernel.mli: Format Instr Op

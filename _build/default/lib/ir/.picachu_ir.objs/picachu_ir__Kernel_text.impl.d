@@ -1,0 +1,1 @@
+lib/ir/kernel_text.ml: Buffer Instr Kernel List Op Printf String

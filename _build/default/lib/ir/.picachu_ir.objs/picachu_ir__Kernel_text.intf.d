@@ -1,0 +1,1 @@
+lib/ir/kernel_text.mli: Kernel

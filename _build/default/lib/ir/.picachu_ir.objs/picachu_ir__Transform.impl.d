@@ -1,0 +1,1 @@
+lib/ir/transform.ml: Array Instr Kernel List Op

@@ -1,0 +1,175 @@
+type pending = { mutable instrs : Instr.t list (* reverse order *) }
+
+type t = {
+  use_fp2fx : bool;
+  p : pending;
+  mutable next_id : int;
+  mutable iv_id : int option;
+  consts : (float, int) Hashtbl.t;
+  inputs : (string, int) Hashtbl.t;
+}
+
+let create ?(use_fp2fx = true) () =
+  {
+    use_fp2fx;
+    p = { instrs = [] };
+    next_id = 0;
+    iv_id = None;
+    consts = Hashtbl.create 16;
+    inputs = Hashtbl.create 16;
+  }
+
+let emit b op args =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  b.p.instrs <- Instr.make ~id ~op ~args () :: b.p.instrs;
+  id
+
+let const b v =
+  match Hashtbl.find_opt b.consts v with
+  | Some id -> id
+  | None ->
+      let id = emit b (Op.Const v) [] in
+      Hashtbl.add b.consts v id;
+      id
+
+let input b name =
+  match Hashtbl.find_opt b.inputs name with
+  | Some id -> id
+  | None ->
+      let id = emit b (Op.Input name) [] in
+      Hashtbl.add b.inputs name id;
+      id
+
+let iv b =
+  match b.iv_id with
+  | Some id -> id
+  | None ->
+      let zero = const b 0.0 in
+      (* next is patched in [finish] *)
+      let id = emit b Op.Phi [ zero; zero ] in
+      b.iv_id <- Some id;
+      id
+
+let load b name =
+  let i = iv b in
+  emit b (Op.Load name) [ i ]
+
+let store b name v =
+  let i = iv b in
+  ignore (emit b (Op.Store name) [ i; v ])
+
+let bin b op x y = emit b (Op.Bin op) [ x; y ]
+let add b = bin b Op.Add
+let sub b = bin b Op.Sub
+let mul b = bin b Op.Mul
+let div b = bin b Op.Div
+let fmax b = bin b Op.Max
+let fmin b = bin b Op.Min
+let un b op x = emit b (Op.Un op) [ x ]
+let cmp b op x y = emit b (Op.Cmp op) [ x; y ]
+let select b c x y = emit b Op.Select [ c; x; y ]
+let lut b name x = emit b (Op.Lut name) [ x ]
+let phi b ~init = emit b Op.Phi [ init; init ]
+
+let set_phi_next b phi_id next_id =
+  b.p.instrs <-
+    List.map
+      (fun (i : Instr.t) ->
+        if i.id = phi_id then
+          match i.args with
+          | [ init; _ ] -> { i with args = [ init; next_id ] }
+          | _ -> i
+        else i)
+      b.p.instrs
+
+let reduce b op ~init f =
+  let p = phi b ~init in
+  let v = f b p in
+  let next = bin b op p v in
+  set_phi_next b p next;
+  (p, next)
+
+let reduce_simple b op ~init v =
+  let p = phi b ~init in
+  let next = bin b op p v in
+  set_phi_next b p next;
+  (p, next)
+
+(* Horner evaluation of sum coeffs.(k) x^k emitted as mul/add chains — the
+   source of the mul+add fusion pattern in Table 4. *)
+let horner b coeffs x =
+  let n = Array.length coeffs in
+  let acc = ref (const b coeffs.(n - 1)) in
+  for k = n - 2 downto 0 do
+    let m = mul b !acc x in
+    acc := add b m (const b coeffs.(k))
+  done;
+  !acc
+
+let exp_taylor b ~order x =
+  let t = mul b x (const b 1.4426950408889634) in
+  if b.use_fp2fx then begin
+    let i_part = emit b Op.Fp2fx_int [ t ] in
+    let f_part = emit b Op.Fp2fx_frac [ t ] in
+    let poly = horner b (Picachu_numerics.Poly.exp_taylor_coeffs ~order) f_part in
+    emit b Op.Shift_exp [ poly; i_part ]
+  end
+  else begin
+    (* without the FP2FX unit the split costs a floor + subtract, and 2^i
+       must be assembled separately (exponent-field construction on the
+       integer pipe) before a final multiply *)
+    let fl = un b Op.Floor t in
+    let f_part = sub b t fl in
+    let poly = horner b (Picachu_numerics.Poly.exp_taylor_coeffs ~order) f_part in
+    let pow2_i = emit b Op.Shift_exp [ const b 1.0; fl ] in
+    mul b poly pow2_i
+  end
+
+let sin_taylor b ~order x =
+  (* t (1 - t^2/6 + t^4/120 - ...) with Horner in t^2 *)
+  let coeffs =
+    Array.init ((order + 1) / 2) (fun j ->
+        let k = (2 * j) + 1 in
+        let rec fact n = if n <= 1 then 1.0 else float_of_int n *. fact (n - 1) in
+        (if j mod 2 = 0 then 1.0 else -1.0) /. fact k)
+  in
+  let t2 = mul b x x in
+  let even = horner b coeffs t2 in
+  mul b x even
+
+let cos_taylor b ~order x =
+  let coeffs =
+    Array.init ((order / 2) + 1) (fun j ->
+        let k = 2 * j in
+        let rec fact n = if n <= 1 then 1.0 else float_of_int n *. fact (n - 1) in
+        (if j mod 2 = 0 then 1.0 else -1.0) /. fact k)
+  in
+  let t2 = mul b x x in
+  horner b coeffs t2
+
+let sigmoid_taylor b ~order x =
+  let neg = un b Op.Neg x in
+  let e = exp_taylor b ~order neg in
+  let denom = add b e (const b 1.0) in
+  div b (const b 1.0) denom
+
+let finish b ~label ?(pre = []) ?(reduction = false) ?(exports = []) ~trip_input () =
+  (* induction skeleton: iv already emitted if any instruction used it;
+     loops with no memory access still need it for the trip count *)
+  let i = iv b in
+  let one = const b 1.0 in
+  let next = add b i one in
+  set_phi_next b i next;
+  let n = input b trip_input in
+  let c = cmp b Op.Lt next n in
+  ignore (emit b Op.Br [ c ]);
+  {
+    Kernel.label;
+    pre;
+    body = List.rev b.p.instrs;
+    reduction;
+    exports;
+    step = 1;
+    vector_width = 1;
+  }

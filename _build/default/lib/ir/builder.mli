@@ -1,0 +1,78 @@
+(** Imperative construction of kernel loops.
+
+    The builder issues dense ids, wires the induction skeleton
+    (index phi, increment, exit compare, branch) that every loop carries, and
+    resolves phi back edges once the loop-carried value is known.  It also
+    provides the operator macro-expansions of §4.1: [exp_taylor],
+    [sin_taylor], [cos_taylor] emit the Table 3 decompositions as primitive
+    instructions (with or without the FP2FX special unit, so both the PICACHU
+    and the baseline variants of a kernel can be produced from one
+    description). *)
+
+type t
+
+val create : ?use_fp2fx:bool -> unit -> t
+(** [use_fp2fx] (default true) selects between the FP2FX special-unit split
+    and the floor-based fallback used by the baseline CGRA. *)
+
+val const : t -> float -> int
+(** Constants and scalar inputs are hash-consed: requesting the same value or
+    name twice returns the same node. *)
+
+val input : t -> string -> int
+val iv : t -> int
+(** The induction variable (a phi). *)
+
+val load : t -> string -> int
+val store : t -> string -> int -> unit
+val bin : t -> Op.binop -> int -> int -> int
+val add : t -> int -> int -> int
+val sub : t -> int -> int -> int
+val mul : t -> int -> int -> int
+val div : t -> int -> int -> int
+val fmax : t -> int -> int -> int
+val fmin : t -> int -> int -> int
+val un : t -> Op.unop -> int -> int
+val cmp : t -> Op.cmpop -> int -> int -> int
+val select : t -> int -> int -> int -> int
+val lut : t -> string -> int -> int
+
+val phi : t -> init:int -> int
+(** A loop-carried value; complete it with {!set_phi_next}. *)
+
+val set_phi_next : t -> int -> int -> unit
+(** [set_phi_next b phi_id next_id]. *)
+
+val reduce : t -> Op.binop -> init:int -> (t -> int -> int) -> int * int
+(** [reduce b op ~init f] builds the accumulator idiom
+    [acc = phi init (op acc (f acc))]; returns [(phi_id, next_id)]. The
+    callback receives the phi id.  For simple reductions prefer
+    {!reduce_simple}. *)
+
+val reduce_simple : t -> Op.binop -> init:int -> int -> int * int
+(** [reduce_simple b op ~init v] is [acc = phi init (op acc v)]. *)
+
+val exp_taylor : t -> order:int -> int -> int
+(** Emit the Table 3 exponential: scale by log2(e), FP2FX split (or
+    floor-based split), Horner polynomial in the fraction, exponent shift. *)
+
+val sin_taylor : t -> order:int -> int -> int
+(** Odd Horner polynomial; assumes the argument is already range-reduced
+    (RoPE angles are). *)
+
+val cos_taylor : t -> order:int -> int -> int
+
+val sigmoid_taylor : t -> order:int -> int -> int
+(** [1 / (1 + exp (-x))] via {!exp_taylor} and a pipelined divide. *)
+
+val finish :
+  t ->
+  label:string ->
+  ?pre:(string * Kernel.sexpr) list ->
+  ?reduction:bool ->
+  ?exports:(string * int) list ->
+  trip_input:string ->
+  unit ->
+  Kernel.loop
+(** Close the loop: append the induction increment, the exit compare against
+    scalar input [trip_input], and the branch. *)

@@ -1,0 +1,40 @@
+(** Reference interpreter for kernels.
+
+    Executes a kernel over named input streams and scalars, producing output
+    streams and exported scalars, in float64.  This is the functional
+    specification the compiler pipeline must preserve: tests check that DFG
+    extraction, fusion, unrolling and mapping never change a kernel's
+    input/output behaviour (fusion and unrolling are interpreted by
+    re-expanding fused nodes / stepping offsets).
+
+    Special ops execute their hardware semantics: [Fp2fx_*] split through
+    {!Picachu_numerics.Fixed_point.split}, [Shift_exp] is [ldexp] with a
+    rounded shift amount, [Lut] evaluates the named CoT table. *)
+
+type env = {
+  arrays : (string * float array) list;
+  scalars : (string * float) list;
+}
+
+type result = {
+  out_arrays : (string * float array) list;
+  out_scalars : (string * float) list;
+}
+
+exception Runtime_error of string
+
+val lookup_lut : string -> Picachu_numerics.Lut.t
+(** The tables shipped with the CoTs; currently ["phi"] (Gaussian CDF).
+    Raises [Runtime_error] on an unknown table. *)
+
+val run : Kernel.t -> env -> result
+(** The trip-count scalar of each loop (its [trip_input]) must divide into
+    the streams consistently: every loaded stream must have at least
+    [trip * step] elements. Raises [Runtime_error] on missing streams,
+    scalars, or malformed bodies. *)
+
+val eval_sexpr : (string * float) list -> Kernel.sexpr -> float
+
+val trip_scalar : Kernel.loop -> string
+(** Name of the scalar input the loop's exit branch compares against — its
+    element count. Raises [Runtime_error] on a malformed loop. *)

@@ -1,0 +1,109 @@
+type sexpr =
+  | Svar of string
+  | Sconst of float
+  | Sbin of Op.binop * sexpr * sexpr
+  | Sisqrt of sexpr
+
+type loop = {
+  label : string;
+  pre : (string * sexpr) list;
+  body : Instr.t list;
+  reduction : bool;
+  exports : (string * int) list;
+  step : int;
+  vector_width : int;
+}
+
+type klass = EO | RE
+
+type t = {
+  name : string;
+  klass : klass;
+  loops : loop list;
+  inputs : string list;
+  outputs : string list;
+  scalar_inputs : string list;
+}
+
+let instr_count loop = List.length loop.body
+let kernel_instr_count k = List.fold_left (fun acc l -> acc + instr_count l) 0 k.loops
+let find loop id = List.find (fun (i : Instr.t) -> i.id = id) loop.body
+
+let validate_loop (k : t) (loop : loop) =
+  let n = List.length loop.body in
+  let ids = List.mapi (fun pos (i : Instr.t) -> (pos, i)) loop.body in
+  let err fmt = Printf.ksprintf (fun s -> Error (loop.label ^ ": " ^ s)) fmt in
+  let rec check = function
+    | [] -> Ok ()
+    | (pos, (i : Instr.t)) :: rest ->
+        if i.id <> pos then err "instruction %d has id %d (ids must be dense)" pos i.id
+        else
+          let bad_arg =
+            List.find_opt
+              (fun a ->
+                a < 0 || a >= n
+                || (a >= pos && not (i.op = Op.Phi && List.nth i.args 1 = a)))
+              i.args
+          in
+          let arity_ok =
+            match i.op with
+            | Op.Const _ | Op.Input _ -> i.args = []
+            | Op.Bin _ | Op.Cmp _ -> List.length i.args = 2
+            | Op.Un _ | Op.Br | Op.Fp2fx_int | Op.Fp2fx_frac | Op.Lut _ ->
+                List.length i.args = 1
+            | Op.Select -> List.length i.args = 3
+            | Op.Phi -> List.length i.args = 2
+            | Op.Load _ -> List.length i.args <= 1
+            | Op.Store _ -> List.length i.args >= 1 && List.length i.args <= 2
+            | Op.Shift_exp -> List.length i.args = 2
+            | Op.Fused _ -> List.length i.args >= 1
+          in
+          if not arity_ok then err "instruction %%%d (%s): bad arity" i.id (Op.name i.op)
+          else (
+            match bad_arg with
+            | Some a -> err "instruction %%%d: bad argument %%%d" i.id a
+            | None -> (
+                match i.op with
+                | Op.Load s when not (List.mem s k.inputs || List.mem s k.outputs) ->
+                    (* intermediate streams produced by an earlier loop are
+                       declared as outputs and may be re-read *)
+                    err "load from undeclared input %s" s
+                | Op.Store s when not (List.mem s k.outputs) ->
+                    err "store to undeclared output %s" s
+                | _ -> check rest))
+  in
+  match check ids with
+  | Error _ as e -> e
+  | Ok () ->
+      let brs =
+        List.filter (fun (i : Instr.t) ->
+            match i.op with Op.Br | Op.Fused Op.Cmp_br -> true | _ -> false)
+          loop.body
+      in
+      if List.length brs <> 1 then err "expected exactly one branch, found %d" (List.length brs)
+      else if loop.step < 1 then err "step < 1"
+      else if loop.vector_width < 1 then err "vector_width < 1"
+      else
+        let bad_export =
+          List.find_opt (fun (_, id) -> id < 0 || id >= n) loop.exports
+        in
+        (match bad_export with
+        | Some (name, id) -> err "export %s references missing instruction %%%d" name id
+        | None -> Ok ())
+
+let validate k =
+  let rec all = function
+    | [] -> Ok ()
+    | l :: rest -> ( match validate_loop k l with Ok () -> all rest | e -> e)
+  in
+  all k.loops
+
+let pp fmt k =
+  Format.fprintf fmt "kernel %s (%s)@." k.name
+    (match k.klass with EO -> "EO" | RE -> "RE");
+  List.iter
+    (fun l ->
+      Format.fprintf fmt "  loop %s (step %d, vw %d)%s@." l.label l.step l.vector_width
+        (if l.reduction then " [reduction]" else "");
+      List.iter (fun i -> Format.fprintf fmt "    %a@." Instr.pp i) l.body)
+    k.loops

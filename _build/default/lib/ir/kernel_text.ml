@@ -1,0 +1,343 @@
+exception Parse_error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
+
+(* ------------------------------------------------------------- printing *)
+
+let binop_text = function
+  | Op.Add -> "add"
+  | Op.Sub -> "sub"
+  | Op.Mul -> "mul"
+  | Op.Div -> "div"
+  | Op.Max -> "max"
+  | Op.Min -> "min"
+
+let cmp_text = function
+  | Op.Lt -> "cmp.lt"
+  | Op.Le -> "cmp.le"
+  | Op.Gt -> "cmp.gt"
+  | Op.Ge -> "cmp.ge"
+  | Op.Eq -> "cmp.eq"
+  | Op.Ne -> "cmp.ne"
+
+let op_text = function
+  | Op.Const v -> Printf.sprintf "const %h" v
+  | Op.Input s -> "input " ^ s
+  | Op.Bin b -> binop_text b
+  | Op.Un Op.Neg -> "neg"
+  | Op.Un Op.Abs -> "abs"
+  | Op.Un Op.Floor -> "floor"
+  | Op.Cmp c -> cmp_text c
+  | Op.Select -> "select"
+  | Op.Phi -> "phi"
+  | Op.Load s -> "load " ^ s
+  | Op.Store s -> "store " ^ s
+  | Op.Fp2fx_int -> "fp2fx.i"
+  | Op.Fp2fx_frac -> "fp2fx.f"
+  | Op.Shift_exp -> "shexp"
+  | Op.Lut s -> "lut " ^ s
+  | Op.Br -> "br"
+  | Op.Fused _ -> invalid_arg "Kernel_text: fused opcodes are not serializable"
+
+let rec sexpr_text = function
+  | Kernel.Svar s -> s
+  | Kernel.Sconst v -> Printf.sprintf "%h" v
+  | Kernel.Sbin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (sexpr_text a) (binop_text op) (sexpr_text b)
+  | Kernel.Sisqrt e -> Printf.sprintf "isqrt(%s)" (sexpr_text e)
+
+let loop_text (l : Kernel.loop) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "loop %s%s step=%d vw=%d\n" l.Kernel.label
+       (if l.Kernel.reduction then " reduction" else "")
+       l.Kernel.step l.Kernel.vector_width);
+  List.iter
+    (fun (name, e) -> Buffer.add_string buf (Printf.sprintf "  pre %s = %s\n" name (sexpr_text e)))
+    l.Kernel.pre;
+  List.iter
+    (fun (name, id) -> Buffer.add_string buf (Printf.sprintf "  export %s = %%%d\n" name id))
+    l.Kernel.exports;
+  List.iter
+    (fun (i : Instr.t) ->
+      Buffer.add_string buf (Printf.sprintf "  %%%d = %s" i.Instr.id (op_text i.Instr.op));
+      List.iter (fun a -> Buffer.add_string buf (Printf.sprintf " %%%d" a)) i.Instr.args;
+      if i.Instr.offset <> 0 then Buffer.add_string buf (Printf.sprintf " +%d" i.Instr.offset);
+      Buffer.add_char buf '\n')
+    l.Kernel.body;
+  Buffer.add_string buf "endloop\n";
+  Buffer.contents buf
+
+let to_string (k : Kernel.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "kernel %s %s\n" k.Kernel.name
+       (match k.Kernel.klass with Kernel.EO -> "EO" | Kernel.RE -> "RE"));
+  let names kw = function
+    | [] -> ()
+    | l -> Buffer.add_string buf (kw ^ " " ^ String.concat " " l ^ "\n")
+  in
+  names "inputs" k.Kernel.inputs;
+  names "outputs" k.Kernel.outputs;
+  names "scalars" k.Kernel.scalar_inputs;
+  List.iter (fun l -> Buffer.add_string buf (loop_text l)) k.Kernel.loops;
+  Buffer.add_string buf "endkernel\n";
+  Buffer.contents buf
+
+(* -------------------------------------------------------------- parsing *)
+
+let tokens_of_line line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_ref line tok =
+  if String.length tok < 2 || tok.[0] <> '%' then fail line "expected %%<id>, got %s" tok
+  else
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some v -> v
+    | None -> fail line "bad instruction reference %s" tok
+
+let parse_float line tok =
+  match float_of_string_opt tok with
+  | Some v -> v
+  | None -> fail line "bad number %s" tok
+
+let binop_of_text = function
+  | "add" -> Some Op.Add
+  | "sub" -> Some Op.Sub
+  | "mul" -> Some Op.Mul
+  | "div" -> Some Op.Div
+  | "max" -> Some Op.Max
+  | "min" -> Some Op.Min
+  | _ -> None
+
+let cmp_of_text = function
+  | "cmp.lt" -> Some Op.Lt
+  | "cmp.le" -> Some Op.Le
+  | "cmp.gt" -> Some Op.Gt
+  | "cmp.ge" -> Some Op.Ge
+  | "cmp.eq" -> Some Op.Eq
+  | "cmp.ne" -> Some Op.Ne
+  | _ -> None
+
+(* Expression parser for the pre-scalar glue: fully parenthesized binary
+   expressions, isqrt(...), numbers, identifiers. *)
+let parse_sexpr line text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && text.[!pos] = ' ' do
+      incr pos
+    done
+  in
+  let ident_or_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match text.[!pos] with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' | '+' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then fail line "expected identifier or number in expression";
+    String.sub text start (!pos - start)
+  in
+  let rec expr () =
+    skip_ws ();
+    match peek () with
+    | Some '(' ->
+        incr pos;
+        let a = expr () in
+        skip_ws ();
+        let op_tok = ident_or_number () in
+        let op =
+          match binop_of_text op_tok with
+          | Some o -> o
+          | None -> fail line "unknown operator %s in expression" op_tok
+        in
+        let b = expr () in
+        skip_ws ();
+        (match peek () with
+        | Some ')' -> incr pos
+        | _ -> fail line "expected ) in expression");
+        Kernel.Sbin (op, a, b)
+    | Some _ ->
+        let tok = ident_or_number () in
+        if tok = "isqrt" then begin
+          skip_ws ();
+          match peek () with
+          | Some '(' ->
+              incr pos;
+              let e = expr () in
+              skip_ws ();
+              (match peek () with
+              | Some ')' -> incr pos
+              | _ -> fail line "expected ) after isqrt argument");
+              Kernel.Sisqrt e
+          | _ -> fail line "expected ( after isqrt"
+        end
+        else
+          (match float_of_string_opt tok with
+          | Some v -> Kernel.Sconst v
+          | None -> Kernel.Svar tok)
+    | None -> fail line "unexpected end of expression"
+  in
+  let e = expr () in
+  skip_ws ();
+  if !pos <> n then fail line "trailing characters in expression: %s" (String.sub text !pos (n - !pos));
+  e
+
+let parse_instr line toks =
+  match toks with
+  | dest :: "=" :: op_tok :: rest ->
+      let id = parse_ref line dest in
+      let take_refs rest =
+        let rec go args offset = function
+          | [] -> (List.rev args, offset)
+          | tok :: t when String.length tok > 0 && tok.[0] = '%' ->
+              go (parse_ref line tok :: args) offset t
+          | tok :: t when String.length tok > 1 && tok.[0] = '+' -> (
+              match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+              | Some o -> go args o t
+              | None -> fail line "bad offset %s" tok)
+          | tok :: _ -> fail line "unexpected token %s" tok
+        in
+        go [] 0 rest
+      in
+      let op, rest =
+        match op_tok with
+        | "const" -> (
+            match rest with
+            | v :: t -> (Op.Const (parse_float line v), t)
+            | [] -> fail line "const needs a value")
+        | "input" -> (
+            match rest with
+            | s :: t -> (Op.Input s, t)
+            | [] -> fail line "input needs a name")
+        | "load" -> (
+            match rest with
+            | s :: t -> (Op.Load s, t)
+            | [] -> fail line "load needs a stream")
+        | "store" -> (
+            match rest with
+            | s :: t -> (Op.Store s, t)
+            | [] -> fail line "store needs a stream")
+        | "lut" -> (
+            match rest with
+            | s :: t -> (Op.Lut s, t)
+            | [] -> fail line "lut needs a table name")
+        | "neg" -> (Op.Un Op.Neg, rest)
+        | "abs" -> (Op.Un Op.Abs, rest)
+        | "floor" -> (Op.Un Op.Floor, rest)
+        | "select" -> (Op.Select, rest)
+        | "phi" -> (Op.Phi, rest)
+        | "fp2fx.i" -> (Op.Fp2fx_int, rest)
+        | "fp2fx.f" -> (Op.Fp2fx_frac, rest)
+        | "shexp" -> (Op.Shift_exp, rest)
+        | "br" -> (Op.Br, rest)
+        | tok -> (
+            match binop_of_text tok with
+            | Some b -> (Op.Bin b, rest)
+            | None -> (
+                match cmp_of_text tok with
+                | Some c -> (Op.Cmp c, rest)
+                | None -> fail line "unknown opcode %s" tok))
+      in
+      let args, offset = take_refs rest in
+      Instr.make ~offset ~id ~op ~args ()
+  | _ -> fail line "expected %%<id> = <op> ..."
+
+type loop_acc = {
+  mutable label : string;
+  mutable reduction : bool;
+  mutable step : int;
+  mutable vw : int;
+  mutable pre : (string * Kernel.sexpr) list;
+  mutable exports : (string * int) list;
+  mutable body : Instr.t list;
+}
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let name = ref "" and klass = ref Kernel.EO in
+  let inputs = ref [] and outputs = ref [] and scalars = ref [] in
+  let loops = ref [] in
+  let current = ref None in
+  let seen_kernel = ref false and seen_end = ref false in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if line = "" || (String.length line > 0 && line.[0] = '#') then ()
+      else
+        match (tokens_of_line line, !current) with
+        | "kernel" :: n :: k :: [], None ->
+            seen_kernel := true;
+            name := n;
+            klass :=
+              (match k with
+              | "EO" -> Kernel.EO
+              | "RE" -> Kernel.RE
+              | other -> fail lineno "unknown class %s" other)
+        | "inputs" :: rest, None -> inputs := rest
+        | "outputs" :: rest, None -> outputs := rest
+        | "scalars" :: rest, None -> scalars := rest
+        | "loop" :: label :: rest, None ->
+            let acc =
+              { label; reduction = false; step = 1; vw = 1; pre = []; exports = []; body = [] }
+            in
+            List.iter
+              (fun tok ->
+                if tok = "reduction" then acc.reduction <- true
+                else if String.length tok > 5 && String.sub tok 0 5 = "step=" then
+                  acc.step <-
+                    (match int_of_string_opt (String.sub tok 5 (String.length tok - 5)) with
+                    | Some v -> v
+                    | None -> fail lineno "bad step")
+                else if String.length tok > 3 && String.sub tok 0 3 = "vw=" then
+                  acc.vw <-
+                    (match int_of_string_opt (String.sub tok 3 (String.length tok - 3)) with
+                    | Some v -> v
+                    | None -> fail lineno "bad vw")
+                else fail lineno "unknown loop attribute %s" tok)
+              rest;
+            current := Some acc
+        | [ "endkernel" ], None -> seen_end := true
+        | toks, None -> fail lineno "unexpected top-level line: %s" (String.concat " " toks)
+        | [ "endloop" ], Some acc ->
+            loops :=
+              {
+                Kernel.label = acc.label;
+                pre = List.rev acc.pre;
+                body = List.rev acc.body;
+                reduction = acc.reduction;
+                exports = List.rev acc.exports;
+                step = acc.step;
+                vector_width = acc.vw;
+              }
+              :: !loops;
+            current := None
+        | "pre" :: pname :: "=" :: rest, Some acc ->
+            acc.pre <- (pname, parse_sexpr lineno (String.concat " " rest)) :: acc.pre
+        | [ "export"; ename; "="; ref_tok ], Some acc ->
+            acc.exports <- (ename, parse_ref lineno ref_tok) :: acc.exports
+        | toks, Some acc -> acc.body <- parse_instr lineno toks :: acc.body)
+    lines;
+  if not !seen_kernel then raise (Parse_error "missing kernel header");
+  if not !seen_end then raise (Parse_error "missing endkernel");
+  if !current <> None then raise (Parse_error "unterminated loop");
+  let k =
+    {
+      Kernel.name = !name;
+      klass = !klass;
+      loops = List.rev !loops;
+      inputs = !inputs;
+      outputs = !outputs;
+      scalar_inputs = !scalars;
+    }
+  in
+  match Kernel.validate k with
+  | Ok () -> k
+  | Error e -> raise (Parse_error ("validation: " ^ e))

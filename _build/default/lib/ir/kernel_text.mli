@@ -1,0 +1,36 @@
+(** Textual kernel format.
+
+    A stable, human-writable serialization of {!Kernel.t}, so kernels can be
+    authored, versioned and exchanged without writing OCaml — the role the
+    paper's "predefined kernel codes written in C++" play in its toolchain.
+
+    Shape of the format (see {!to_string} output for any library kernel):
+
+    {v
+    kernel softmax RE
+    inputs x
+    outputs e y
+    scalars n
+    loop softmax.1 reduction step=1 vw=1
+      export m = %5
+      %0 = const 0.
+      %1 = phi %0 %7
+      %2 = load x %1
+      ...
+    endloop
+    endkernel
+    v}
+
+    Inter-loop scalar glue uses fully parenthesized expressions:
+    [pre mu = (sum / n)], [pre inv = isqrt((v + 0.00001))].
+
+    Fused opcodes are a DFG-level artifact and are not part of the format. *)
+
+exception Parse_error of string
+(** Carries a line number and a description. *)
+
+val to_string : Kernel.t -> string
+
+val of_string : string -> Kernel.t
+(** Parses and validates; raises {!Parse_error} on malformed input and on
+    kernels that fail {!Kernel.validate}. *)

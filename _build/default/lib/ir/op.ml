@@ -1,0 +1,89 @@
+type binop = Add | Sub | Mul | Div | Max | Min
+type unop = Neg | Abs | Floor
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type fused =
+  | Phi_add_add
+  | Phi_add
+  | Add_add
+  | Cmp_sel
+  | Mul_add_add
+  | Mul_add
+  | Cmp_br
+
+type t =
+  | Const of float
+  | Bin of binop
+  | Un of unop
+  | Cmp of cmpop
+  | Select
+  | Phi
+  | Load of string
+  | Store of string
+  | Input of string
+  | Fp2fx_int
+  | Fp2fx_frac
+  | Shift_exp
+  | Lut of string
+  | Br
+  | Fused of fused
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Max -> "max"
+  | Min -> "min"
+
+let fused_name = function
+  | Phi_add_add -> "phi+add+add"
+  | Phi_add -> "phi+add"
+  | Add_add -> "add+add"
+  | Cmp_sel -> "cmp+select"
+  | Mul_add_add -> "mul+add+add"
+  | Mul_add -> "mul+add"
+  | Cmp_br -> "cmp+br"
+
+let name = function
+  | Const _ -> "const"
+  | Bin b -> binop_name b
+  | Un Neg -> "neg"
+  | Un Abs -> "abs"
+  | Un Floor -> "floor"
+  | Cmp _ -> "cmp"
+  | Select -> "select"
+  | Phi -> "phi"
+  | Load s -> "load." ^ s
+  | Store s -> "store." ^ s
+  | Input s -> "input." ^ s
+  | Fp2fx_int -> "fp2fx.i"
+  | Fp2fx_frac -> "fp2fx.f"
+  | Shift_exp -> "shexp"
+  | Lut s -> "lut." ^ s
+  | Br -> "br"
+  | Fused f -> fused_name f
+
+let latency = function Bin Div -> 4 | _ -> 1
+let is_memory = function Load _ | Store _ -> true | _ -> false
+
+let is_compute = function
+  | Load _ | Store _ | Const _ | Input _ -> false
+  | _ -> true
+
+let is_control = function
+  | Phi | Br | Fused (Phi_add | Phi_add_add | Cmp_br) -> true
+  | _ -> false
+
+let is_vectorizable op = (not (is_control op)) && op <> Bin Div
+
+let fused_members = function
+  | Phi_add_add -> [ Phi; Bin Add; Bin Add ]
+  | Phi_add -> [ Phi; Bin Add ]
+  | Add_add -> [ Bin Add; Bin Add ]
+  | Cmp_sel -> [ Cmp Lt; Select ]
+  | Mul_add_add -> [ Bin Mul; Bin Add; Bin Add ]
+  | Mul_add -> [ Bin Mul; Bin Add ]
+  | Cmp_br -> [ Cmp Lt; Br ]
+
+let pp fmt op = Format.pp_print_string fmt (name op)

@@ -1,0 +1,77 @@
+(** Operation algebra of the kernel IR.
+
+    The IR mirrors the LLVM-IR level the PICACHU compiler operates at
+    (paper §4.3): scalar SSA operations inside single-level loops, with
+    control flow (the loop back-edge) kept explicit because the induction
+    update and exit branch occupy CGRA resources like any other node —
+    this is why [phi+add] and [cmp+br] appear in every kernel of Table 4.
+
+    Fused opcodes are the Table 4 patterns; they are produced by the DFG
+    fusion pass, never authored directly. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** pipelined FU; not vectorizable (§5.3.3) *)
+  | Max
+  | Min
+
+type unop = Neg | Abs | Floor
+(** [Floor] exists so the *baseline* CGRA can split a value into integer and
+    fractional parts without the FP2FX special unit. *)
+
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type fused =
+  | Phi_add_add
+  | Phi_add
+  | Add_add
+  | Cmp_sel
+  | Mul_add_add
+  | Mul_add
+  | Cmp_br
+
+type t =
+  | Const of float
+  | Bin of binop
+  | Un of unop
+  | Cmp of cmpop
+  | Select  (** args: cond, if-true, if-false *)
+  | Phi  (** args: init, loop-carried next (distance-1 back edge) *)
+  | Load of string  (** load current element of the named stream *)
+  | Store of string  (** store to the named output stream *)
+  | Input of string  (** loop-invariant scalar live-in *)
+  | Fp2fx_int  (** FP2FX special unit: integer part *)
+  | Fp2fx_frac  (** FP2FX special unit: fractional part in [0,1) *)
+  | Shift_exp  (** args: x, k — computes x * 2^round(k) by exponent add *)
+  | Lut of string  (** CoT look-up table evaluation *)
+  | Br  (** loop back-edge branch; arg: exit condition *)
+  | Fused of fused
+
+val name : t -> string
+(** Short mnemonic, e.g. ["mul+add"]. *)
+
+val latency : t -> int
+(** FU latency in cycles (all 1 except [Div] = 4). *)
+
+val is_memory : t -> bool
+(** Loads and stores — constrained to memory-port tiles. *)
+
+val is_compute : t -> bool
+(** True for every op except memory accesses, [Const] and [Input] — the
+    numerator of the paper's DFG-level computational intensity (§3.1). *)
+
+val is_control : t -> bool
+(** [Phi], [Br] and their fusions — the non-vectorizable ops. *)
+
+val is_vectorizable : t -> bool
+(** False for control ops and [Div] (§5.3.3). *)
+
+val fused_name : fused -> string
+(** e.g. ["mul+add+add"]. *)
+
+val fused_members : fused -> t list
+(** The primitive opcodes a fused node stands for. *)
+
+val pp : Format.formatter -> t -> unit

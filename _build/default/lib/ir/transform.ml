@@ -1,0 +1,144 @@
+(* Locate the loop-control skeleton: br -> cmp -> iv_add -> iv_phi. *)
+type skeleton = {
+  br_id : int;
+  cmp_id : int;
+  iv_add_id : int;
+  iv_phi_id : int;
+  bound_id : int;  (* the Input holding the trip count *)
+}
+
+let find_skeleton (body : Instr.t array) label =
+  let br =
+    match Array.find_opt (fun (i : Instr.t) -> i.op = Op.Br) body with
+    | Some i -> i
+    | None -> failwith (label ^ ": no branch")
+  in
+  let cmp = body.(List.hd br.args) in
+  match cmp.args with
+  | [ iv_add_id; bound_id ] ->
+      let iv_add = body.(iv_add_id) in
+      let iv_phi_id = List.hd iv_add.args in
+      { br_id = br.id; cmp_id = cmp.id; iv_add_id; iv_phi_id; bound_id }
+  | _ -> failwith (label ^ ": malformed loop compare")
+
+let unroll uf (loop : Kernel.loop) =
+  if uf < 1 then invalid_arg "Transform.unroll: uf < 1";
+  if uf = 1 then loop
+  else if loop.step <> 1 then invalid_arg "Transform.unroll: loop already unrolled"
+  else
+    let body = Array.of_list loop.body in
+    let count = Array.length body in
+    let sk = find_skeleton body loop.label in
+    let excluded id = id = sk.br_id || id = sk.cmp_id || id = sk.iv_add_id in
+    let out = ref [] and fresh = ref 0 in
+    let emit ?(offset = 0) op args =
+      let id = !fresh in
+      incr fresh;
+      out := Instr.make ~offset ~id ~op ~args () :: !out;
+      id
+    in
+    let maps = Array.init uf (fun _ -> Array.make count (-1)) in
+    (* phis other than the induction variable are reduction accumulators *)
+    let reduction_phis = ref [] in
+    for j = 0 to uf - 1 do
+      Array.iter
+        (fun (i : Instr.t) ->
+          if excluded i.id then ()
+          else
+            let m a = maps.(j).(a) in
+            match i.op with
+            | Op.Const _ | Op.Input _ ->
+                maps.(j).(i.id) <- (if j = 0 then emit i.op [] else maps.(0).(i.id))
+            | Op.Phi when i.id = sk.iv_phi_id ->
+                maps.(j).(i.id) <-
+                  (if j = 0 then
+                     let init = m (List.hd i.args) in
+                     emit Op.Phi [ init; init ] (* next patched below *)
+                   else maps.(0).(i.id))
+            | Op.Phi -> (
+                let orig_next = List.nth i.args 1 in
+                if j = 0 then begin
+                  let init = m (List.hd i.args) in
+                  let id = emit Op.Phi [ init; init ] in
+                  maps.(0).(i.id) <- id;
+                  reduction_phis := (id, orig_next) :: !reduction_phis
+                end
+                else
+                  (* copy j consumes the running value from copy j-1 *)
+                  maps.(j).(i.id) <- maps.(j - 1).(orig_next))
+            | Op.Load _ | Op.Store _ ->
+                maps.(j).(i.id) <- emit ~offset:(i.offset + j) i.op (List.map m i.args)
+            | _ -> maps.(j).(i.id) <- emit i.op (List.map m i.args))
+        body
+    done;
+    let uf_const = emit (Op.Const (float_of_int uf)) [] in
+    let iv_new = maps.(0).(sk.iv_phi_id) in
+    let iv_add' = emit (Op.Bin Op.Add) [ iv_new; uf_const ] in
+    let cmp' = emit (Op.Cmp Op.Lt) [ iv_add'; maps.(0).(sk.bound_id) ] in
+    let _br' = emit Op.Br [ cmp' ] in
+    let final = Array.of_list (List.rev !out) in
+    (* patch phi back edges *)
+    let patch id next =
+      final.(id) <- { (final.(id)) with args = [ List.hd final.(id).args; next ] }
+    in
+    patch iv_new iv_add';
+    List.iter (fun (id, orig_next) -> patch id maps.(uf - 1).(orig_next)) !reduction_phis;
+    let exports =
+      List.map
+        (fun (name, id) ->
+          let mapped = maps.(uf - 1).(id) in
+          (name, if mapped >= 0 then mapped else maps.(0).(id)))
+        loop.exports
+    in
+    { loop with body = Array.to_list final; exports; step = uf }
+
+let vectorize vf (loop : Kernel.loop) =
+  if vf < 1 then invalid_arg "Transform.vectorize: vf < 1";
+  if vf = 1 then loop
+  else
+    (* divisions are split into one node per lane; everything else keeps its
+       node count (control ops stay scalar, vector FUs widen in place) *)
+    let body = Array.of_list loop.body in
+    let count = Array.length body in
+    let remap = Array.make count (-1) in
+    let out = ref [] and fresh = ref 0 in
+    let emit ?(offset = 0) op args =
+      let id = !fresh in
+      incr fresh;
+      out := Instr.make ~offset ~id ~op ~args () :: !out;
+      id
+    in
+    Array.iter
+      (fun (i : Instr.t) ->
+        let args = List.map (fun a -> if remap.(a) >= 0 then remap.(a) else a) i.args in
+        (* forward phi refs are not yet remapped; fix in a second pass *)
+        let args0 = args in
+        remap.(i.id) <- emit ~offset:i.offset i.op args0;
+        if i.op = Op.Bin Op.Div then
+          for _ = 2 to vf do
+            ignore (emit ~offset:i.offset i.op args0)
+          done)
+      body;
+    let final = Array.of_list (List.rev !out) in
+    (* second pass: phi back edges are forward references, so their targets
+       were not yet remapped during the first pass; patch them from the
+       original body's structure *)
+    Array.iter
+      (fun (orig : Instr.t) ->
+        if orig.op = Op.Phi then
+          match orig.args with
+          | [ _; orig_next ] when orig_next > orig.id ->
+              let pos = remap.(orig.id) in
+              let i = final.(pos) in
+              final.(pos) <-
+                { i with args = [ List.hd i.args; remap.(orig_next) ] }
+          | _ -> ())
+      body;
+    let exports = List.map (fun (name, id) -> (name, remap.(id))) loop.exports in
+    { loop with body = Array.to_list final; exports; vector_width = vf }
+
+let unroll_kernel uf (k : Kernel.t) =
+  { k with loops = List.map (unroll uf) k.loops }
+
+let vectorize_kernel vf (k : Kernel.t) =
+  { k with loops = List.map (vectorize vf) k.loops }

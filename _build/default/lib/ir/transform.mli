@@ -1,0 +1,21 @@
+(** Loop transformations (paper §4.3, "Loop Transformations").
+
+    - {!unroll}: replicate the loop body UF times, chaining reduction
+      accumulators through the copies and stepping memory offsets, so the DFG
+      grows and CGRA utilization rises (Figure 7a's UF knob).
+    - {!vectorize}: mark the loop as operating on [vf]-wide lanes (the INT16
+      mode of §4.2.2); non-vectorizable divisions are split into one node per
+      lane, while control ops stay scalar — which is why measured vector
+      speedup stays below the theoretical 4x (§5.3.3). *)
+
+val unroll : int -> Kernel.loop -> Kernel.loop
+(** [unroll uf loop]. Requires [uf >= 1] and [loop.step = 1]; [uf = 1] is the
+    identity. *)
+
+val vectorize : int -> Kernel.loop -> Kernel.loop
+(** [vectorize vf loop]. Requires [vf >= 1]. *)
+
+val unroll_kernel : int -> Kernel.t -> Kernel.t
+(** Unroll every loop of the kernel. *)
+
+val vectorize_kernel : int -> Kernel.t -> Kernel.t

@@ -1,0 +1,1 @@
+lib/llm/cpu_model.ml: List Picachu_nonlinear Workload

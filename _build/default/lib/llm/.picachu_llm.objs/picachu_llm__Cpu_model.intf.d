@@ -1,0 +1,1 @@
+lib/llm/cpu_model.mli: Picachu_nonlinear Workload

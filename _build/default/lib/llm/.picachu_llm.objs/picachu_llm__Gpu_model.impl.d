@@ -1,0 +1,1 @@
+lib/llm/gpu_model.ml: Float List Picachu_nonlinear Stdlib Workload

@@ -1,0 +1,1 @@
+lib/llm/gpu_model.mli: Workload

@@ -1,0 +1,1 @@
+lib/llm/model_zoo.ml: List Picachu_nonlinear

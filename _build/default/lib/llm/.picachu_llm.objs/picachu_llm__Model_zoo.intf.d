@@ -1,0 +1,1 @@
+lib/llm/model_zoo.mli: Picachu_nonlinear

@@ -1,0 +1,1 @@
+lib/llm/ppl.mli: Picachu_numerics Surrogate

@@ -1,0 +1,1 @@
+lib/llm/surrogate.ml: Array List Model_zoo Picachu_nonlinear Picachu_numerics Picachu_tensor

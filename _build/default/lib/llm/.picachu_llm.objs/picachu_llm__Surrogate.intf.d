@@ -1,0 +1,1 @@
+lib/llm/surrogate.mli: Model_zoo Picachu_numerics Picachu_tensor

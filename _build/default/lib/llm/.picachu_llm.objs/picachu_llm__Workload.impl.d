@@ -1,0 +1,1 @@
+lib/llm/workload.ml: Format List Model_zoo Picachu_nonlinear Stdlib

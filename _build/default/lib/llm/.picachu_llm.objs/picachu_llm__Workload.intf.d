@@ -1,0 +1,1 @@
+lib/llm/workload.mli: Format Model_zoo Picachu_nonlinear

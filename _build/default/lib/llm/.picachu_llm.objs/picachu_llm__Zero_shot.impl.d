@@ -1,0 +1,1 @@
+lib/llm/zero_shot.ml: Array Float List Picachu_nonlinear Picachu_numerics Picachu_tensor Surrogate

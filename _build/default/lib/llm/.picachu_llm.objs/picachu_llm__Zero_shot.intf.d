@@ -1,0 +1,1 @@
+lib/llm/zero_shot.mli: Picachu_numerics Picachu_tensor Surrogate

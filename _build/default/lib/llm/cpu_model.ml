@@ -1,0 +1,42 @@
+module Registry = Picachu_nonlinear.Registry
+
+type t = {
+  elems_per_s_exp : float;
+  elems_per_s_simple : float;
+  elems_per_s_norm : float;
+  elems_per_s_trig : float;
+  pcie_gbs : float;
+  dispatch_s : float;
+}
+
+(* 4-core Tiger Lake running framework CPU kernels (FP16<->FP32 conversion
+   passes, multiple dispatches per op): ~0.25 Gelem/s on exp-bound loops,
+   a few Gelem/s on simple elementwise code, PCIe gen4 x8 effective. *)
+let i7_11370h =
+  {
+    elems_per_s_exp = 0.25e9;
+    elems_per_s_simple = 3.0e9;
+    elems_per_s_norm = 0.8e9;
+    elems_per_s_trig = 0.2e9;
+    pcie_gbs = 12.0;
+    dispatch_s = 10e-6;
+  }
+
+let throughput t (op : Registry.opkind) =
+  match op with
+  | Registry.Softmax | Registry.Gelu | Registry.Silu | Registry.Swiglu
+  | Registry.Geglu -> t.elems_per_s_exp
+  | Registry.Relu -> t.elems_per_s_simple
+  | Registry.Layernorm | Registry.Rmsnorm -> t.elems_per_s_norm
+  | Registry.Rope -> t.elems_per_s_trig
+
+let nl_seconds t (nl : Workload.nl) =
+  let elems = float_of_int (nl.rows * nl.dim) in
+  let bytes = float_of_int (Workload.nl_bytes nl) in
+  let per_instance =
+    (bytes /. (t.pcie_gbs *. 1e9)) +. (elems /. throughput t nl.op) +. t.dispatch_s
+  in
+  float_of_int nl.nl_count *. per_instance
+
+let total_nl_seconds t (w : Workload.t) =
+  List.fold_left (fun acc nl -> acc +. nl_seconds t nl) 0.0 w.nls

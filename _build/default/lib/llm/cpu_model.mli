@@ -1,0 +1,19 @@
+(** Host-CPU model for the Figure 8a baseline configuration: the systolic
+    array still runs GEMM, but every nonlinear operation executes on the CPU
+    (i7-11370H class), paying PCIe transfers both ways plus the CPU's scalar/
+    AVX throughput on transcendental-heavy loops. *)
+
+module Registry = Picachu_nonlinear.Registry
+
+type t = {
+  elems_per_s_exp : float;  (** softmax/GeLU/SiLU-class throughput *)
+  elems_per_s_simple : float;  (** ReLU-class throughput *)
+  elems_per_s_norm : float;
+  elems_per_s_trig : float;  (** RoPE *)
+  pcie_gbs : float;
+  dispatch_s : float;  (** per-offloaded-op host round-trip *)
+}
+
+val i7_11370h : t
+val nl_seconds : t -> Workload.nl -> float
+val total_nl_seconds : t -> Workload.t -> float

@@ -1,0 +1,98 @@
+module Registry = Picachu_nonlinear.Registry
+
+type t = {
+  peak_tflops : float;
+  gemm_eff : float;
+  hbm_gbs : float;
+  nl_bw_eff : float;
+  launch_s : float;
+}
+
+let a100 =
+  {
+    peak_tflops = 312.0;
+    gemm_eff = 0.55;
+    hbm_gbs = 2039.0;
+    nl_bw_eff = 0.5;
+    launch_s = 5e-6;
+  }
+
+(* Tensor-core efficiency degrades for skinny reductions and small tiles. *)
+let shape_efficiency (g : Workload.gemm) =
+  let k_f = Float.min 1.0 ((float_of_int g.k /. 4096.0) ** 0.3) in
+  let mn_f = Float.min 1.0 ((float_of_int (Stdlib.min g.m g.n) /. 512.0) ** 0.25) in
+  Float.max 0.05 (k_f *. mn_f)
+
+let gemm_seconds t (g : Workload.gemm) =
+  let flops = 2.0 *. float_of_int g.m *. float_of_int g.k *. float_of_int g.n in
+  let eff = t.gemm_eff *. shape_efficiency g in
+  let compute_s = flops /. (t.peak_tflops *. 1e12 *. eff) in
+  (* skinny GEMMs (decode GEMVs) are weight-bandwidth bound *)
+  let bytes = 2.0 *. float_of_int ((g.m * g.k) + (g.k * g.n) + (g.m * g.n)) in
+  let memory_s = bytes /. (t.hbm_gbs *. 1e9 *. 0.8) in
+  float_of_int g.count *. (Float.max compute_s memory_s +. t.launch_s)
+
+(* Effective DRAM bytes per element, counting the multiple passes frameworks
+   make: softmax = max/sub-exp/sum/divide over FP32 intermediates plus the
+   attention-mask add; norms = reduce + normalize passes; GeLU/SiLU-family =
+   the unfused elementwise chain; ReLU = a single FP16 pass; RoPE = the
+   gather/rotate/interleave sequence. *)
+let nl_bytes_per_element (nl : Workload.nl) =
+  match nl.op with
+  | Registry.Softmax -> 24.0
+  | Registry.Layernorm | Registry.Rmsnorm -> 20.0
+  | Registry.Gelu | Registry.Silu | Registry.Swiglu | Registry.Geglu -> 20.0
+  | Registry.Relu -> 4.0
+  | Registry.Rope -> 24.0
+
+let launches_per_instance (nl : Workload.nl) =
+  match nl.op with
+  | Registry.Softmax -> 5
+  | Registry.Layernorm | Registry.Rmsnorm -> 3
+  | Registry.Gelu | Registry.Silu | Registry.Swiglu | Registry.Geglu -> 4
+  | Registry.Relu -> 1
+  | Registry.Rope -> 6
+
+let nl_seconds t (nl : Workload.nl) =
+  let elems = float_of_int (nl.rows * nl.dim) in
+  let bytes = elems *. nl_bytes_per_element nl in
+  let per_instance =
+    bytes /. (t.hbm_gbs *. 1e9 *. t.nl_bw_eff)
+    +. (float_of_int (launches_per_instance nl) *. t.launch_s)
+  in
+  float_of_int nl.nl_count *. per_instance
+
+type breakdown = {
+  gemm_s : float;
+  softmax_s : float;
+  norm_s : float;
+  activation_s : float;
+  rope_s : float;
+  total_s : float;
+}
+
+let run t (w : Workload.t) =
+  let gemm_s = List.fold_left (fun acc g -> acc +. gemm_seconds t g) 0.0 w.gemms in
+  let acc_of tag =
+    List.fold_left
+      (fun acc (nl : Workload.nl) ->
+        if nl.nl_tag = tag then acc +. nl_seconds t nl else acc)
+      0.0 w.nls
+  in
+  let softmax_s = acc_of "softmax" in
+  let norm_s = acc_of "norm" in
+  let activation_s = acc_of "activation" in
+  let rope_s = acc_of "rope" in
+  {
+    gemm_s;
+    softmax_s;
+    norm_s;
+    activation_s;
+    rope_s;
+    total_s = gemm_s +. softmax_s +. norm_s +. activation_s +. rope_s;
+  }
+
+let nonlinear_fraction b =
+  if b.total_s = 0.0 then 0.0 else (b.total_s -. b.gemm_s) /. b.total_s
+
+let energy_j _t b = 300.0 *. b.total_s

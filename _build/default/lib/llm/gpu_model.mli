@@ -1,0 +1,41 @@
+(** Roofline-style A100 model for Figure 1 / 8b / 9a.
+
+    GEMMs run on the tensor cores at an effective fraction of peak that
+    degrades for small/skinny shapes; nonlinear operations are memory-bound
+    kernel launches: per-launch overhead plus bytes over effective HBM
+    bandwidth.  The per-op byte costs reflect how frameworks actually execute
+    them (softmax upcast to FP32 with a mask pass; norms with separate
+    reduce/normalize kernels), which is what makes nonlinear operations
+    30-46% of FP16 inference at seq 1024 (paper Figure 1) despite a naive
+    roofline predicting less. *)
+
+type t = {
+  peak_tflops : float;  (** FP16 tensor-core peak *)
+  gemm_eff : float;  (** large-GEMM efficiency *)
+  hbm_gbs : float;  (** HBM peak *)
+  nl_bw_eff : float;  (** achieved fraction for element-wise kernels *)
+  launch_s : float;  (** per-kernel-launch overhead *)
+}
+
+val a100 : t
+
+val gemm_seconds : t -> Workload.gemm -> float
+(** Whole-count time for all instances of the gemm entry. *)
+
+val nl_seconds : t -> Workload.nl -> float
+val nl_bytes_per_element : Workload.nl -> float
+(** Effective DRAM bytes per element for this op as frameworks run it. *)
+
+type breakdown = {
+  gemm_s : float;
+  softmax_s : float;
+  norm_s : float;
+  activation_s : float;
+  rope_s : float;
+  total_s : float;
+}
+
+val run : t -> Workload.t -> breakdown
+val nonlinear_fraction : breakdown -> float
+val energy_j : t -> breakdown -> float
+(** Board energy at a constant 300W inference draw. *)

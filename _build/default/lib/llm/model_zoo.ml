@@ -1,0 +1,149 @@
+module Registry = Picachu_nonlinear.Registry
+
+type ffn_kind = Gelu_ffn | Relu_ffn | Swiglu_ffn | Geglu_ffn
+type norm_kind = Layernorm_norm | Rmsnorm_norm
+type pos_kind = Learned_pos | Rope_pos
+
+type t = {
+  name : string;
+  layers : int;
+  d_model : int;
+  heads : int;
+  kv_heads : int;
+  d_ffn : int;
+  ffn : ffn_kind;
+  norm : norm_kind;
+  pos : pos_kind;
+  vocab : int;
+  attn_window : int option;
+}
+
+let d_head m = m.d_model / m.heads
+
+let gpt2_xl =
+  {
+    name = "gpt2-xl";
+    layers = 48;
+    d_model = 1600;
+    heads = 25;
+    kv_heads = 25;
+    d_ffn = 6400;
+    ffn = Gelu_ffn;
+    norm = Layernorm_norm;
+    pos = Learned_pos;
+    vocab = 50257;
+    attn_window = None;
+  }
+
+let opt_6_7b =
+  {
+    name = "opt-6.7b";
+    layers = 32;
+    d_model = 4096;
+    heads = 32;
+    kv_heads = 32;
+    d_ffn = 16384;
+    ffn = Relu_ffn;
+    norm = Layernorm_norm;
+    pos = Learned_pos;
+    vocab = 50272;
+    attn_window = None;
+  }
+
+let opt_13b =
+  {
+    opt_6_7b with
+    name = "opt-13b";
+    layers = 40;
+    d_model = 5120;
+    heads = 40;
+    kv_heads = 40;
+    d_ffn = 20480;
+  }
+
+let llama2_7b =
+  {
+    name = "llama2-7b";
+    layers = 32;
+    d_model = 4096;
+    heads = 32;
+    kv_heads = 32;
+    d_ffn = 11008;
+    ffn = Swiglu_ffn;
+    norm = Rmsnorm_norm;
+    pos = Rope_pos;
+    vocab = 32000;
+    attn_window = None;
+  }
+
+let llama2_13b =
+  {
+    llama2_7b with
+    name = "llama2-13b";
+    layers = 40;
+    d_model = 5120;
+    heads = 40;
+    kv_heads = 40;
+    d_ffn = 13824;
+  }
+
+let bigbird =
+  {
+    name = "bigbird";
+    layers = 24;
+    d_model = 1024;
+    heads = 16;
+    kv_heads = 16;
+    d_ffn = 4096;
+    ffn = Gelu_ffn;
+    norm = Layernorm_norm;
+    pos = Learned_pos;
+    vocab = 50358;
+    attn_window = Some 512 (* 3 sliding + 2 global + random blocks of 64 *);
+  }
+
+let mistral_7b =
+  {
+    name = "mistral-7b";
+    layers = 32;
+    d_model = 4096;
+    heads = 32;
+    kv_heads = 8;
+    d_ffn = 14336;
+    ffn = Swiglu_ffn;
+    norm = Rmsnorm_norm;
+    pos = Rope_pos;
+    vocab = 32000;
+    attn_window = Some 4096;
+  }
+
+let falcon_7b =
+  {
+    name = "falcon-7b";
+    layers = 32;
+    d_model = 4544;
+    heads = 71;
+    kv_heads = 1;
+    d_ffn = 18176;
+    ffn = Gelu_ffn;
+    norm = Layernorm_norm;
+    pos = Rope_pos;
+    vocab = 65024;
+    attn_window = None;
+  }
+
+let all =
+  [ gpt2_xl; opt_6_7b; opt_13b; bigbird; llama2_7b; llama2_13b; mistral_7b; falcon_7b ]
+let by_name name = List.find (fun m -> m.name = name) all
+
+let activation_op m =
+  match m.ffn with
+  | Gelu_ffn -> Registry.Gelu
+  | Relu_ffn -> Registry.Relu
+  | Swiglu_ffn -> Registry.Swiglu
+  | Geglu_ffn -> Registry.Geglu
+
+let norm_op m =
+  match m.norm with
+  | Layernorm_norm -> Registry.Layernorm
+  | Rmsnorm_norm -> Registry.Rmsnorm

@@ -1,0 +1,49 @@
+(** Architectural configurations of the LLMs the paper evaluates (§5.1:
+    GPT2-XL, OPT-6.7B/13B, BigBird, LLaMA2-7B/13B).
+
+    Only the shape parameters matter for the workload model; weights are
+    never materialized at these sizes (the accuracy experiments use the
+    surrogate models in {!Surrogate}). *)
+
+type ffn_kind = Gelu_ffn | Relu_ffn | Swiglu_ffn | Geglu_ffn
+type norm_kind = Layernorm_norm | Rmsnorm_norm
+type pos_kind = Learned_pos | Rope_pos
+
+type t = {
+  name : string;
+  layers : int;
+  d_model : int;
+  heads : int;
+  kv_heads : int;
+      (** key/value heads: equal to [heads] for MHA, fewer for GQA
+          (Mistral), 1 for MQA (Falcon) *)
+  d_ffn : int;  (** intermediate size (per gate for gated FFNs) *)
+  ffn : ffn_kind;
+  norm : norm_kind;
+  pos : pos_kind;
+  vocab : int;
+  attn_window : int option;
+      (** sliding/block-sparse attention span (BigBird, Mistral);
+          [None] = full *)
+}
+
+val d_head : t -> int
+val gpt2_xl : t
+val opt_6_7b : t
+val opt_13b : t
+val llama2_7b : t
+val llama2_13b : t
+val bigbird : t
+val mistral_7b : t
+(** GQA (8 KV heads) + sliding-window attention + SwiGLU/RMSNorm/RoPE —
+    the "upcoming" operation mix the paper's title anticipates. *)
+
+val falcon_7b : t
+(** Multi-query attention (1 KV head) + GeLU/LayerNorm/RoPE. *)
+
+val all : t list
+val by_name : string -> t
+(** Raises [Not_found]. *)
+
+val activation_op : t -> Picachu_nonlinear.Registry.opkind
+val norm_op : t -> Picachu_nonlinear.Registry.opkind

@@ -1,0 +1,32 @@
+module Approx = Picachu_numerics.Approx
+module Tensor = Picachu_tensor.Tensor
+module Rng = Picachu_tensor.Rng
+module Nl = Picachu_nonlinear
+
+let nll model backend tokens =
+  let n = Array.length tokens in
+  if n < 2 then invalid_arg "Ppl.nll: stream too short";
+  let lg = Surrogate.logits model backend tokens in
+  let vocab = Tensor.cols lg in
+  let total = ref 0.0 in
+  for pos = 0 to n - 2 do
+    let row = Array.init vocab (fun j -> Tensor.get2 lg pos j) in
+    let finite = Array.for_all (fun v -> Float.is_finite v) row in
+    let loss =
+      if not finite then log (float_of_int vocab) +. 5.0
+      else
+        let probs = Nl.Softmax.exact_row row in
+        let p = probs.(tokens.(pos + 1)) in
+        if p <= 0.0 || Float.is_nan p then log (float_of_int vocab) +. 5.0
+        else -.log p
+    in
+    total := !total +. loss
+  done;
+  !total /. float_of_int (n - 1)
+
+let ppl model backend tokens = Float.min 1e9 (exp (nll model backend tokens))
+
+let evaluate ~seed ~stream_len model backends =
+  let rng = Rng.create seed in
+  let stream = Surrogate.sample model rng ~len:stream_len () in
+  List.map (fun (b : Approx.t) -> (b.Approx.name, ppl model b stream)) backends

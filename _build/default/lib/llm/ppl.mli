@@ -1,0 +1,26 @@
+(** Perplexity-proxy evaluation (Tables 2 and 5).
+
+    Wikitext2 is replaced by a synthetic token stream sampled from the
+    float64-exact surrogate itself (temperature < 1, deterministic seed) —
+    a stream the model genuinely predicts better than chance, so that
+    damaged nonlinear operators raise the measured perplexity exactly the
+    way broken LLM inference raises Wikitext2 PPL.  Absolute values are not
+    comparable to the paper's (different model, different data); the
+    *deltas* between backends are the reproduced quantity. *)
+
+module Approx = Picachu_numerics.Approx
+
+val nll : Surrogate.t -> Approx.t -> int array -> float
+(** Mean next-token negative log likelihood (nats) over the stream;
+    positions 1..n-1 are scored.  Degenerate (non-finite) logits score as
+    uniform-over-vocab plus a penalty, mirroring how a destroyed model
+    scores on real data. *)
+
+val ppl : Surrogate.t -> Approx.t -> int array -> float
+(** [exp (nll ...)], clamped to 1e9 to keep tables printable. *)
+
+val evaluate :
+  seed:int -> stream_len:int -> Surrogate.t -> Approx.t list ->
+  (string * float) list
+(** Convenience: sample one stream, score several backends; returns
+    [(backend_name, ppl)]. *)

@@ -1,0 +1,237 @@
+module Tensor = Picachu_tensor.Tensor
+module Rng = Picachu_tensor.Rng
+module Approx = Picachu_numerics.Approx
+module Nl = Picachu_nonlinear
+module Mz = Model_zoo
+
+type cfg = {
+  name : string;
+  layers : int;
+  d_model : int;
+  heads : int;
+  kv_heads : int;
+  d_ffn : int;
+  ffn : Mz.ffn_kind;
+  norm : Mz.norm_kind;
+  pos : Mz.pos_kind;
+  vocab : int;
+  max_seq : int;
+  outlier_scale : float;
+  outlier_channels : int;
+  logit_scale : float;
+  linear_bits : int option;
+}
+
+let with_linear_bits bits c = { c with linear_bits = Some bits }
+
+let surrogate_of (m : Mz.t) =
+  let outlier_scale =
+    (* activation outliers grow with model scale and are strongest in the
+       OPT/LLaMA families (Dettmers et al.); GPT2-class models are milder *)
+    match m.Mz.name with
+    | "gpt2-xl" | "bigbird" -> 4.0
+    | "opt-6.7b" -> 8.0
+    | "opt-13b" -> 10.0
+    | "llama2-7b" -> 16.0
+    | "llama2-13b" -> 20.0
+    | _ -> 6.0
+  in
+  {
+    name = m.Mz.name ^ "-surrogate";
+    layers = 4;
+    d_model = 64;
+    heads = 4;
+    kv_heads = (if m.Mz.kv_heads < m.Mz.heads then 2 else 4);
+    d_ffn = (match m.Mz.ffn with Mz.Swiglu_ffn | Mz.Geglu_ffn -> 96 | _ -> 128);
+    ffn = m.Mz.ffn;
+    norm = m.Mz.norm;
+    pos = m.Mz.pos;
+    vocab = 256;
+    max_seq = 160;
+    outlier_scale;
+    outlier_channels = 4;
+    logit_scale = 6.0;
+    linear_bits = None;
+  }
+
+type layer = {
+  wq : Tensor.t;
+  wk : Tensor.t;
+  wv : Tensor.t;
+  wo : Tensor.t;
+  w_up : Tensor.t;
+  w_gate : Tensor.t option;
+  w_down : Tensor.t;
+}
+
+type t = {
+  c : cfg;
+  emb : Tensor.t;  (* vocab x d *)
+  pos_emb : Tensor.t;  (* max_seq x d *)
+  layers_w : layer list;
+}
+
+let cfg t = t.c
+
+let create ~seed c =
+  let rng = Rng.create seed in
+  let d = c.d_model in
+  let quantize_weights t =
+    match c.linear_bits with
+    | None -> t
+    | Some bits -> Picachu_numerics.Quant.roundtrip ~bits t
+  in
+  let w rows cols =
+    quantize_weights
+      (Tensor.randn rng [ rows; cols ] ~mu:0.0 ~sigma:(1.0 /. sqrt (float_of_int rows)))
+  in
+  let scale_outlier_cols t2 =
+    (* amplify a fixed set of output channels: these become the residual
+       stream's outlier dimensions *)
+    let cols = Tensor.cols t2 in
+    for ch = 0 to c.outlier_channels - 1 do
+      let col = (ch * 13) mod cols in
+      for r = 0 to Tensor.rows t2 - 1 do
+        Tensor.set2 t2 r col (Tensor.get2 t2 r col *. c.outlier_scale)
+      done
+    done;
+    t2
+  in
+  let kv_width = c.kv_heads * (d / c.heads) in
+  let mk_layer () =
+    {
+      wq = w d d;
+      wk = w d kv_width;
+      wv = w d kv_width;
+      wo = scale_outlier_cols (w d d);
+      w_up = w d c.d_ffn;
+      w_gate =
+        (match c.ffn with
+        | Mz.Swiglu_ffn | Mz.Geglu_ffn -> Some (w d c.d_ffn)
+        | Mz.Gelu_ffn | Mz.Relu_ffn -> None);
+      w_down = scale_outlier_cols (w c.d_ffn d);
+    }
+  in
+  {
+    c;
+    emb = w c.vocab d;
+    pos_emb = Tensor.randn rng [ c.max_seq; d ] ~mu:0.0 ~sigma:0.02;
+    layers_w = List.init c.layers (fun _ -> mk_layer ());
+  }
+
+let norm_fn c (b : Approx.t) x =
+  match c.norm with
+  | Mz.Layernorm_norm -> Nl.Norms.layernorm b x
+  | Mz.Rmsnorm_norm -> Nl.Norms.rmsnorm b x
+
+let slice_head x ~heads ~h =
+  let seq = Tensor.rows x and d = Tensor.cols x in
+  let dh = d / heads in
+  Tensor.init [ seq; dh ] (fun idx ->
+      let i = idx / dh and j = idx mod dh in
+      Tensor.get2 x i ((h * dh) + j))
+
+let write_head ~dst x ~heads ~h =
+  let seq = Tensor.rows x and dh = Tensor.cols x in
+  ignore heads;
+  for i = 0 to seq - 1 do
+    for j = 0 to dh - 1 do
+      Tensor.set2 dst i ((h * dh) + j) (Tensor.get2 x i j)
+    done
+  done
+
+let attention c (b : Approx.t) ~q ~k ~v =
+  let seq = Tensor.rows q in
+  let d = Tensor.cols q in
+  let dh = d / c.heads in
+  let group = c.heads / c.kv_heads in
+  let out = Tensor.create [ seq; d ] in
+  let scale = 1.0 /. sqrt (float_of_int dh) in
+  for h = 0 to c.heads - 1 do
+    let qh = slice_head q ~heads:c.heads ~h in
+    (* grouped-query attention: [group] query heads share one KV head *)
+    let kv = h / group in
+    let kh = slice_head k ~heads:c.kv_heads ~h:kv in
+    let vh = slice_head v ~heads:c.kv_heads ~h:kv in
+    let qh = if c.pos = Mz.Rope_pos then Nl.Rope.approx_rows b qh else qh in
+    let kh = if c.pos = Mz.Rope_pos then Nl.Rope.approx_rows b kh else kh in
+    let scores = Tensor.matmul qh (Tensor.transpose kh) in
+    (* causal attention: each query row softmaxes over its own prefix — the
+       channel-by-channel shape the CGRA kernel actually executes, so no
+       sentinel mask value ever reaches a quantizer *)
+    let probs = Tensor.create [ seq; seq ] in
+    for i = 0 to seq - 1 do
+      let row = Array.init (i + 1) (fun j -> Tensor.get2 scores i j *. scale) in
+      let p = Nl.Softmax.approx_row b row in
+      Array.iteri (fun j v -> Tensor.set2 probs i j v) p
+    done;
+    let ctx = Tensor.matmul probs vh in
+    write_head ~dst:out ctx ~heads:c.heads ~h
+  done;
+  out
+
+let ffn c (b : Approx.t) (l : layer) h =
+  match (c.ffn, l.w_gate) with
+  | Mz.Gelu_ffn, _ -> Tensor.matmul (Nl.Activations.gelu b (Tensor.matmul h l.w_up)) l.w_down
+  | Mz.Relu_ffn, _ -> Tensor.matmul (Nl.Activations.relu b (Tensor.matmul h l.w_up)) l.w_down
+  | Mz.Swiglu_ffn, Some wg ->
+      let gate = Tensor.matmul h wg and up = Tensor.matmul h l.w_up in
+      Tensor.matmul (Nl.Activations.swiglu b ~gate up) l.w_down
+  | Mz.Geglu_ffn, Some wg ->
+      let gate = Tensor.matmul h wg and up = Tensor.matmul h l.w_up in
+      Tensor.matmul (Nl.Activations.geglu b ~gate up) l.w_down
+  | (Mz.Swiglu_ffn | Mz.Geglu_ffn), None -> assert false
+
+let logits t (b : Approx.t) tokens =
+  let c = t.c in
+  let seq = Array.length tokens in
+  if seq = 0 || seq > c.max_seq then invalid_arg "Surrogate.logits: sequence length";
+  Array.iter (fun tok -> if tok < 0 || tok >= c.vocab then invalid_arg "Surrogate.logits: token") tokens;
+  let x =
+    Tensor.init [ seq; c.d_model ] (fun idx ->
+        let i = idx / c.d_model and j = idx mod c.d_model in
+        Tensor.get2 t.emb tokens.(i) j
+        +. (match c.pos with Mz.Learned_pos -> Tensor.get2 t.pos_emb i j | Mz.Rope_pos -> 0.0))
+  in
+  let x = ref x in
+  List.iter
+    (fun l ->
+      let h = norm_fn c b !x in
+      let q = Tensor.matmul h l.wq
+      and k = Tensor.matmul h l.wk
+      and v = Tensor.matmul h l.wv in
+      let ctx = attention c b ~q ~k ~v in
+      x := Tensor.add !x (Tensor.matmul ctx l.wo);
+      let h2 = norm_fn c b !x in
+      x := Tensor.add !x (ffn c b l h2))
+    t.layers_w;
+  let xf = norm_fn c b !x in
+  (* trained LLMs emit confident (low-entropy) distributions; the sharpening
+     factor stands in for that, so operator damage moves perplexity the way
+     it does in a real checkpoint *)
+  Tensor.scale c.logit_scale (Tensor.matmul xf (Tensor.transpose t.emb))
+
+let sample t rng ?(temperature = 0.8) ~len () =
+  if len < 2 || len > t.c.max_seq then invalid_arg "Surrogate.sample: len";
+  let tokens = Array.make len 0 in
+  tokens.(0) <- Rng.int rng t.c.vocab;
+  for pos = 1 to len - 1 do
+    let lg = logits t Approx.exact (Array.sub tokens 0 pos) in
+    let row = Array.init t.c.vocab (fun j -> Tensor.get2 lg (pos - 1) j /. temperature) in
+    let probs = Nl.Softmax.exact_row row in
+    (* inverse-CDF sampling *)
+    let u = Rng.float rng in
+    let acc = ref 0.0 and chosen = ref (t.c.vocab - 1) in
+    (try
+       Array.iteri
+         (fun j p ->
+           acc := !acc +. p;
+           if !acc >= u then begin
+             chosen := j;
+             raise Exit
+           end)
+         probs
+     with Exit -> ());
+    tokens.(pos) <- !chosen
+  done;
+  tokens

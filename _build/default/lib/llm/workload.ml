@@ -1,0 +1,158 @@
+module Registry = Picachu_nonlinear.Registry
+module Mz = Model_zoo
+
+type gemm = { m : int; k : int; n : int; count : int; g_tag : string }
+
+type nl = {
+  op : Registry.opkind;
+  rows : int;
+  dim : int;
+  nl_count : int;
+  nl_tag : string;
+}
+
+type t = { model : Mz.t; seq : int; gemms : gemm list; nls : nl list }
+
+let of_model (mz : Mz.t) ~seq =
+  if seq < 1 then invalid_arg "Workload.of_model: seq";
+  let l = mz.layers in
+  let d = mz.d_model in
+  let dh = Mz.d_head mz in
+  let s_eff = match mz.attn_window with Some w -> Stdlib.min w seq | None -> seq in
+  let qkv_width = d + (2 * mz.kv_heads * dh) in
+  let gemms =
+    [
+      { m = seq; k = d; n = qkv_width; count = l; g_tag = "qkv" };
+      { m = seq; k = dh; n = s_eff; count = l * mz.heads; g_tag = "attn.scores" };
+      { m = seq; k = s_eff; n = dh; count = l * mz.heads; g_tag = "attn.context" };
+      { m = seq; k = d; n = d; count = l; g_tag = "attn.out" };
+    ]
+    @ (match mz.ffn with
+      | Mz.Gelu_ffn | Mz.Relu_ffn ->
+          [
+            { m = seq; k = d; n = mz.d_ffn; count = l; g_tag = "ffn.up" };
+            { m = seq; k = mz.d_ffn; n = d; count = l; g_tag = "ffn.down" };
+          ]
+      | Mz.Swiglu_ffn | Mz.Geglu_ffn ->
+          [
+            { m = seq; k = d; n = mz.d_ffn; count = 2 * l; g_tag = "ffn.up+gate" };
+            { m = seq; k = mz.d_ffn; n = d; count = l; g_tag = "ffn.down" };
+          ])
+    @ [ { m = seq; k = d; n = mz.vocab; count = 1; g_tag = "lm_head" } ]
+  in
+  let norm = Mz.norm_op mz in
+  let act = Mz.activation_op mz in
+  let nls =
+    [
+      { op = norm; rows = seq; dim = d; nl_count = (2 * l) + 1; nl_tag = "norm" };
+      {
+        op = Registry.Softmax;
+        rows = seq * mz.heads;
+        dim = s_eff;
+        nl_count = l;
+        nl_tag = "softmax";
+      };
+      { op = act; rows = seq; dim = mz.d_ffn; nl_count = l; nl_tag = "activation" };
+    ]
+    @
+    match mz.pos with
+    | Mz.Rope_pos ->
+        (* applied to every query head and every key (KV) head *)
+        [
+          {
+            op = Registry.Rope;
+            rows = seq * (mz.heads + mz.kv_heads);
+            dim = dh;
+            nl_count = l;
+            nl_tag = "rope";
+          };
+        ]
+    | Mz.Learned_pos -> []
+  in
+  { model = mz; seq; gemms; nls }
+
+let decode_of_model (mz : Mz.t) ~context =
+  if context < 1 then invalid_arg "Workload.decode_of_model: context";
+  let l = mz.layers in
+  let d = mz.d_model in
+  let dh = Mz.d_head mz in
+  let s_eff = match mz.attn_window with Some w -> Stdlib.min w context | None -> context in
+  let qkv_width = d + (2 * mz.kv_heads * dh) in
+  let gemms =
+    [
+      { m = 1; k = d; n = qkv_width; count = l; g_tag = "qkv" };
+      { m = 1; k = dh; n = s_eff; count = l * mz.heads; g_tag = "attn.scores" };
+      { m = 1; k = s_eff; n = dh; count = l * mz.heads; g_tag = "attn.context" };
+      { m = 1; k = d; n = d; count = l; g_tag = "attn.out" };
+    ]
+    @ (match mz.ffn with
+      | Mz.Gelu_ffn | Mz.Relu_ffn ->
+          [
+            { m = 1; k = d; n = mz.d_ffn; count = l; g_tag = "ffn.up" };
+            { m = 1; k = mz.d_ffn; n = d; count = l; g_tag = "ffn.down" };
+          ]
+      | Mz.Swiglu_ffn | Mz.Geglu_ffn ->
+          [
+            { m = 1; k = d; n = mz.d_ffn; count = 2 * l; g_tag = "ffn.up+gate" };
+            { m = 1; k = mz.d_ffn; n = d; count = l; g_tag = "ffn.down" };
+          ])
+    @ [ { m = 1; k = d; n = mz.vocab; count = 1; g_tag = "lm_head" } ]
+  in
+  let norm = Mz.norm_op mz in
+  let act = Mz.activation_op mz in
+  let nls =
+    [
+      { op = norm; rows = 1; dim = d; nl_count = (2 * l) + 1; nl_tag = "norm" };
+      {
+        op = Registry.Softmax;
+        rows = mz.heads;
+        dim = s_eff;
+        nl_count = l;
+        nl_tag = "softmax";
+      };
+      { op = act; rows = 1; dim = mz.d_ffn; nl_count = l; nl_tag = "activation" };
+    ]
+    @
+    match mz.pos with
+    | Mz.Rope_pos ->
+        (* only the new token's query and key heads rotate *)
+        [
+          {
+            op = Registry.Rope;
+            rows = mz.heads + mz.kv_heads;
+            dim = dh;
+            nl_count = l;
+            nl_tag = "rope";
+          };
+        ]
+    | Mz.Learned_pos -> []
+  in
+  { model = mz; seq = 1; gemms; nls }
+
+let gemm_flops t =
+  List.fold_left
+    (fun acc g ->
+      acc +. (2.0 *. float_of_int g.m *. float_of_int g.k *. float_of_int g.n
+              *. float_of_int g.count))
+    0.0 t.gemms
+
+let nl_elements_of nl = nl.rows * nl.dim * nl.nl_count
+
+let nl_elements t =
+  List.fold_left (fun acc nl -> acc +. float_of_int (nl_elements_of nl)) 0.0 t.nls
+
+let nl_bytes ?(element_bytes = 2) nl =
+  nl.rows * nl.dim * Registry.streams_per_element nl.op * element_bytes
+
+let pp fmt t =
+  Format.fprintf fmt "workload %s seq=%d: %.2f GFLOP gemm, %.1f M nl elements@."
+    t.model.Mz.name t.seq (gemm_flops t /. 1e9) (nl_elements t /. 1e6);
+  List.iter
+    (fun g ->
+      Format.fprintf fmt "  gemm %-13s %5dx%5dx%5d x%d@." g.g_tag g.m g.k g.n g.count)
+    t.gemms;
+  List.iter
+    (fun nl ->
+      Format.fprintf fmt "  nl   %-13s rows=%6d dim=%5d x%d@." nl.nl_tag nl.rows nl.dim
+        nl.nl_count)
+    t.nls

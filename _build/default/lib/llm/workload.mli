@@ -1,0 +1,51 @@
+(** Per-model operation inventory for a prefill pass (batch 1).
+
+    Enumerates every GEMM and every nonlinear-operation instance one forward
+    pass executes, with shapes — the input all device and accelerator models
+    consume.  Counts are whole-model (layer counts folded in). *)
+
+module Registry = Picachu_nonlinear.Registry
+
+type gemm = {
+  m : int;
+  k : int;
+  n : int;
+  count : int;  (** instances per forward pass *)
+  g_tag : string;  (** e.g. ["qkv"], ["ffn.up"] *)
+}
+
+type nl = {
+  op : Registry.opkind;
+  rows : int;  (** channels per instance *)
+  dim : int;  (** channel length *)
+  nl_count : int;
+  nl_tag : string;
+}
+
+type t = {
+  model : Model_zoo.t;
+  seq : int;
+  gemms : gemm list;
+  nls : nl list;
+}
+
+val of_model : Model_zoo.t -> seq:int -> t
+
+val decode_of_model : Model_zoo.t -> context:int -> t
+(** One autoregressive decode step: every projection collapses to a GEMV
+    (m = 1) while attention still spans the [context]-token KV cache.  The
+    regime where nonlinear operations weigh heaviest: the GEMMs are
+    bandwidth-bound matrix-vector products, and softmax still touches the
+    whole cache. *)
+
+val gemm_flops : t -> float
+(** Total multiply-add*2 count. *)
+
+val nl_elements : t -> float
+(** Total nonlinear elements processed. *)
+
+val nl_elements_of : nl -> int
+val nl_bytes : ?element_bytes:int -> nl -> int
+(** DRAM traffic of one instance (streams-per-element aware). *)
+
+val pp : Format.formatter -> t -> unit

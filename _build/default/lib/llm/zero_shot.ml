@@ -1,0 +1,79 @@
+module Approx = Picachu_numerics.Approx
+module Rng = Picachu_tensor.Rng
+module Tensor = Picachu_tensor.Tensor
+module Nl = Picachu_nonlinear
+
+type item = { context : int array; cand_a : int; cand_b : int; label_a : bool }
+type task = { task_name : string; items : item list }
+
+let task_names = [ "arc-c"; "arc-e"; "hellaswag"; "piqa"; "winogrande" ]
+let context_len_of = function
+  | "arc-c" -> 24
+  | "arc-e" -> 16
+  | "hellaswag" -> 40
+  | "piqa" -> 20
+  | "winogrande" -> 12
+  | _ -> 16
+
+(* One forward over the context yields the log-probabilities of every
+   possible continuation at once (causality: the candidate token cannot
+   influence the logits that score it). *)
+let continuation_logprobs model backend context =
+  let lg = Surrogate.logits model backend context in
+  let pos = Array.length context - 1 in
+  let vocab = Tensor.cols lg in
+  let row = Array.init vocab (fun j -> Tensor.get2 lg pos j) in
+  if not (Array.for_all Float.is_finite row) then Array.make vocab neg_infinity
+  else
+    let probs = Nl.Softmax.exact_row row in
+    Array.map (fun p -> if p <= 0.0 then neg_infinity else log p) probs
+
+let score_candidate model backend context candidate =
+  (continuation_logprobs model backend context).(candidate)
+
+let make_tasks ~seed ~items_per_task ~margin model =
+  let c = Surrogate.cfg model in
+  let rng = Rng.create seed in
+  List.map
+    (fun task_name ->
+      let ctx_len = context_len_of task_name in
+      let items = ref [] in
+      let attempts = ref 0 in
+      while List.length !items < items_per_task && !attempts < items_per_task * 20 do
+        incr attempts;
+        let context = Array.init ctx_len (fun _ -> Rng.int rng c.Surrogate.vocab) in
+        let cand_a = Rng.int rng c.Surrogate.vocab in
+        let lp = continuation_logprobs model Approx.exact context in
+        (* the competitor is the *closest-scored* other token at least
+           [margin] away: real benchmark items are near-ties, which is what
+           makes format-level perturbations measurable *)
+        let cand_b = ref (-1) and best_gap = ref infinity in
+        Array.iteri
+          (fun tok l ->
+            if tok <> cand_a then
+              let gap = Float.abs (l -. lp.(cand_a)) in
+              if gap >= margin && gap < !best_gap then begin
+                best_gap := gap;
+                cand_b := tok
+              end)
+          lp;
+        if !cand_b >= 0 then
+          let cand_b = !cand_b in
+          items :=
+            { context; cand_a; cand_b; label_a = lp.(cand_a) > lp.(cand_b) } :: !items
+      done;
+      { task_name; items = List.rev !items })
+    task_names
+
+let accuracy model backend task =
+  match task.items with
+  | [] -> 0.0
+  | items ->
+      let correct =
+        List.fold_left
+          (fun acc it ->
+            let lp = continuation_logprobs model backend it.context in
+            if lp.(it.cand_a) > lp.(it.cand_b) = it.label_a then acc + 1 else acc)
+          0 items
+      in
+      float_of_int correct /. float_of_int (List.length items)

@@ -1,0 +1,33 @@
+(** Synthetic zero-shot tasks (Table 6).
+
+    The paper scores ARC-c/ARC-e/HellaSwag/PIQA/WinoGrande via lm-eval:
+    every item reduces to "which of two continuations does the model assign
+    higher likelihood?".  The synthetic replacement builds two-candidate
+    items from random contexts: the first candidate is random, the second
+    is the *closest-scored* other token at least [margin] away under the
+    float64-exact model, whose preference becomes the label.  Near-tie
+    items are what make format-level perturbations measurable — exactly the
+    property of real benchmark items.  A backend's accuracy is its
+    agreement with those labels: FP16 lands near but not at 100% and the
+    PICACHU backends land within a task-granularity delta of FP16,
+    reproducing the Table 6 +-0.x%% structure. *)
+
+module Approx = Picachu_numerics.Approx
+module Rng = Picachu_tensor.Rng
+
+type item = { context : int array; cand_a : int; cand_b : int; label_a : bool }
+type task = { task_name : string; items : item list }
+
+val task_names : string list
+(** ["arc-c"; "arc-e"; "hellaswag"; "piqa"; "winogrande"] — each synthetic
+    task uses a different context length, mirroring the different item
+    shapes of the real benchmarks. *)
+
+val make_tasks :
+  seed:int -> items_per_task:int -> margin:float -> Surrogate.t -> task list
+
+val score_candidate : Surrogate.t -> Approx.t -> int array -> int -> float
+(** Log-likelihood the backend assigns to [candidate] after [context]. *)
+
+val accuracy : Surrogate.t -> Approx.t -> task -> float
+(** Fraction of items where the backend agrees with the label. *)

@@ -1,0 +1,1 @@
+lib/memory/dataflow.ml: Dma Shared_buffer Stdlib

@@ -1,0 +1,1 @@
+lib/memory/dataflow.mli: Dma Shared_buffer

@@ -1,0 +1,1 @@
+lib/memory/double_buffer.mli:

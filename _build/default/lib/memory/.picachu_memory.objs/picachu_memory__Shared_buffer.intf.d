@@ -1,0 +1,1 @@
+lib/memory/shared_buffer.mli:

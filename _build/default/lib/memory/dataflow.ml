@@ -1,0 +1,51 @@
+type case = Stream_overlap | Channel_dma | Buffer_resident
+
+let case_name = function
+  | Stream_overlap -> "case1-stream"
+  | Channel_dma -> "case2-channel-dma"
+  | Buffer_resident -> "case3-resident"
+
+let classify buf ~reduction ~rows ~dim =
+  if not reduction then Stream_overlap
+  else if Shared_buffer.channels_resident buf ~dim >= rows then Buffer_resident
+  else Channel_dma
+
+let case1_cycles ~producer_cycles ~cgra_cycles ~prologue =
+  Stdlib.max producer_cycles cgra_cycles + prologue
+
+let channel_bytes ~dim ~element_bytes = dim * element_bytes
+
+(* A channel needs 4x its bytes resident (double-buffered input and output
+   pairs).  A buffer below that threshold forces segmentation: the reduction
+   pass and the element-wise pass each re-stream the channel segment by
+   segment, so the DMA volume doubles and every segment pays setup. *)
+let channel_dma_cycles dma buf ~dim ~element_bytes =
+  let bytes = channel_bytes ~dim ~element_bytes in
+  if Shared_buffer.holds_channel buf ~dim then Dma.transfer_cycles dma ~bytes
+  else
+    let segments =
+      (4 * bytes + buf.Shared_buffer.capacity_bytes - 1)
+      / buf.Shared_buffer.capacity_bytes
+    in
+    2 * segments * Dma.transfer_cycles dma ~bytes:((bytes + segments - 1) / segments)
+
+let case2_cycles dma buf ~rows ~dim ~element_bytes ~compute_per_channel ~writeback =
+  let t_in = channel_dma_cycles dma buf ~dim ~element_bytes in
+  let t_out = if writeback then t_in else 0 in
+  if rows = 0 then 0
+  else
+    (* separate in/out buffer pairs let both directions overlap compute; the
+       steady-state rate is the slowest of the three engines *)
+    let steady = Stdlib.max compute_per_channel (Stdlib.max t_in t_out) in
+    t_in + (steady * (rows - 1)) + compute_per_channel + t_out
+
+let case2_cycles_single_buffered dma buf ~rows ~dim ~element_bytes
+    ~compute_per_channel ~writeback =
+  let t_in = channel_dma_cycles dma buf ~dim ~element_bytes in
+  let t_out = if writeback then t_in else 0 in
+  rows * (t_in + compute_per_channel + t_out)
+
+let case3_cycles dma ~rows ~dim ~element_bytes ~compute_per_channel ~input_on_chip =
+  let bulk = Dma.transfer_cycles dma ~bytes:(rows * channel_bytes ~dim ~element_bytes) in
+  let load = if input_on_chip then 0 else bulk in
+  load + (rows * compute_per_channel) + bulk

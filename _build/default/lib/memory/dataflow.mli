@@ -1,0 +1,47 @@
+(** The three Shared-Buffer data-flow strategies of paper §4.2.4.
+
+    - {b Case 1} — element-wise operations stream directly out of the
+      systolic array: CGRA execution overlaps GEMM production, no
+      intermediate statistics are buffered.
+    - {b Case 2} — reductions whose tensor exceeds the buffer fetch one
+      channel at a time over DMA, double-buffered, and write results back.
+    - {b Case 3} — reductions whose working set fits (FlashAttention-style
+      blocking): inputs stay resident until statistics are complete, then
+      the final element-wise loop runs in place.
+
+    All cycle calculators take *per-channel* compute costs produced by the
+    CGRA mapper and return total cycles for [rows] channels of [dim]
+    elements. *)
+
+type case = Stream_overlap | Channel_dma | Buffer_resident
+
+val case_name : case -> string
+
+val classify : Shared_buffer.t -> reduction:bool -> rows:int -> dim:int -> case
+(** EO ops always stream (Case 1); RE ops pick Case 3 when the whole
+    [rows x dim] working set is resident, else Case 2. *)
+
+val case1_cycles :
+  producer_cycles:int -> cgra_cycles:int -> prologue:int -> int
+(** Overlapped with the systolic array: the slower engine dominates, plus
+    the first channel's pipeline fill. *)
+
+val case2_cycles :
+  Dma.t -> Shared_buffer.t -> rows:int -> dim:int -> element_bytes:int ->
+  compute_per_channel:int -> writeback:bool -> int
+(** Channel-at-a-time DMA in (and optionally out), double-buffered against
+    compute.  When the buffer cannot hold a full double-buffered channel
+    (the Figure 7c regime below the per-model threshold), the channel is
+    segmented: the reduction and element-wise passes each re-stream the
+    data, paying per-segment DMA setup — the cliff §5.3.5 measures. *)
+
+val case3_cycles :
+  Dma.t -> rows:int -> dim:int -> element_bytes:int ->
+  compute_per_channel:int -> input_on_chip:bool -> int
+(** One bulk load (skipped when the producer already left the data in the
+    buffer), all channels computed in place, one bulk store. *)
+
+val case2_cycles_single_buffered :
+  Dma.t -> Shared_buffer.t -> rows:int -> dim:int -> element_bytes:int ->
+  compute_per_channel:int -> writeback:bool -> int
+(** Ablation: Case 2 with the double-buffering disabled (DMA exposed). *)

@@ -1,0 +1,12 @@
+type t = { setup_cycles : int; bytes_per_cycle : float }
+
+let make ?(setup_cycles = 300) ~bytes_per_cycle () =
+  if bytes_per_cycle <= 0.0 then invalid_arg "Dma.make: bandwidth";
+  { setup_cycles; bytes_per_cycle }
+
+let default = make ~bytes_per_cycle:16.0 ()
+
+let transfer_cycles t ~bytes =
+  if bytes < 0 then invalid_arg "Dma.transfer_cycles: negative size";
+  if bytes = 0 then 0
+  else t.setup_cycles + int_of_float (ceil (float_of_int bytes /. t.bytes_per_cycle))

@@ -1,0 +1,18 @@
+(** DMA engine between off-chip DRAM and the Shared Buffer (paper §4.2.3/4.2.4).
+
+    The paper measures DMA latency on a Xilinx U280: a fixed per-transfer
+    setup latency plus a bandwidth-limited streaming phase.  Cycle counts are
+    at the accelerator clock (1 GHz default). *)
+
+type t = {
+  setup_cycles : int;  (** per-transfer initiation latency *)
+  bytes_per_cycle : float;  (** sustained streaming bandwidth *)
+}
+
+val default : t
+(** 300-cycle setup, 16 B/cycle (16 GB/s at 1 GHz — PCIe-attached FPGA-class
+    bandwidth, matching the U280 measurement setup). *)
+
+val make : ?setup_cycles:int -> bytes_per_cycle:float -> unit -> t
+val transfer_cycles : t -> bytes:int -> int
+(** Requires [bytes >= 0]; zero bytes costs zero. *)

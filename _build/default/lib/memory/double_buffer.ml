@@ -1,0 +1,18 @@
+let check ~chunks ~transfer ~compute =
+  if chunks < 0 || transfer < 0 || compute < 0 then
+    invalid_arg "Double_buffer: negative argument"
+
+let pipelined_cycles ~chunks ~transfer ~compute =
+  check ~chunks ~transfer ~compute;
+  if chunks = 0 then 0
+  else transfer + (Stdlib.max transfer compute * (chunks - 1)) + compute
+
+let serialized_cycles ~chunks ~transfer ~compute =
+  check ~chunks ~transfer ~compute;
+  (transfer + compute) * chunks
+
+let hidden_fraction ~chunks ~transfer ~compute =
+  let serial = serialized_cycles ~chunks ~transfer ~compute in
+  let piped = pipelined_cycles ~chunks ~transfer ~compute in
+  let dma_total = transfer * chunks in
+  if dma_total = 0 then 0.0 else float_of_int (serial - piped) /. float_of_int dma_total

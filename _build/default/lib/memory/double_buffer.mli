@@ -1,0 +1,19 @@
+(** Double-buffering overlap model (paper §4.2.3).
+
+    With two input and two output buffers, chunk [i+1]'s DMA transfer
+    overlaps chunk [i]'s computation.  For [chunks] equal chunks with
+    per-chunk transfer time [t] and compute time [c]:
+
+    - double-buffered:  [t + max(t, c) * (chunks - 1) + c]
+      (first load exposed, then the slower of the two pipelines, then the
+      last compute drains)
+    - single-buffered:  [(t + c) * chunks] — everything serialized. *)
+
+val pipelined_cycles : chunks:int -> transfer:int -> compute:int -> int
+(** Requires [chunks >= 0] and non-negative stage times. *)
+
+val serialized_cycles : chunks:int -> transfer:int -> compute:int -> int
+
+val hidden_fraction : chunks:int -> transfer:int -> compute:int -> float
+(** Fraction of total DMA time hidden by the overlap (0 when nothing is
+    hidden, approaching 1 when compute fully covers transfers). *)

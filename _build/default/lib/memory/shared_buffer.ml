@@ -1,0 +1,16 @@
+type t = { capacity_bytes : int; element_bytes : int }
+
+let make ?(element_bytes = 2) ~kb () =
+  if kb <= 0.0 then invalid_arg "Shared_buffer.make: capacity";
+  if element_bytes <= 0 then invalid_arg "Shared_buffer.make: element width";
+  { capacity_bytes = int_of_float (kb *. 1024.0); element_bytes }
+
+let capacity_elements t = t.capacity_bytes / t.element_bytes
+
+(* Four buffers share the capacity: two input and two output (double
+   buffering, §4.2.3); a channel is resident when one quarter holds it. *)
+let holds_channel t ~dim = dim * t.element_bytes * 4 <= t.capacity_bytes
+
+let channels_resident t ~dim =
+  if dim <= 0 then invalid_arg "Shared_buffer.channels_resident: dim";
+  t.capacity_bytes / (4 * dim * t.element_bytes)

@@ -1,0 +1,22 @@
+(** The Shared Buffer: the systolic array's output SRAM multiplexed as the
+    CGRA's input/intermediate/output memory (paper §4.2.4, Figure 5). *)
+
+type t = {
+  capacity_bytes : int;
+  element_bytes : int;  (** 2 for FP16/INT16, 4 for FP32/INT32 *)
+}
+
+val make : ?element_bytes:int -> kb:float -> unit -> t
+(** Requires positive capacity. Default element width 2 bytes. *)
+
+val capacity_elements : t -> int
+
+val holds_channel : t -> dim:int -> bool
+(** Can one channel (a vector of [dim] elements — one token's embedding, or
+    one softmax row) fit?  This is the §5.3.5 threshold: a 40KB buffer holds
+    a LLaMA2-7B channel (4096 x 2B x double-buffered pairs), a 20KB buffer a
+    GPT2-XL channel (1600). *)
+
+val channels_resident : t -> dim:int -> int
+(** How many channels fit simultaneously (for Case 3 / FlashAttention-style
+    blocking); accounts for the double-buffered input+output pairs. *)

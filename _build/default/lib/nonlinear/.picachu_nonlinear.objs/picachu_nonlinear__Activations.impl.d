@@ -1,0 +1,1 @@
+lib/nonlinear/activations.ml: Float Picachu_numerics Picachu_tensor

@@ -1,0 +1,1 @@
+lib/nonlinear/activations.mli: Picachu_numerics Picachu_tensor

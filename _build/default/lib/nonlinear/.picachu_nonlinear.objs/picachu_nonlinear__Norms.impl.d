@@ -1,0 +1,1 @@
+lib/nonlinear/norms.ml: Array Picachu_numerics Picachu_tensor

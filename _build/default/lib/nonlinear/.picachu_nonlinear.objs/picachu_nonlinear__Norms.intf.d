@@ -1,0 +1,1 @@
+lib/nonlinear/norms.mli: Picachu_numerics Picachu_tensor

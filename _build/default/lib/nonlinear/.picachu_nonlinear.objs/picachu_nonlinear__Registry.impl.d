@@ -1,0 +1,1 @@
+lib/nonlinear/registry.ml: List Picachu_ir

@@ -1,0 +1,1 @@
+lib/nonlinear/registry.mli: Picachu_ir

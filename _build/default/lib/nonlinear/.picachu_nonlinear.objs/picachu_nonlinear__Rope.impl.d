@@ -1,0 +1,1 @@
+lib/nonlinear/rope.ml: Array Float Picachu_numerics Picachu_tensor

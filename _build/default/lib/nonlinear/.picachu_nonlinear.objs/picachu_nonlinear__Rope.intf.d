@@ -1,0 +1,1 @@
+lib/nonlinear/rope.mli: Picachu_numerics Picachu_tensor

@@ -1,0 +1,1 @@
+lib/nonlinear/softmax.ml: Array Float Picachu_numerics Picachu_tensor

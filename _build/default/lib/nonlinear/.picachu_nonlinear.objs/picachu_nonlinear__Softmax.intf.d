@@ -1,0 +1,1 @@
+lib/nonlinear/softmax.mli: Picachu_numerics Picachu_tensor

@@ -1,0 +1,23 @@
+module Tensor = Picachu_tensor.Tensor
+module Approx = Picachu_numerics.Approx
+module Lut = Picachu_numerics.Lut
+
+let elementwise f t =
+  let out = f (Tensor.data (Tensor.copy t)) in
+  Tensor.of_array (Tensor.shape t) out
+
+let relu_exact t = Tensor.map (fun x -> Float.max 0.0 x) t
+let relu (b : Approx.t) t = elementwise b.relu t
+let gelu_exact t = Tensor.map (fun x -> x *. Lut.gauss_cdf_exact x) t
+let gelu (b : Approx.t) t = elementwise b.gelu t
+let silu_exact t = Tensor.map Approx.silu_exact t
+let silu (b : Approx.t) t = elementwise b.silu t
+
+let gated act ~gate v =
+  if Tensor.shape gate <> Tensor.shape v then invalid_arg "Activations: gate shape";
+  Tensor.mul (act gate) v
+
+let geglu_exact ~gate v = gated gelu_exact ~gate v
+let geglu b ~gate v = gated (gelu b) ~gate v
+let swiglu_exact ~gate v = gated silu_exact ~gate v
+let swiglu b ~gate v = gated (silu b) ~gate v

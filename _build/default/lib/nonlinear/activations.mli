@@ -1,0 +1,24 @@
+(** Element-wise activation functions (Table 1: ReLU, GeLU, SiLU, and the
+    gated pairs GeGLU / SwiGLU).
+
+    The gated variants take the two already-projected streams ([xW + b] and
+    [xV + c]); the projections themselves are GEMMs that run on the systolic
+    array, so only the element-wise combination is a nonlinear operation. *)
+
+module Tensor = Picachu_tensor.Tensor
+module Approx = Picachu_numerics.Approx
+
+val relu_exact : Tensor.t -> Tensor.t
+val relu : Approx.t -> Tensor.t -> Tensor.t
+val gelu_exact : Tensor.t -> Tensor.t
+(** Phi form: [x * Phi(x)] in float64. *)
+
+val gelu : Approx.t -> Tensor.t -> Tensor.t
+val silu_exact : Tensor.t -> Tensor.t
+val silu : Approx.t -> Tensor.t -> Tensor.t
+val geglu_exact : gate:Tensor.t -> Tensor.t -> Tensor.t
+(** [geglu ~gate v] = [gelu gate * v] element-wise; shapes must match. *)
+
+val geglu : Approx.t -> gate:Tensor.t -> Tensor.t -> Tensor.t
+val swiglu_exact : gate:Tensor.t -> Tensor.t -> Tensor.t
+val swiglu : Approx.t -> gate:Tensor.t -> Tensor.t -> Tensor.t

@@ -1,0 +1,44 @@
+module Tensor = Picachu_tensor.Tensor
+module Approx = Picachu_numerics.Approx
+
+let eps = 1e-5
+
+let rowwise f t =
+  let rows = Tensor.rows t and cols = Tensor.cols t in
+  let out = Tensor.create [ rows; cols ] in
+  for i = 0 to rows - 1 do
+    let row = Array.init cols (fun j -> Tensor.get2 t i j) in
+    Array.iteri (fun j v -> Tensor.set2 out i j v) (f row)
+  done;
+  out
+
+let mean xs = Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let layernorm_row_exact xs =
+  let mu = mean xs in
+  let var = mean (Array.map (fun x -> (x -. mu) *. (x -. mu)) xs) in
+  let inv = 1.0 /. sqrt (var +. eps) in
+  Array.map (fun x -> (x -. mu) *. inv) xs
+
+let layernorm_row (b : Approx.t) xs =
+  let xs = b.format xs in
+  let mu = mean xs in
+  let var = mean (Array.map (fun x -> (x -. mu) *. (x -. mu)) xs) in
+  let inv = b.isqrt (var +. eps) in
+  b.format (Array.map (fun x -> (x -. mu) *. inv) xs)
+
+let rmsnorm_row_exact xs =
+  let ms = mean (Array.map (fun x -> x *. x) xs) in
+  let inv = 1.0 /. sqrt (ms +. eps) in
+  Array.map (fun x -> x *. inv) xs
+
+let rmsnorm_row (b : Approx.t) xs =
+  let xs = b.format xs in
+  let ms = mean (Array.map (fun x -> x *. x) xs) in
+  let inv = b.isqrt (ms +. eps) in
+  b.format (Array.map (fun x -> x *. inv) xs)
+
+let layernorm_exact t = rowwise layernorm_row_exact t
+let layernorm b t = rowwise (layernorm_row b) t
+let rmsnorm_exact t = rowwise rmsnorm_row_exact t
+let rmsnorm b t = rowwise (rmsnorm_row b) t

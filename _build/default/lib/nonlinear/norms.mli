@@ -1,0 +1,19 @@
+(** Row-wise normalization (Table 1: LayerNorm, RMSNorm).
+
+    The reduction loops accumulate in the CGRA's widened registers (modelled
+    exact); the approximation surface is the inverse square root — computed
+    once per channel outside the hot loop (§4.1) — and the element-wise
+    normalize pass, which runs through the backend's I/O format. *)
+
+module Tensor = Picachu_tensor.Tensor
+module Approx = Picachu_numerics.Approx
+
+val eps : float
+(** 1e-5, the conventional stabilizer. *)
+
+val layernorm_exact : Tensor.t -> Tensor.t
+(** Rank-2 input, normalized along the last axis (no affine parameters). *)
+
+val layernorm : Approx.t -> Tensor.t -> Tensor.t
+val rmsnorm_exact : Tensor.t -> Tensor.t
+val rmsnorm : Approx.t -> Tensor.t -> Tensor.t

@@ -1,0 +1,49 @@
+module Tensor = Picachu_tensor.Tensor
+module Approx = Picachu_numerics.Approx
+
+let theta ~dim i =
+  if i < 1 || 2 * i > dim then invalid_arg "Rope.theta: pair index";
+  10000.0 ** (-2.0 *. float_of_int (i - 1) /. float_of_int dim)
+
+let reduce_angle a =
+  let two_pi = 2.0 *. Float.pi in
+  let r = Float.rem a two_pi in
+  let r = if r > Float.pi then r -. two_pi else if r < -.Float.pi then r +. two_pi else r in
+  if r > Float.pi /. 2.0 then (Float.pi -. r, 1.0, -1.0)
+  else if r < -.(Float.pi /. 2.0) then (-.Float.pi -. r, 1.0, -1.0)
+  else (r, 1.0, 1.0)
+
+let rotate ~sin_fn ~cos_fn ~pos row =
+  let d = Array.length row in
+  if d mod 2 <> 0 then invalid_arg "Rope: odd dimension";
+  let out = Array.make d 0.0 in
+  for i = 1 to d / 2 do
+    let angle = float_of_int pos *. theta ~dim:d i in
+    let t, ss, cs = reduce_angle angle in
+    let s = ss *. sin_fn t and c = cs *. cos_fn t in
+    let x1 = row.((2 * i) - 2) and x2 = row.((2 * i) - 1) in
+    out.((2 * i) - 2) <- (x1 *. c) -. (x2 *. s);
+    out.((2 * i) - 1) <- (x1 *. s) +. (x2 *. c)
+  done;
+  out
+
+let exact ~pos t =
+  let row = Array.init (Tensor.numel t) (Tensor.get t) in
+  Tensor.of_array (Tensor.shape t) (rotate ~sin_fn:sin ~cos_fn:cos ~pos row)
+
+let approx (b : Approx.t) ~pos t =
+  let row = b.format (Array.init (Tensor.numel t) (Tensor.get t)) in
+  Tensor.of_array (Tensor.shape t)
+    (b.format (rotate ~sin_fn:b.sin ~cos_fn:b.cos ~pos row))
+
+let rowwise f t =
+  let rows = Tensor.rows t and cols = Tensor.cols t in
+  let out = Tensor.create [ rows; cols ] in
+  for i = 0 to rows - 1 do
+    let row = Tensor.row t i in
+    Tensor.set_row out i (f ~pos:i row)
+  done;
+  out
+
+let exact_rows t = rowwise (fun ~pos r -> exact ~pos r) t
+let approx_rows b t = rowwise (fun ~pos r -> approx b ~pos r) t

@@ -1,0 +1,28 @@
+(** Rotary positional embedding (Table 1, last row).
+
+    For position [m] and pair index [i] (1-based, [d/2] pairs), the rotation
+    angle is [m * theta_i] with [theta_i = 10000^(-2(i-1)/d)].  Angles are
+    range-reduced into [-pi/2, pi/2] (tracking the quadrant signs) before
+    the backend's Taylor sin/cos run — the host-side preparation the CGRA
+    kernel assumes. *)
+
+module Tensor = Picachu_tensor.Tensor
+module Approx = Picachu_numerics.Approx
+
+val theta : dim:int -> int -> float
+(** [theta ~dim i] for 1-based pair index [i]. *)
+
+val reduce_angle : float -> float * float * float
+(** [reduce_angle a] is [(t, sin_sign, cos_sign)] with [t] in
+    [-pi/2, pi/2], [sin a = sin_sign * sin t] and [cos a = cos_sign * cos t]
+    (for [t] as returned; signs are +-1). *)
+
+val exact : pos:int -> Tensor.t -> Tensor.t
+(** Rank-1 row of even length [d]; pairs are [(x_2i-1, x_2i)]. *)
+
+val approx : Approx.t -> pos:int -> Tensor.t -> Tensor.t
+
+val exact_rows : Tensor.t -> Tensor.t
+(** Rank-2 [seq x d]; row index is the position. *)
+
+val approx_rows : Approx.t -> Tensor.t -> Tensor.t

@@ -1,0 +1,26 @@
+module Tensor = Picachu_tensor.Tensor
+module Approx = Picachu_numerics.Approx
+
+let exact_row xs =
+  let m = Array.fold_left Float.max neg_infinity xs in
+  let es = Array.map (fun x -> exp (x -. m)) xs in
+  let s = Array.fold_left ( +. ) 0.0 es in
+  Array.map (fun e -> e /. s) es
+
+let approx_row (b : Approx.t) xs =
+  let es = b.exp_shifted xs in
+  let s = Array.fold_left ( +. ) 0.0 es in
+  Array.map (fun e -> b.div e s) es
+
+let rowwise f t =
+  let rows = Tensor.rows t and cols = Tensor.cols t in
+  let out = Tensor.create [ rows; cols ] in
+  for i = 0 to rows - 1 do
+    let row = Array.init cols (fun j -> Tensor.get2 t i j) in
+    let r = f row in
+    Array.iteri (fun j v -> Tensor.set2 out i j v) r
+  done;
+  out
+
+let exact t = rowwise exact_row t
+let approx b t = rowwise (approx_row b) t

@@ -1,0 +1,14 @@
+(** Row-wise numerically-stable softmax (Table 1, first row). *)
+
+module Tensor = Picachu_tensor.Tensor
+module Approx = Picachu_numerics.Approx
+
+val exact : Tensor.t -> Tensor.t
+(** Rank-2 input; softmax along the last axis in float64. *)
+
+val approx : Approx.t -> Tensor.t -> Tensor.t
+(** Same, through a backend's [exp_shifted] and [div] primitives — the
+    three-loop structure the CGRA kernel executes. *)
+
+val exact_row : float array -> float array
+val approx_row : Approx.t -> float array -> float array

@@ -1,0 +1,1 @@
+lib/numerics/approx.ml: Array Fixed_point Float Fp16 Gemmlowp Ibert Int_ops Lazy Lut Printf Quant Stdlib Taylor

@@ -1,0 +1,1 @@
+lib/numerics/fp16.ml: Int32

@@ -1,0 +1,1 @@
+lib/numerics/gemmlowp.ml: Array Fixed_point Float Lazy Quant

@@ -1,0 +1,1 @@
+lib/numerics/ibert.ml: Array Float Quant Stdlib

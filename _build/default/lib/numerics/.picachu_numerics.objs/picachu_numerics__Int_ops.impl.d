@@ -1,0 +1,1 @@
+lib/numerics/int_ops.ml: Array Fixed_point Float Lazy Poly

@@ -1,0 +1,1 @@
+lib/numerics/int_ops.mli:

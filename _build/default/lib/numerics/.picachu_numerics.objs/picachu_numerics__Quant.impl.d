@@ -1,0 +1,1 @@
+lib/numerics/quant.ml: Array Float Picachu_tensor

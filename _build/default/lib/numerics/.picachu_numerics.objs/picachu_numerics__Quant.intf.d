@@ -1,0 +1,1 @@
+lib/numerics/quant.mli: Picachu_tensor

@@ -1,0 +1,1 @@
+lib/numerics/taylor.ml: Fixed_point Float Fp16 Poly

@@ -1,0 +1,41 @@
+type fmt = { total_bits : int; frac_bits : int }
+
+let fmt ~total_bits ~frac_bits =
+  if total_bits < 2 || total_bits > 62 then invalid_arg "Fixed_point.fmt: total_bits";
+  if frac_bits < 0 || frac_bits >= total_bits then
+    invalid_arg "Fixed_point.fmt: frac_bits";
+  { total_bits; frac_bits }
+
+let q15 = { total_bits = 16; frac_bits = 15 }
+let q31 = { total_bits = 32; frac_bits = 31 }
+let max_int_value f = (1 lsl (f.total_bits - 1)) - 1
+let min_int_value f = -(1 lsl (f.total_bits - 1))
+
+let saturate f v =
+  let hi = max_int_value f and lo = min_int_value f in
+  if v > hi then hi else if v < lo then lo else v
+
+let of_float f x =
+  let scaled = x *. float_of_int (1 lsl f.frac_bits) in
+  if Float.is_nan scaled then 0
+  else saturate f (int_of_float (Float.round scaled))
+
+let to_float f v = float_of_int v /. float_of_int (1 lsl f.frac_bits)
+let round f x = to_float f (of_float f x)
+let add f a b = saturate f (a + b)
+let sub f a b = saturate f (a - b)
+
+let mul f a b =
+  (* 62-bit headroom is enough for two <=32-bit operands *)
+  let prod = a * b in
+  let half = 1 lsl (f.frac_bits - 1) in
+  let rounded =
+    if f.frac_bits = 0 then prod
+    else if prod >= 0 then (prod + half) asr f.frac_bits
+    else -((-prod + half) asr f.frac_bits)
+  in
+  saturate f rounded
+
+let split x =
+  let i = Float.floor x in
+  (int_of_float i, x -. i)

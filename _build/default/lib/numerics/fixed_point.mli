@@ -1,0 +1,42 @@
+(** Signed fixed-point arithmetic in Q notation.
+
+    The FP2FX special unit (paper §4.2.1) and the INT execution lanes (§4.2.2)
+    operate on fixed-point representations.  A value is an [int] holding
+    [round (x * 2^frac_bits)], saturated to the given total bit width.
+    Operations saturate rather than wrap, matching the DSP-style units in the
+    PICACHU tiles. *)
+
+type fmt = { total_bits : int; frac_bits : int }
+(** [total_bits] includes the sign bit. Requires [2 <= total_bits <= 62] and
+    [0 <= frac_bits < total_bits]. *)
+
+val fmt : total_bits:int -> frac_bits:int -> fmt
+(** Smart constructor; raises [Invalid_argument] on an unusable format. *)
+
+val q15 : fmt
+(** Q1.15: 16-bit, 15 fractional bits — the INT16 lane format. *)
+
+val q31 : fmt
+(** Q1.31: 32-bit, 31 fractional bits — the INT32 lane format. *)
+
+val max_int_value : fmt -> int
+val min_int_value : fmt -> int
+
+val of_float : fmt -> float -> int
+(** Round-to-nearest, saturating. *)
+
+val to_float : fmt -> int -> float
+val round : fmt -> float -> float
+(** Quantize a float through the format. *)
+
+val add : fmt -> int -> int -> int
+val sub : fmt -> int -> int -> int
+val mul : fmt -> int -> int -> int
+(** Full-precision product, then round and saturate back to [fmt]. *)
+
+val saturate : fmt -> int -> int
+
+val split : float -> int * float
+(** [split x] is the FP2FX decomposition [(i, f)] with [x = i + f] and
+    [f] in [[0, 1)]; the integer part is [floor x].  This is the hardware
+    operation used by the exponential algorithm (Table 3, step 2). *)

@@ -1,0 +1,56 @@
+let max_value = 65504.0
+let epsilon = 1.0 /. 1024.0
+
+(* Conversion goes through the binary32 encoding: float64 -> float32 (which
+   OCaml's Int32.bits_of_float performs with correct rounding) -> binary16 with
+   round-to-nearest-even, following the usual truncate-and-round algorithm on
+   the bit patterns. *)
+let of_float x =
+  let bits32 = Int32.bits_of_float x in
+  let b = Int32.to_int (Int32.shift_right_logical bits32 16) land 0xFFFF in
+  let sign = b land 0x8000 in
+  let u = Int32.to_int (Int32.logand bits32 0x7FFFFFFFl) in
+  if u >= 0x7F800000 then
+    (* Inf / NaN *)
+    if u > 0x7F800000 then sign lor 0x7E00 (* quiet NaN *) else sign lor 0x7C00
+  else
+    let exp32 = (u lsr 23) - 127 in
+    let mant32 = u land 0x7FFFFF in
+    let exp16 = exp32 + 15 in
+    if exp16 >= 0x1F then sign lor 0x7C00 (* overflow -> inf *)
+    else if exp16 <= 0 then
+      if exp16 < -10 then sign (* underflow -> signed zero *)
+      else
+        (* subnormal: shift the implicit-1 mantissa right *)
+        let mant = mant32 lor 0x800000 in
+        let shift = 14 - exp16 in
+        let halfway = 1 lsl (shift - 1) in
+        let rounded =
+          let q = mant lsr shift in
+          let rem = mant land ((1 lsl shift) - 1) in
+          if rem > halfway || (rem = halfway && q land 1 = 1) then q + 1 else q
+        in
+        sign lor rounded
+    else
+      (* normal: round 23-bit mantissa to 10 bits, round-to-nearest-even *)
+      let q = mant32 lsr 13 in
+      let rem = mant32 land 0x1FFF in
+      let rounded =
+        if rem > 0x1000 || (rem = 0x1000 && q land 1 = 1) then q + 1 else q
+      in
+      let v = (exp16 lsl 10) + rounded in
+      (* mantissa carry may bump the exponent; the addition handles it, but it
+         can also overflow to inf which the [land] below preserves *)
+      if v >= 0x7C00 then sign lor 0x7C00 else sign lor v
+
+let to_float bits =
+  let bits = bits land 0xFFFF in
+  let sign = if bits land 0x8000 <> 0 then -1.0 else 1.0 in
+  let exp = (bits lsr 10) land 0x1F in
+  let mant = bits land 0x3FF in
+  if exp = 0x1F then if mant = 0 then sign *. infinity else nan
+  else if exp = 0 then sign *. (float_of_int mant /. 1024.0) *. (2.0 ** -14.0)
+  else sign *. (1.0 +. (float_of_int mant /. 1024.0)) *. (2.0 ** float_of_int (exp - 15))
+
+let round x = to_float (of_float x)
+let round32 x = Int32.float_of_bits (Int32.bits_of_float x)

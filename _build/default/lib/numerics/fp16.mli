@@ -1,0 +1,25 @@
+(** IEEE 754 binary16 codec.
+
+    PICACHU's CGRA accepts FP16 inputs and converts them to FP32 for
+    intermediate computation (paper §4.2.1).  This module provides the
+    round-trip used to model that data format: encode a float64 to the nearest
+    binary16 (round-to-nearest-even, with overflow to infinity and gradual
+    underflow to subnormals) and decode back. *)
+
+val of_float : float -> int
+(** [of_float x] is the 16-bit encoding (0..0xFFFF). *)
+
+val to_float : int -> float
+(** [to_float bits] decodes; only the low 16 bits are read. *)
+
+val round : float -> float
+(** [round x] = [to_float (of_float x)] — quantize a value through FP16. *)
+
+val round32 : float -> float
+(** Quantize through IEEE binary32 (FP32), the CGRA's intermediate format. *)
+
+val max_value : float
+(** Largest finite FP16 value (65504). *)
+
+val epsilon : float
+(** FP16 machine epsilon (2^-10). *)

@@ -1,0 +1,98 @@
+let bits = 8
+let ln_2 = 0.6931471805599453
+
+let i_poly ~scale ~a ~b ~c q =
+  (* a (x + b)^2 + c  with x = q * scale: q_b = floor(b / scale),
+     q_c = floor(c / (a scale^2)); out = q_out * scale_out with
+     scale_out = a scale^2  (I-BERT eq. 3). *)
+  let q_b = int_of_float (Float.floor (b /. scale)) in
+  let q_c = int_of_float (Float.floor (c /. (a *. scale *. scale))) in
+  let q_out = ((q + q_b) * (q + q_b)) + q_c in
+  (q_out, a *. scale *. scale)
+
+let i_exp ~scale q =
+  (* clamp to non-positive domain, decompose by ln2 in integer arithmetic *)
+  let q = if q > 0 then 0 else q in
+  let q_ln2 = int_of_float (Float.floor (ln_2 /. scale)) in
+  let q_ln2 = Stdlib.max 1 q_ln2 in
+  let z = -q / q_ln2 in
+  let q_p = q + (z * q_ln2) (* p = q_p * scale in (-ln2, 0] *) in
+  let q_l, scale_l = i_poly ~scale ~a:0.3585 ~b:1.353 ~c:0.344 q_p in
+  let z = Stdlib.min z 30 in
+  (q_l asr z, scale_l)
+
+let i_erf ~scale q =
+  let a = -0.2888 and b = -1.769 in
+  let sign = if q < 0 then -1 else 1 in
+  let q_abs = abs q in
+  let q_clip_limit = int_of_float (Float.floor (-.b /. scale)) in
+  let q_clipped = Stdlib.min q_abs q_clip_limit in
+  let q_poly, scale_poly = i_poly ~scale ~a ~b ~c:1.0 q_clipped in
+  (sign * q_poly, scale_poly)
+
+let i_sqrt n =
+  if n < 0 then invalid_arg "Ibert.i_sqrt: negative";
+  if n = 0 then 0
+  else
+    let x = ref n in
+    let y = ref ((n + 1) / 2) in
+    while !y < !x do
+      x := !y;
+      y := (!x + (n / !x)) / 2
+    done;
+    !x
+
+(* I-BERT is a static post-training quantization scheme: activation scales
+   are calibrated offline on typical data.  LLM activation outliers blow far
+   past any such calibration range, and the INT8 grid saturates — the
+   mechanism behind the paper's Table 2 collapse on LLaMA. *)
+let calibrated_absmax = 8.0
+
+let quantize_array xs =
+  let scale = Quant.scale_for ~bits ~absmax:calibrated_absmax in
+  (Array.map (fun x -> Quant.quantize_value ~bits ~scale x) xs, scale)
+
+let exp_v xs =
+  let q, scale = quantize_array xs in
+  let q_max = Array.fold_left Stdlib.max min_int q in
+  Array.map
+    (fun qi ->
+      let q_out, scale_out = i_exp ~scale (qi - q_max) in
+      float_of_int q_out *. scale_out)
+    q
+
+let gelu_v xs =
+  let q, scale = quantize_array xs in
+  (* GeLU(x) = x * 0.5 (1 + erf(x / sqrt 2)) *)
+  let inv_sqrt2 = 1.0 /. sqrt 2.0 in
+  Array.map
+    (fun qi ->
+      let q_erf, scale_erf = i_erf ~scale:(scale *. inv_sqrt2) qi in
+      let erf = float_of_int q_erf *. scale_erf in
+      float_of_int qi *. scale *. 0.5 *. (1.0 +. erf))
+    q
+
+let sigmoid_v xs =
+  let q, scale = quantize_array xs in
+  Array.map
+    (fun qi ->
+      (* sigmoid(x) = exp(-|x|') route: for x >= 0, 1/(1+exp(-x)); else
+         exp(x)/(1+exp(x)); both feed a non-positive argument to i-exp *)
+      let q_neg = if qi >= 0 then -qi else qi in
+      let q_e, scale_e = i_exp ~scale q_neg in
+      let e = float_of_int q_e *. scale_e in
+      let s = e /. (1.0 +. e) in
+      if qi >= 0 then 1.0 -. s else s)
+    q
+
+let isqrt_scalar x =
+  if x <= 0.0 then nan
+  else
+    (* fixed-point: represent x in Q32 fraction-free by scaling with 2^2k so
+       the integer sqrt preserves k fractional bits *)
+    let k = 12 in
+    let xi = int_of_float (Float.round (x *. float_of_int (1 lsl (2 * k)))) in
+    if xi <= 0 then nan
+    else
+      let s = i_sqrt xi in
+      if s = 0 then nan else float_of_int (1 lsl k) /. float_of_int s

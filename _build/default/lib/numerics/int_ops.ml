@@ -1,0 +1,158 @@
+(* Fixed-point formats used by the integer lanes.  Wide input format gives
+   headroom for the log2(e)*x product; Q2.30 holds polynomial accumulators
+   whose magnitude stays below 2. *)
+let fmt_in = Fixed_point.fmt ~total_bits:48 ~frac_bits:16
+let fmt_acc = Fixed_point.fmt ~total_bits:34 ~frac_bits:30
+let log2_e_q = Fixed_point.of_float fmt_in 1.4426950408889634
+let ln_2 = 0.6931471805599453
+
+(* Horner in fixed point: accumulator Q30, argument Q16. *)
+let horner_fx coeffs_q30 f_q16 =
+  let acc = ref coeffs_q30.(Array.length coeffs_q30 - 1) in
+  for k = Array.length coeffs_q30 - 2 downto 0 do
+    (* acc(Q30) * f(Q16) -> Q46 -> round back to Q30 *)
+    let prod = !acc * f_q16 in
+    let half = 1 lsl 15 in
+    let shifted =
+      if prod >= 0 then (prod + half) asr 16 else -((-prod + half) asr 16)
+    in
+    acc := Fixed_point.saturate fmt_acc (shifted + coeffs_q30.(k))
+  done;
+  !acc
+
+let q30_of_coeffs coeffs = Array.map (Fixed_point.of_float fmt_acc) coeffs
+let exp_coeffs_q30 = lazy (q30_of_coeffs (Poly.exp_taylor_coeffs ~order:6))
+let log1p_coeffs_q30 = lazy (q30_of_coeffs (Poly.log1p_taylor_coeffs ~order:8))
+
+let exp x =
+  if Float.is_nan x then nan
+  else if x > 88.0 then infinity
+  else if x < -87.0 then 0.0
+  else
+    let x_q = Fixed_point.of_float fmt_in x in
+    let t_q = Fixed_point.mul fmt_in x_q log2_e_q in
+    (* split: i = floor(t), f in [0,1) as Q16 *)
+    let i = t_q asr 16 in
+    let f_q16 = t_q - (i lsl 16) in
+    let pow2_f_q30 = horner_fx (Lazy.force exp_coeffs_q30) f_q16 in
+    Float.ldexp (Fixed_point.to_float fmt_acc pow2_f_q30) i
+
+let log x =
+  if Float.is_nan x || x < 0.0 then nan
+  else if x = 0.0 then neg_infinity
+  else if x = infinity then infinity
+  else
+    let m', e' = Float.frexp x in
+    let m = (2.0 *. m') -. 1.0 in
+    let e = e' - 1 in
+    let m, e =
+      if m > 0.4142135623730951 then (((1.0 +. m) /. 2.0) -. 1.0, e + 1) else (m, e)
+    in
+    let m_q16 = int_of_float (Float.round (m *. 65536.0)) in
+    let log1p_q30 = horner_fx (Lazy.force log1p_coeffs_q30) m_q16 in
+    (float_of_int e *. ln_2) +. Fixed_point.to_float fmt_acc log1p_q30
+
+(* sin/cos on t in [-pi/2, pi/2]: Horner in t^2 (Q28), final multiply by t for
+   sin.  |t| <= 1.5708 so Q4.28 is safe for t and t^2 (< 2.47). *)
+let fmt_trig = Fixed_point.fmt ~total_bits:34 ~frac_bits:28
+
+let sin_even_coeffs_q28 =
+  (* sin t = t * (1 - t^2/6 + t^4/120 - t^6/5040) *)
+  lazy (Array.map (Fixed_point.of_float fmt_trig)
+          [| 1.0; -1.0 /. 6.0; 1.0 /. 120.0; -1.0 /. 5040.0 |])
+
+let cos_even_coeffs_q28 =
+  lazy (Array.map (Fixed_point.of_float fmt_trig)
+          [| 1.0; -0.5; 1.0 /. 24.0; -1.0 /. 720.0; 1.0 /. 40320.0 |])
+
+let horner_trig coeffs_q28 u_q28 =
+  let acc = ref coeffs_q28.(Array.length coeffs_q28 - 1) in
+  for k = Array.length coeffs_q28 - 2 downto 0 do
+    acc := Fixed_point.add fmt_trig (Fixed_point.mul fmt_trig !acc u_q28) coeffs_q28.(k)
+  done;
+  !acc
+
+let reduce_half_pi x =
+  let two_pi = 2.0 *. Float.pi in
+  let r = Float.rem x two_pi in
+  let r = if r > Float.pi then r -. two_pi else if r < -.Float.pi then r +. two_pi else r in
+  if r > Float.pi /. 2.0 then (Float.pi -. r, 1.0)
+  else if r < -.(Float.pi /. 2.0) then (-.Float.pi -. r, 1.0)
+  else (r, 1.0)
+
+let sin x =
+  if Float.is_nan x || Float.abs x = infinity then nan
+  else
+    let t, _ = reduce_half_pi x in
+    let t_q = Fixed_point.of_float fmt_trig t in
+    let t2_q = Fixed_point.mul fmt_trig t_q t_q in
+    let even = horner_trig (Lazy.force sin_even_coeffs_q28) t2_q in
+    Fixed_point.to_float fmt_trig (Fixed_point.mul fmt_trig t_q even)
+
+let cos x =
+  if Float.is_nan x || Float.abs x = infinity then nan
+  else
+    let two_pi = 2.0 *. Float.pi in
+    let r = Float.rem x two_pi in
+    let r = if r > Float.pi then r -. two_pi else if r < -.Float.pi then r +. two_pi else r in
+    let t, sign =
+      if r > Float.pi /. 2.0 then (Float.pi -. r, -1.0)
+      else if r < -.(Float.pi /. 2.0) then (-.Float.pi -. r, -1.0)
+      else (r, 1.0)
+    in
+    let t_q = Fixed_point.of_float fmt_trig t in
+    let t2_q = Fixed_point.mul fmt_trig t_q t_q in
+    let even = horner_trig (Lazy.force cos_even_coeffs_q28) t2_q in
+    sign *. Fixed_point.to_float fmt_trig even
+
+let reciprocal x =
+  if x = 0.0 then (if 1.0 /. x > 0.0 then infinity else neg_infinity)
+  else if Float.is_nan x then nan
+  else
+    (* normalize |x| to [1, 2), Newton in Q30: y <- y (2 - d y) *)
+    let m', e' = Float.frexp (Float.abs x) in
+    let d = 2.0 *. m' (* in [1, 2) *) in
+    let d_q = Fixed_point.of_float fmt_acc (d /. 2.0) (* Q30 holds d/2 in [0.5,1) *) in
+    let y = ref (Fixed_point.of_float fmt_acc (2.88 -. (2.0 *. d /. 2.0))) in
+    (* initial linear estimate of 1/(d/2) over [0.5,1): 2.88 - 2 u *)
+    for _ = 1 to 4 do
+      let dy = Fixed_point.mul fmt_acc d_q !y in
+      let two = Fixed_point.of_float fmt_acc 2.0 in
+      y := Fixed_point.mul fmt_acc !y (Fixed_point.sub fmt_acc two dy)
+    done;
+    let inv_half = Fixed_point.to_float fmt_acc !y (* = 2/d *) in
+    let magnitude = Float.ldexp (inv_half /. 2.0) (-(e' - 1)) in
+    if x < 0.0 then -.magnitude else magnitude
+
+let div a b = a *. reciprocal b
+
+let isqrt x =
+  if x <= 0.0 || Float.is_nan x then nan
+  else
+    let m, e = Float.frexp x in
+    let k = e / 2 in
+    let r = e - (2 * k) in
+    let seed = Float.ldexp (1.0 /. sqrt m) (-k) in
+    let seed =
+      if r = 1 then seed /. sqrt 2.0 else if r = -1 then seed *. sqrt 2.0 else seed
+    in
+    let y = ref seed in
+    for _ = 1 to 3 do
+      (* Newton step with fixed-point rounding of the correction *)
+      let corr = Fixed_point.round fmt_acc (1.5 -. (0.5 *. x *. !y *. !y)) in
+      y := !y *. corr
+    done;
+    !y
+
+let sigmoid x =
+  if x >= 0.0 then div 1.0 (1.0 +. exp (-.x))
+  else
+    let e = exp x in
+    div e (1.0 +. e)
+
+let tanh x =
+  if x > 15.0 then 1.0
+  else if x < -15.0 then -1.0
+  else
+    let e2 = exp (2.0 *. x) in
+    div (e2 -. 1.0) (e2 +. 1.0)

@@ -1,0 +1,27 @@
+(** Integer datapath for the PICACHU algorithm (paper §4.1 + §4.2.2).
+
+    These are the same Table 3 decompositions as {!Taylor}, but with every
+    intermediate held in a fixed-point register: inputs in Q16.16, polynomial
+    accumulators in Q2.30, and outputs reconstructed by exact exponent
+    shifts.  Horner steps use fixed-point multiplies with round-to-nearest,
+    mirroring the widened INT lanes of a tile (two 16-bit lanes fused for
+    32-bit arithmetic).
+
+    Functions take and return [float] for composability: the caller is
+    responsible for quantizing tensor data through INT16/INT32 first (see
+    {!Quant.roundtrip}); these functions then model the *internal* integer
+    arithmetic of the operator. *)
+
+val exp : float -> float
+val log : float -> float
+(** Positive finite arguments; returns [nan] otherwise. *)
+
+val sin : float -> float
+val cos : float -> float
+val reciprocal : float -> float
+(** Pipelined integer divide (Newton-Raphson in Q30). *)
+
+val div : float -> float -> float
+val isqrt : float -> float
+val sigmoid : float -> float
+val tanh : float -> float

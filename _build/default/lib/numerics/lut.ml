@@ -1,0 +1,44 @@
+type t = { lo : float; hi : float; step : float; values : float array }
+
+let create ?(entries = 1024) ~lo ~hi f =
+  if entries < 2 then invalid_arg "Lut.create: entries < 2";
+  if lo >= hi then invalid_arg "Lut.create: empty range";
+  let step = (hi -. lo) /. float_of_int (entries - 1) in
+  let values =
+    Array.init entries (fun i -> Fp16.round (f (lo +. (float_of_int i *. step))))
+  in
+  { lo; hi; step; values }
+
+let eval t x =
+  let n = Array.length t.values in
+  if x <= t.lo then t.values.(0)
+  else if x >= t.hi then t.values.(n - 1)
+  else
+    let pos = (x -. t.lo) /. t.step in
+    let i = int_of_float pos in
+    let i = Stdlib.min i (n - 2) in
+    let frac = pos -. float_of_int i in
+    t.values.(i) +. (frac *. (t.values.(i + 1) -. t.values.(i)))
+
+let entries t = Array.length t.values
+let size_bytes t = 2 * entries t
+
+(* erf via the maximal-accuracy rational approximation (Abramowitz & Stegun
+   7.1.26 has only ~1.5e-7 absolute error; we refine by one step of the
+   series when |x| is small where the rational form is weakest). *)
+let erf x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  if x < 1e-8 then sign *. (2.0 /. sqrt Float.pi *. x)
+  else
+    let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+    let y =
+      1.0
+      -. (((((1.061405429 *. t) -. 1.453152027) *. t +. 1.421413741) *. t
+           -. 0.284496736) *. t +. 0.254829592)
+         *. t *. exp (-.(x *. x))
+    in
+    sign *. y
+
+let gauss_cdf_exact x = 0.5 *. (1.0 +. erf (x /. sqrt 2.0))
+let gauss_cdf = lazy (create ~entries:1024 ~lo:(-6.0) ~hi:6.0 gauss_cdf_exact)

@@ -1,0 +1,29 @@
+(** Look-up tables for hard-to-compute functions.
+
+    Compute Tiles (CoTs) carry small LUTs holding precomputed values of
+    functions with no cheap arithmetic decomposition — the paper's example is
+    the Gaussian CDF [Phi] used by exact GeLU (§4.2.1).  A table covers a
+    clamped input range with uniformly spaced entries and linear
+    interpolation between them; entries are stored rounded through FP16, the
+    natural width of an on-tile ROM word. *)
+
+type t
+
+val create : ?entries:int -> lo:float -> hi:float -> (float -> float) -> t
+(** Tabulate [f] over [lo, hi] with [entries] samples (default 1024).
+    Requires [lo < hi] and [entries >= 2]. *)
+
+val eval : t -> float -> float
+(** Clamped linear interpolation. *)
+
+val entries : t -> int
+val size_bytes : t -> int
+(** ROM footprint at 2 bytes/entry. *)
+
+val gauss_cdf : t Lazy.t
+(** Phi over [-6, 6] — the GeLU table shipped with the CoTs. *)
+
+val gauss_cdf_exact : float -> float
+(** Reference Phi(x) = (1 + erf(x/sqrt2))/2 computed in float64 (software
+    reference for the table; erf via Abramowitz-Stegun 7.1.26 refined with a
+    series fallback, accurate to ~1e-7 which is below FP16 resolution). *)

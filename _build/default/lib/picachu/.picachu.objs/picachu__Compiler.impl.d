@@ -1,0 +1,1 @@
+lib/picachu/compiler.ml: Hashtbl List Picachu_cgra Picachu_dfg Picachu_ir Printf

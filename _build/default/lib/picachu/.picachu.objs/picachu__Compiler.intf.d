@@ -1,0 +1,1 @@
+lib/picachu/compiler.mli: Picachu_cgra Picachu_dfg Picachu_ir

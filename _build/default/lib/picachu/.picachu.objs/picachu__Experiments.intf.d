@@ -1,0 +1,1 @@
+lib/picachu/experiments.mli: Picachu_cgra Serving

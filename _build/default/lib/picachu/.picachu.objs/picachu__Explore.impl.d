@@ -1,0 +1,1 @@
+lib/picachu/explore.ml: Compiler List Picachu_cgra Picachu_ir Picachu_tensor

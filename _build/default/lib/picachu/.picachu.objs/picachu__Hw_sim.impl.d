@@ -1,0 +1,1 @@
+lib/picachu/hw_sim.ml: Compiler Hashtbl List Picachu_cgra Picachu_ir

@@ -1,0 +1,1 @@
+lib/picachu/hw_sim.mli: Compiler Picachu_cgra Picachu_ir

@@ -1,0 +1,1 @@
+lib/picachu/report.ml: Array Float List Printf Stdlib String

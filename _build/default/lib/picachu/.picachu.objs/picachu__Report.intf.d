@@ -1,0 +1,1 @@
+lib/picachu/report.mli:

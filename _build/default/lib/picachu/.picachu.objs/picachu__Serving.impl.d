@@ -1,0 +1,1 @@
+lib/picachu/serving.ml: List Picachu_llm Simulator Stdlib

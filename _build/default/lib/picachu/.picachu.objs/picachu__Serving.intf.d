@@ -1,0 +1,1 @@
+lib/picachu/serving.mli: Picachu_llm Simulator

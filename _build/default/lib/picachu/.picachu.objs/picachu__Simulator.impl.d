@@ -1,0 +1,1 @@
+lib/picachu/simulator.ml: Compiler List Picachu_cgra Picachu_ir Picachu_llm Picachu_memory Picachu_nonlinear Picachu_systolic Stdlib

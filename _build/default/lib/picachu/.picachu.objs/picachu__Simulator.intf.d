@@ -1,0 +1,1 @@
+lib/picachu/simulator.mli: Picachu_cgra Picachu_llm Picachu_memory Picachu_systolic

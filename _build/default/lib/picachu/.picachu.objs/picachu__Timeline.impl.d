@@ -1,0 +1,1 @@
+lib/picachu/timeline.ml: Buffer List Picachu_ir Picachu_llm Picachu_memory Picachu_nonlinear Picachu_systolic Printf Simulator Stdlib

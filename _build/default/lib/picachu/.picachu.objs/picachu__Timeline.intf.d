@@ -1,0 +1,1 @@
+lib/picachu/timeline.mli: Picachu_llm Simulator

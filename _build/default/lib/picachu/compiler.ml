@@ -1,0 +1,115 @@
+module Kernel = Picachu_ir.Kernel
+module Kernels = Picachu_ir.Kernels
+module Transform = Picachu_ir.Transform
+module Dfg = Picachu_dfg.Dfg
+module Fuse = Picachu_dfg.Fuse
+module Arch = Picachu_cgra.Arch
+module Mapper = Picachu_cgra.Mapper
+
+type options = {
+  arch : Arch.t;
+  fuse : bool;
+  unroll_candidates : int list;
+  vector : int;
+}
+
+let picachu_options ?arch ?(vector = 1) () =
+  {
+    arch = (match arch with Some a -> a | None -> Arch.picachu ());
+    fuse = true;
+    unroll_candidates = [ 1; 2; 4 ];
+    vector;
+  }
+
+let baseline_options ?arch () =
+  {
+    arch = (match arch with Some a -> a | None -> Arch.baseline ());
+    fuse = false;
+    unroll_candidates = [ 1 ];
+    vector = 1;
+  }
+
+type compiled_loop = {
+  source : Kernel.loop;
+  dfg : Dfg.t;
+  mapping : Mapper.mapping;
+}
+
+type compiled = {
+  kernel : Kernel.t;
+  loops : compiled_loop list;
+  unroll : int;
+  vector : int;
+  arch : Arch.t;
+  arch_name : string;
+}
+
+let compile_with_unroll (opts : options) uf (k : Kernel.t) =
+  let k = if opts.vector > 1 then Transform.vectorize_kernel opts.vector k else k in
+  let k = if uf > 1 then Transform.unroll_kernel uf k else k in
+  let loops =
+    List.map
+      (fun loop ->
+        let g = Dfg.of_loop loop in
+        let g = if opts.fuse then Fuse.fuse g else g in
+        { source = loop; dfg = g; mapping = Mapper.map_dfg opts.arch g })
+      k.Kernel.loops
+  in
+  {
+    kernel = k;
+    loops;
+    unroll = uf;
+    vector = opts.vector;
+    arch = opts.arch;
+    arch_name = opts.arch.Arch.name;
+  }
+
+let loop_trips (cl : compiled_loop) ~n =
+  let per_trip = cl.source.Kernel.step * cl.source.Kernel.vector_width in
+  (n + per_trip - 1) / per_trip
+
+let pass_cycles c ~n =
+  List.fold_left
+    (fun acc cl -> acc + Mapper.loop_cycles cl.mapping ~trips:(loop_trips cl ~n))
+    0 c.loops
+
+(* Steady state only: successive channels overlap each loop's prologue. *)
+let per_channel_cycles c ~dim =
+  List.fold_left
+    (fun acc cl -> acc + (loop_trips cl ~n:dim * cl.mapping.Mapper.ii))
+    0 c.loops
+
+let compile (opts : options) (k : Kernel.t) =
+  let candidates =
+    match opts.unroll_candidates with [] -> [ 1 ] | l -> l
+  in
+  let best = ref None in
+  List.iter
+    (fun uf ->
+      match compile_with_unroll opts uf k with
+      | compiled -> (
+          let cost = pass_cycles compiled ~n:1024 in
+          match !best with
+          | Some (_, best_cost) when best_cost <= cost -> ()
+          | _ -> best := Some (compiled, cost))
+      | exception Mapper.Unmappable _ -> ())
+    candidates;
+  match !best with
+  | Some (c, _) -> c
+  | None ->
+      raise (Mapper.Unmappable (k.Kernel.name ^ ": no unroll candidate mapped"))
+
+let cache : (string, compiled) Hashtbl.t = Hashtbl.create 64
+
+let cached (opts : options) variant name =
+  let key =
+    Printf.sprintf "%s/%b/%d/%s/%s" opts.arch.Arch.name opts.fuse opts.vector
+      (match variant with Kernels.Picachu -> "p" | Kernels.Baseline -> "b")
+      name
+  in
+  match Hashtbl.find_opt cache key with
+  | Some c -> c
+  | None ->
+      let c = compile opts (Kernels.by_name variant name) in
+      Hashtbl.add cache key c;
+      c

@@ -1,0 +1,64 @@
+(** The PICACHU compiler pipeline (paper §4.3, Figure 6).
+
+    kernel IR -> (vectorize) -> (unroll) -> DFG extraction -> pattern fusion
+    -> modulo-scheduled mapping, per loop.  Unroll factors are auto-tuned:
+    the pipeline compiles each candidate and keeps the one with the best
+    steady-state throughput, exactly the role loop unrolling plays in
+    Figure 7a.  Compiled kernels are memoized per (arch, variant, vector,
+    kernel). *)
+
+module Kernel = Picachu_ir.Kernel
+module Kernels = Picachu_ir.Kernels
+module Dfg = Picachu_dfg.Dfg
+module Arch = Picachu_cgra.Arch
+module Mapper = Picachu_cgra.Mapper
+
+type options = {
+  arch : Arch.t;
+  fuse : bool;
+  unroll_candidates : int list;
+  vector : int;  (** 1 = FP32/FP16 mode; 4 = INT16 4-lane mode *)
+}
+
+val picachu_options : ?arch:Arch.t -> ?vector:int -> unit -> options
+(** Fusion on, UF in {1,2,4}, default 4x4 heterogeneous CGRA. *)
+
+val baseline_options : ?arch:Arch.t -> unit -> options
+(** The §5.3.2 baseline: homogeneous CGRA, no fusion, no unrolling,
+    scalar. *)
+
+type compiled_loop = {
+  source : Kernel.loop;  (** after transformation *)
+  dfg : Dfg.t;  (** after fusion (when enabled) *)
+  mapping : Mapper.mapping;
+}
+
+type compiled = {
+  kernel : Kernel.t;
+  loops : compiled_loop list;
+  unroll : int;
+  vector : int;
+  arch : Arch.t;
+  arch_name : string;
+}
+
+val compile_with_unroll : options -> int -> Kernel.t -> compiled
+(** Fixed unroll factor (no tuning). Raises {!Mapper.Unmappable} like the
+    mapper. *)
+
+val compile : options -> Kernel.t -> compiled
+(** Auto-tuned over [unroll_candidates] (best steady-state cycles at a
+    1024-element pass); falls back to smaller factors when a candidate is
+    unmappable. *)
+
+val pass_cycles : compiled -> n:int -> int
+(** One pass of the whole kernel (all loops) over [n] elements. *)
+
+val per_channel_cycles : compiled -> dim:int -> int
+(** Steady-state cost of one channel of length [dim] — what the Shared
+    Buffer data-flow model consumes. Excludes first-iteration prologue,
+    which successive channels pipeline away. *)
+
+val cached : options -> Kernels.variant -> string -> compiled
+(** [cached opts variant kernel_name] — memoized compile of a library
+    kernel. *)

@@ -1,0 +1,75 @@
+module Arch = Picachu_cgra.Arch
+module Cost = Picachu_cgra.Cost
+module Mapper = Picachu_cgra.Mapper
+module Kernels = Picachu_ir.Kernels
+module Kernel = Picachu_ir.Kernel
+module Stats = Picachu_tensor.Stats
+
+type point = {
+  rows : int;
+  cols : int;
+  cot_share : float;
+  arch_name : string;
+  area_mm2 : float;
+  geomean_throughput : float;
+  perf_per_area : float;
+}
+
+let pass_elements = 1024
+
+let kernel_roster () =
+  List.filter
+    (fun (k : Kernel.t) -> k.Kernel.name <> "softmax_online")
+    (Kernels.all Kernels.Picachu)
+
+let evaluate ~rows ~cols ~cot_share =
+  let arch = Arch.hetero_mix ~rows ~cols ~cot_share in
+  let opts = Compiler.picachu_options ~arch () in
+  let throughputs =
+    List.filter_map
+      (fun k ->
+        match Compiler.compile opts k with
+        | compiled ->
+            Some
+              (float_of_int pass_elements
+              /. float_of_int (Compiler.pass_cycles compiled ~n:pass_elements))
+        | exception Mapper.Unmappable _ -> None)
+      (kernel_roster ())
+  in
+  if throughputs = [] then
+    raise (Mapper.Unmappable (arch.Arch.name ^ ": no kernel maps"));
+  let geomean_throughput = Stats.geomean throughputs in
+  let area_mm2 = (Cost.cgra_cost arch).Cost.area_mm2 in
+  {
+    rows;
+    cols;
+    cot_share;
+    arch_name = arch.Arch.name;
+    area_mm2;
+    geomean_throughput;
+    perf_per_area = geomean_throughput /. area_mm2;
+  }
+
+let sweep ?(sizes = [ (3, 3); (4, 4); (4, 8); (5, 5) ])
+    ?(cot_shares = [ 1.0 /. 3.0; 0.5; 2.0 /. 3.0; 5.0 /. 6.0 ]) () =
+  List.concat_map
+    (fun (rows, cols) ->
+      List.filter_map
+        (fun cot_share ->
+          match evaluate ~rows ~cols ~cot_share with
+          | p -> Some p
+          | exception Mapper.Unmappable _ -> None)
+        cot_shares)
+    sizes
+
+let dominates a b =
+  a.geomean_throughput >= b.geomean_throughput
+  && a.area_mm2 <= b.area_mm2
+  && (a.geomean_throughput > b.geomean_throughput || a.area_mm2 < b.area_mm2)
+
+let pareto points =
+  points
+  |> List.filter (fun p -> not (List.exists (fun q -> dominates q p) points))
+  |> List.sort (fun a b -> compare a.area_mm2 b.area_mm2)
+
+let reference_point () = evaluate ~rows:4 ~cols:4 ~cot_share:(2.0 /. 3.0)

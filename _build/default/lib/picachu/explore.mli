@@ -1,0 +1,36 @@
+(** Design-space exploration over the CGRA configuration.
+
+    The paper leans on DSE frameworks (OpenCGRA, APEX, VecPAC) to justify
+    its heterogeneous 4x4 operating point; this module reproduces that kind
+    of study: sweep grid sizes and CoT shares, evaluate each point's
+    geomean kernel throughput over the Table 1 library and its silicon
+    area, and extract the Pareto frontier.
+
+    Throughput is elements per cycle at a 1024-element pass, geomean over
+    kernels; area is the CGRA cost model's figure. *)
+
+type point = {
+  rows : int;
+  cols : int;
+  cot_share : float;
+  arch_name : string;
+  area_mm2 : float;
+  geomean_throughput : float;  (** elements/cycle, geomean over kernels *)
+  perf_per_area : float;
+}
+
+val evaluate : rows:int -> cols:int -> cot_share:float -> point
+(** Compile the kernel library onto the mix and measure. Raises
+    {!Picachu_cgra.Mapper.Unmappable} only if some kernel cannot map at any
+    candidate unroll factor (kernels that fail are skipped; a point where
+    *no* kernel maps raises). *)
+
+val sweep :
+  ?sizes:(int * int) list -> ?cot_shares:float list -> unit -> point list
+(** Default: sizes {3x3, 4x4, 4x8, 5x5} x CoT shares {1/3, 1/2, 2/3, 5/6}. *)
+
+val pareto : point list -> point list
+(** Points not dominated in (throughput up, area down), in area order. *)
+
+val reference_point : unit -> point
+(** The paper's operating point: 4x4 at a 2/3 CoT share. *)

@@ -1,0 +1,35 @@
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> cols then invalid_arg "Report.table: ragged row")
+    rows;
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)))
+    all;
+  let print_row r =
+    List.iteri
+      (fun i cell ->
+        Printf.printf "%s%s" cell (String.make (widths.(i) - String.length cell + 2) ' '))
+      r;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') (Array.to_list widths));
+  List.iter print_row rows
+
+let fmt_f v =
+  if Float.abs v >= 1000.0 then Printf.sprintf "%.0f" v else Printf.sprintf "%.3g" v
+
+let fmt_x v = Printf.sprintf "%.2fx" v
+let fmt_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+
+let fmt_delta v =
+  if Float.abs v < 0.005 then "0.00"
+  else if v > 0.0 then Printf.sprintf "+%.2f" v
+  else Printf.sprintf "%.2f" v

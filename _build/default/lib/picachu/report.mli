@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+val section : string -> unit
+(** Underlined heading on stdout. *)
+
+val table : header:string list -> string list list -> unit
+(** Column-aligned table; every row must have the header's arity. *)
+
+val fmt_f : float -> string
+(** Compact float (3 significant decimals). *)
+
+val fmt_x : float -> string
+(** Ratio as ["1.86x"]. *)
+
+val fmt_pct : float -> string
+(** Fraction as ["46.3%"]. *)
+
+val fmt_delta : float -> string
+(** Signed small delta, paper Table 5/6 style: ["+0.05" / "-0.21" / "0.00"]. *)

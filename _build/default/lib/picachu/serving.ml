@@ -1,0 +1,59 @@
+module Workload = Picachu_llm.Workload
+module Mz = Picachu_llm.Model_zoo
+module Gpu = Picachu_llm.Gpu_model
+
+type request = { prompt : int; generate : int }
+
+type phase_costs = {
+  prefill_s : float;
+  decode_s_at : (int * float) list;
+}
+
+type summary = { ttft_s : float; total_s : float; tokens_per_s : float }
+
+let anchor_lengths (r : request) =
+  let last = r.prompt + r.generate in
+  List.sort_uniq compare [ r.prompt; (r.prompt + last) / 2; last ]
+
+let picachu_costs cfg m (r : request) =
+  let prefill =
+    Simulator.seconds cfg (Simulator.run cfg (Workload.of_model m ~seq:r.prompt))
+  in
+  let decode_at ctx =
+    Simulator.seconds cfg (Simulator.run cfg (Workload.decode_of_model m ~context:ctx))
+  in
+  { prefill_s = prefill; decode_s_at = List.map (fun c -> (c, decode_at c)) (anchor_lengths r) }
+
+let gpu_costs gpu m (r : request) =
+  let prefill = (Gpu.run gpu (Workload.of_model m ~seq:r.prompt)).Gpu.total_s in
+  let decode_at ctx = (Gpu.run gpu (Workload.decode_of_model m ~context:ctx)).Gpu.total_s in
+  { prefill_s = prefill; decode_s_at = List.map (fun c -> (c, decode_at c)) (anchor_lengths r) }
+
+(* linear interpolation of the per-step cost over the cache length *)
+let step_cost costs ctx =
+  match costs.decode_s_at with
+  | [] -> invalid_arg "Serving: no decode anchors"
+  | [ (_, s) ] -> s
+  | anchors ->
+      let rec go = function
+        | (c1, s1) :: ((c2, s2) :: _ as rest) ->
+            if ctx <= c1 then s1
+            else if ctx <= c2 then
+              s1 +. ((s2 -. s1) *. float_of_int (ctx - c1) /. float_of_int (Stdlib.max 1 (c2 - c1)))
+            else go rest
+        | [ (_, s) ] -> s
+        | [] -> assert false
+      in
+      go anchors
+
+let summarize costs (r : request) =
+  if r.prompt < 1 || r.generate < 1 then invalid_arg "Serving.summarize: request";
+  let decode_total = ref 0.0 in
+  for step = 0 to r.generate - 1 do
+    decode_total := !decode_total +. step_cost costs (r.prompt + step)
+  done;
+  {
+    ttft_s = costs.prefill_s;
+    total_s = costs.prefill_s +. !decode_total;
+    tokens_per_s = float_of_int r.generate /. !decode_total;
+  }

@@ -1,0 +1,30 @@
+(** Request-level serving simulation.
+
+    LLM inference in production is a prefill followed by a stream of decode
+    steps; this module composes the end-to-end simulator's phase costs into
+    request latency and sustained token throughput, for PICACHU and for the
+    A100 roofline — the deployment view of the paper's per-pass results.
+
+    Decode steps are evaluated at a few KV-cache lengths and interpolated
+    linearly in between (attention cost is linear in the cache length). *)
+
+module Workload = Picachu_llm.Workload
+module Mz = Picachu_llm.Model_zoo
+
+type request = { prompt : int; generate : int }
+
+type phase_costs = {
+  prefill_s : float;
+  decode_s_at : (int * float) list;  (** (cache length, per-step seconds) *)
+}
+
+type summary = {
+  ttft_s : float;  (** time to first token (prefill) *)
+  total_s : float;  (** full request latency *)
+  tokens_per_s : float;  (** decode throughput over the generation *)
+}
+
+val picachu_costs : Simulator.config -> Mz.t -> request -> phase_costs
+val gpu_costs : Picachu_llm.Gpu_model.t -> Mz.t -> request -> phase_costs
+val summarize : phase_costs -> request -> summary
+(** Raises [Invalid_argument] on non-positive prompt/generate. *)

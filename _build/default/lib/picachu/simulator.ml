@@ -1,0 +1,155 @@
+module Arch = Picachu_cgra.Arch
+module Cost = Picachu_cgra.Cost
+module Workload = Picachu_llm.Workload
+module Registry = Picachu_nonlinear.Registry
+module Kernel = Picachu_ir.Kernel
+module Kernels = Picachu_ir.Kernels
+module Systolic = Picachu_systolic.Systolic
+module Dma = Picachu_memory.Dma
+module Shared_buffer = Picachu_memory.Shared_buffer
+module Dataflow = Picachu_memory.Dataflow
+
+type config = {
+  arch : Arch.t;
+  systolic : Systolic.t;
+  dma : Dma.t;
+  buffer : Shared_buffer.t;
+  vector : int;
+  double_buffering : bool;
+  nl_parallel : int;
+}
+
+let default_config ?(buffer_kb = 40.0) ?(vector = 1) () =
+  {
+    arch = Arch.picachu ();
+    systolic = Systolic.default;
+    dma = Dma.default;
+    buffer = Shared_buffer.make ~kb:buffer_kb ();
+    vector;
+    double_buffering = true;
+    nl_parallel = 1;
+  }
+
+let a100_scale_config () =
+  (* match the A100's *peak* tensor throughput (312 TFLOPS ~ 384x384 MACs at
+     1 GHz) and give the CGRA farm an HBM-class aggregate DMA bandwidth
+     (128 engines x 16 B/cycle = 2 TB/s) — the paper's §5.4 scaling rule *)
+  {
+    (default_config ()) with
+    systolic = Systolic.make 384;
+    nl_parallel = 128;
+  }
+
+type op_time = {
+  ot_tag : string;
+  case : Dataflow.case;
+  busy_cycles : int;
+  exposed_cycles : int;
+}
+
+type result = {
+  gemm_cycles : int;
+  nl : op_time list;
+  total_cycles : int;
+  energy_uj : float;
+  nl_exposed_total : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+(* The GEMM whose output stream feeds an EO operation (Case 1 overlap). *)
+let producer_tag = function
+  | "activation" -> Some "ffn.up"
+  | "rope" -> Some "qkv"
+  | _ -> None
+
+let find_gemm (w : Workload.t) tag =
+  List.find_opt
+    (fun (g : Workload.gemm) ->
+      g.g_tag = tag || (tag = "ffn.up" && g.g_tag = "ffn.up+gate"))
+    w.gemms
+
+let nl_op_time cfg (w : Workload.t) (nl : Workload.nl) =
+  let opts = Compiler.picachu_options ~arch:cfg.arch ~vector:cfg.vector () in
+  let compiled = Compiler.cached opts Kernels.Picachu (Registry.name nl.op) in
+  let per_channel = Compiler.per_channel_cycles compiled ~dim:nl.dim in
+  let prologue =
+    Compiler.pass_cycles compiled ~n:nl.dim - per_channel
+  in
+  let reduction = Registry.klass nl.op = Kernel.RE in
+  let case = Dataflow.classify cfg.buffer ~reduction ~rows:nl.rows ~dim:nl.dim in
+  let rows_per_engine = ceil_div nl.rows cfg.nl_parallel in
+  let instance_busy = rows_per_engine * per_channel in
+  let instance_exposed =
+    match case with
+    | Dataflow.Stream_overlap ->
+        let producer_cycles =
+          match producer_tag nl.nl_tag with
+          | Some tag -> (
+              match find_gemm w tag with
+              | Some g ->
+                  (* one producer instance feeds (count/g.count) consumers *)
+                  let per_producer =
+                    Systolic.gemm_cycles cfg.systolic ~m:g.m ~k:g.k ~n:g.n
+                  in
+                  per_producer * g.count / Stdlib.max 1 nl.nl_count
+              | None -> 0)
+          | None -> 0
+        in
+        Dataflow.case1_cycles ~producer_cycles ~cgra_cycles:instance_busy
+          ~prologue
+        - producer_cycles (* the producer's own time is already in gemm_cycles *)
+    | Dataflow.Channel_dma ->
+        let f =
+          if cfg.double_buffering then Dataflow.case2_cycles
+          else Dataflow.case2_cycles_single_buffered
+        in
+        f cfg.dma cfg.buffer ~rows:rows_per_engine ~dim:nl.dim ~element_bytes:2
+          ~compute_per_channel:per_channel ~writeback:true
+    | Dataflow.Buffer_resident ->
+        (* softmax scores stream in from the systolic array; norm inputs are
+           the DRAM-resident residual stream *)
+        let input_on_chip = nl.nl_tag = "softmax" in
+        Dataflow.case3_cycles cfg.dma ~rows:rows_per_engine ~dim:nl.dim
+          ~element_bytes:2 ~compute_per_channel:per_channel ~input_on_chip
+  in
+  {
+    ot_tag = nl.nl_tag;
+    case;
+    busy_cycles = nl.nl_count * instance_busy;
+    exposed_cycles = nl.nl_count * Stdlib.max 0 instance_exposed;
+  }
+
+let run cfg (w : Workload.t) =
+  let gemm_cycles =
+    List.fold_left
+      (fun acc (g : Workload.gemm) ->
+        acc + (g.count * Systolic.gemm_cycles cfg.systolic ~m:g.m ~k:g.k ~n:g.n))
+      0 w.gemms
+  in
+  let nl = List.map (nl_op_time cfg w) w.nls in
+  let nl_exposed_total = List.fold_left (fun acc o -> acc + o.exposed_cycles) 0 nl in
+  let total_cycles = gemm_cycles + nl_exposed_total in
+  let breakdown =
+    Cost.picachu_breakdown ~systolic_dim:cfg.systolic.Systolic.dim
+      ~shared_buffer_kb:
+        (float_of_int cfg.buffer.Shared_buffer.capacity_bytes /. 1024.0)
+      cfg.arch
+  in
+  let busy_total = List.fold_left (fun acc o -> acc + o.busy_cycles) 0 nl in
+  let energy_uj =
+    1e-6
+    *. ((breakdown.Cost.macs.Cost.power_mw *. float_of_int gemm_cycles)
+        +. (breakdown.Cost.cgra.Cost.power_mw *. float_of_int cfg.nl_parallel
+            *. float_of_int (busy_total / Stdlib.max 1 cfg.nl_parallel))
+        +. ((breakdown.Cost.sram.Cost.power_mw +. breakdown.Cost.others.Cost.power_mw)
+            *. float_of_int total_cycles))
+  in
+  { gemm_cycles; nl; total_cycles; energy_uj; nl_exposed_total }
+
+let seconds cfg r =
+  float_of_int r.total_cycles /. (cfg.systolic.Systolic.freq_ghz *. 1e9)
+
+let nonlinear_fraction r =
+  if r.total_cycles = 0 then 0.0
+  else float_of_int r.nl_exposed_total /. float_of_int r.total_cycles

@@ -1,0 +1,59 @@
+(** End-to-end PICACHU simulator: systolic array + plug-in CGRA + Shared
+    Buffer data flows (paper §4.2.4, Figures 5/9).
+
+    For each nonlinear-operation instance the simulator compiles the kernel
+    (memoized), classifies the data-flow case, and charges:
+
+    - Case 1 (EO): overlapped with the producing GEMM — only the excess of
+      CGRA time over producer time is exposed;
+    - Case 2 (RE, working set exceeds the buffer): channel-at-a-time DMA,
+      double-buffered;
+    - Case 3 (RE, resident): bulk load (skipped when the producer left the
+      data on chip), in-place processing, bulk store.
+
+    Energy integrates component powers over their active cycles. *)
+
+module Arch = Picachu_cgra.Arch
+module Workload = Picachu_llm.Workload
+module Dataflow = Picachu_memory.Dataflow
+
+type config = {
+  arch : Arch.t;
+  systolic : Picachu_systolic.Systolic.t;
+  dma : Picachu_memory.Dma.t;
+  buffer : Picachu_memory.Shared_buffer.t;
+  vector : int;  (** 1 = FP16 path, 4 = INT16 4-lane path *)
+  double_buffering : bool;  (** ablation knob (§4.2.3) *)
+  nl_parallel : int;  (** CGRA instance count (A100-scale configs) *)
+}
+
+val default_config : ?buffer_kb:float -> ?vector:int -> unit -> config
+(** 4x4 CGRA + 32x32 systolic + 40KB buffer. *)
+
+val a100_scale_config : unit -> config
+(** The §5.4 fair-comparison configuration: systolic array scaled to the
+    A100's peak tensor throughput (384x384-equivalent) and 128 CGRA
+    instances sharing HBM-class DMA bandwidth. *)
+
+type op_time = {
+  ot_tag : string;
+  case : Dataflow.case;
+  busy_cycles : int;  (** CGRA-active cycles for all instances *)
+  exposed_cycles : int;  (** cycles added to the critical path *)
+}
+
+type result = {
+  gemm_cycles : int;
+  nl : op_time list;
+  total_cycles : int;
+  energy_uj : float;
+  nl_exposed_total : int;
+}
+
+val nl_op_time : config -> Workload.t -> Workload.nl -> op_time
+(** Timing of all instances of one nonlinear entry (used by the timeline
+    renderer as well as {!run}). *)
+
+val run : config -> Workload.t -> result
+val seconds : config -> result -> float
+val nonlinear_fraction : result -> float

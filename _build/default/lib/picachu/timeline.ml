@@ -1,0 +1,109 @@
+module Workload = Picachu_llm.Workload
+module Registry = Picachu_nonlinear.Registry
+module Kernel = Picachu_ir.Kernel
+module Kernels = Picachu_ir.Kernels
+module Systolic_m = Picachu_systolic.Systolic
+module Dataflow = Picachu_memory.Dataflow
+module Dma = Picachu_memory.Dma
+
+type lane = Systolic | Cgra | Dma
+
+type event = { label : string; lane : lane; start_cycle : int; end_cycle : int }
+
+let find_gemm (w : Workload.t) tag =
+  List.find_opt
+    (fun (g : Workload.gemm) ->
+      g.Workload.g_tag = tag || (tag = "ffn.up" && g.Workload.g_tag = "ffn.up+gate"))
+    w.Workload.gemms
+
+let find_nl (w : Workload.t) tag =
+  List.find_opt (fun (nl : Workload.nl) -> nl.Workload.nl_tag = tag) w.Workload.nls
+
+let gemm_cycles cfg (g : Workload.gemm) =
+  Systolic_m.gemm_cycles cfg.Simulator.systolic ~m:g.Workload.m ~k:g.Workload.k
+    ~n:g.Workload.n
+
+(* per-instance times for one layer *)
+let nl_cycles cfg (w : Workload.t) (nl : Workload.nl) =
+  let o = Simulator.nl_op_time cfg w nl in
+  ( o.Simulator.busy_cycles / Stdlib.max 1 nl.Workload.nl_count,
+    o.Simulator.exposed_cycles / Stdlib.max 1 nl.Workload.nl_count )
+
+let layer cfg (w : Workload.t) =
+  let heads_factor tag (g : Workload.gemm) =
+    (* scores/context gemms run per head; charge one layer's worth *)
+    if tag = "attn.scores" || tag = "attn.context" then
+      g.Workload.count / w.Workload.model.Picachu_llm.Model_zoo.layers
+    else 1
+  in
+  let events = ref [] and clock = ref 0 in
+  let emit label lane cycles ~at =
+    events := { label; lane; start_cycle = at; end_cycle = at + Stdlib.max 1 cycles } :: !events;
+    at + cycles
+  in
+  let sequential_gemm tag =
+    match find_gemm w tag with
+    | None -> ()
+    | Some g ->
+        let c = gemm_cycles cfg g * heads_factor tag g in
+        clock := emit tag Systolic c ~at:!clock
+  in
+  let sequential_nl tag =
+    match find_nl w tag with
+    | None -> ()
+    | Some nl ->
+        let busy, exposed = nl_cycles cfg w nl in
+        let dma = exposed - busy in
+        if dma > 0 then
+          ignore (emit (tag ^ ".dma") Dma exposed ~at:!clock);
+        clock := emit tag Cgra (Stdlib.max busy exposed) ~at:!clock
+  in
+  let overlapped_nl tag ~producer_tag =
+    (* Case 1: the CGRA consumes the producer's output stream as it appears *)
+    match (find_nl w tag, find_gemm w producer_tag) with
+    | Some nl, Some g ->
+        let producer = gemm_cycles cfg g * heads_factor producer_tag g in
+        let start = !clock in
+        let finish = emit producer_tag Systolic producer ~at:start in
+        let busy, _ = nl_cycles cfg w nl in
+        ignore (emit tag Cgra busy ~at:(start + (producer / 8)));
+        clock := Stdlib.max finish (start + (producer / 8) + busy)
+    | _, Some g ->
+        let c = gemm_cycles cfg g * heads_factor producer_tag g in
+        clock := emit producer_tag Systolic c ~at:!clock
+    | _ -> ()
+  in
+  (* canonical layer order (Figure 5) *)
+  sequential_nl "norm";
+  overlapped_nl "rope" ~producer_tag:"qkv";
+  sequential_gemm "attn.scores";
+  sequential_nl "softmax";
+  sequential_gemm "attn.context";
+  sequential_gemm "attn.out";
+  sequential_nl "norm";
+  overlapped_nl "activation" ~producer_tag:"ffn.up";
+  sequential_gemm "ffn.down";
+  List.rev !events
+
+let total_cycles events =
+  List.fold_left (fun acc e -> Stdlib.max acc e.end_cycle) 0 events
+
+let lane_name = function Systolic -> "systolic" | Cgra -> "cgra" | Dma -> "dma"
+
+let render ?(width = 72) events =
+  let total = Stdlib.max 1 (total_cycles events) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "one-layer timeline, %d cycles (each column ~ %d cycles)\n" total
+       (total / width));
+  List.iter
+    (fun e ->
+      let scale x = x * width / total in
+      let a = scale e.start_cycle and b = Stdlib.max (scale e.start_cycle + 1) (scale e.end_cycle) in
+      Buffer.add_string buf (Printf.sprintf "%-9s %-14s |" (lane_name e.lane) e.label);
+      for c = 0 to width - 1 do
+        Buffer.add_char buf (if c >= a && c < b then (match e.lane with Systolic -> '#' | Cgra -> '=' | Dma -> '.') else ' ')
+      done;
+      Buffer.add_string buf "|\n")
+    events;
+  Buffer.contents buf

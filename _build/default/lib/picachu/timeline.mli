@@ -1,0 +1,26 @@
+(** Execution timeline of one transformer layer on PICACHU — Figure 5's data
+    flow rendered as a Gantt chart.
+
+    Events are placed on three lanes (systolic array, CGRA, DMA) following
+    the canonical layer order; element-wise operations overlap their
+    producing GEMM (Case 1), reductions run channel-at-a-time after theirs
+    (Cases 2/3) with their DMA drawn alongside.  Times come from the same
+    models the end-to-end simulator uses, so the chart is an explanation of
+    the simulator's accounting, not a separate estimate. *)
+
+type lane = Systolic | Cgra | Dma
+
+type event = {
+  label : string;
+  lane : lane;
+  start_cycle : int;
+  end_cycle : int;  (** exclusive *)
+}
+
+val layer : Simulator.config -> Picachu_llm.Workload.t -> event list
+(** One layer's events in start order. The workload must come from
+    {!Picachu_llm.Workload.of_model}. *)
+
+val total_cycles : event list -> int
+val render : ?width:int -> event list -> string
+(** ASCII Gantt (default 72 columns). *)

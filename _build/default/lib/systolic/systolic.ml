@@ -1,0 +1,28 @@
+type t = { dim : int; freq_ghz : float; mac_energy_pj : float }
+
+let make ?(freq_ghz = 1.0) ?(mac_energy_pj = 0.5) dim =
+  if dim < 1 then invalid_arg "Systolic.make: dim < 1";
+  { dim; freq_ghz; mac_energy_pj }
+
+let default = make 32
+
+let ceil_div a b = (a + b - 1) / b
+
+let gemm_cycles t ~m ~k ~n =
+  if m < 1 || k < 1 || n < 1 then invalid_arg "Systolic.gemm_cycles: dims";
+  let tiles = ceil_div m t.dim * ceil_div n t.dim in
+  (* first tile pays the full fill+drain; subsequent tiles pipeline and pay
+     only their reduction depth *)
+  (k + (2 * t.dim)) + ((tiles - 1) * k)
+
+let gemm_macs ~m ~k ~n = m * k * n
+
+let gemm_energy_uj t ~m ~k ~n =
+  float_of_int (gemm_macs ~m ~k ~n) *. t.mac_energy_pj *. 1e-6
+
+let gemm_seconds t ~m ~k ~n =
+  float_of_int (gemm_cycles t ~m ~k ~n) /. (t.freq_ghz *. 1e9)
+
+let utilization t ~m ~k ~n =
+  float_of_int (gemm_macs ~m ~k ~n)
+  /. (float_of_int (gemm_cycles t ~m ~k ~n) *. float_of_int (t.dim * t.dim))

@@ -1,0 +1,28 @@
+(** Output-stationary systolic array timing/energy model (paper §2.3, §4.2.4).
+
+    An [dim x dim] grid of MACs computes GEMM tiles: each output tile of
+    shape [dim x dim] accumulates over the full reduction dimension [k],
+    costing [k + 2*dim] cycles (operand skew fill plus drain), with
+    successive tiles pipelined back-to-back (weights for the next tile
+    stream in while the current drains).  This is the TPU-style model the
+    paper integrates the CGRA with; Gemmini's array behaves identically. *)
+
+type t = {
+  dim : int;  (** array dimension (32 in the paper's Table 7 config) *)
+  freq_ghz : float;
+  mac_energy_pj : float;  (** energy per MAC operation *)
+}
+
+val default : t
+(** 32x32 at 1 GHz. *)
+
+val make : ?freq_ghz:float -> ?mac_energy_pj:float -> int -> t
+
+val gemm_cycles : t -> m:int -> k:int -> n:int -> int
+(** Cycles for a dense [m x k] * [k x n] GEMM. Requires positive dims. *)
+
+val gemm_macs : m:int -> k:int -> n:int -> int
+val gemm_energy_uj : t -> m:int -> k:int -> n:int -> float
+val gemm_seconds : t -> m:int -> k:int -> n:int -> float
+val utilization : t -> m:int -> k:int -> n:int -> float
+(** Achieved MACs per cycle over peak. *)

@@ -1,0 +1,1 @@
+lib/tensor/stats.ml: Array Float Format List Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/tensor/stats.mli: Format Tensor

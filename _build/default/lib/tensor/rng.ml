@@ -1,0 +1,54 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_raw t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 = next_raw
+
+let split t =
+  let s = next_raw t in
+  { state = s }
+
+let copy t = { state = t.state }
+
+let float t =
+  (* 53 high bits -> [0,1) *)
+  let bits = Int64.shift_right_logical (next_raw t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  assert (n > 0);
+  (* mask to 62 bits: Int64.to_int wraps 63-bit-and-up values negative *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_raw t) 2) land max_int in
+  bits mod n
+
+let bool t = Int64.logand (next_raw t) 1L = 1L
+
+let normal t ~mu ~sigma =
+  let u1 = Stdlib.max 1e-300 (float t) in
+  let u2 = float t in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let laplace t ~mu ~b =
+  let u = float t -. 0.5 in
+  let s = if u < 0.0 then -1.0 else 1.0 in
+  mu -. (b *. s *. log (1.0 -. (2.0 *. abs_float u)))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

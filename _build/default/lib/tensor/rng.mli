@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic behaviour in the repository (synthetic workloads, surrogate
+    model weights, property-test inputs beyond qcheck's own generators) flows
+    through this module so that every experiment is reproducible bit-for-bit
+    from a seed.  The core generator is splitmix64, which has a 64-bit state,
+    passes BigCrush, and is trivially splittable. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an arbitrary integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state without advancing [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [0, 1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform float in [lo, hi). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). Requires [n > 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val normal : t -> mu:float -> sigma:float -> float
+(** Gaussian sample via Box-Muller. *)
+
+val laplace : t -> mu:float -> b:float -> float
+(** Laplace sample; heavy-tailed activations in LLM layers are closer to
+    Laplace than Gaussian, which matters when stressing approximation range. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,170 @@
+type t = { shape : int list; data : float array }
+
+let numel_of_shape shape = List.fold_left ( * ) 1 shape
+
+let check_shape shape =
+  if shape = [] then invalid_arg "Tensor: empty shape";
+  List.iter (fun d -> if d < 0 then invalid_arg "Tensor: negative dimension") shape
+
+let create shape =
+  check_shape shape;
+  { shape; data = Array.make (numel_of_shape shape) 0.0 }
+
+let init shape f =
+  check_shape shape;
+  { shape; data = Array.init (numel_of_shape shape) f }
+
+let of_array shape data =
+  check_shape shape;
+  if Array.length data <> numel_of_shape shape then
+    invalid_arg "Tensor.of_array: shape/data mismatch";
+  { shape; data }
+
+let scalar x = { shape = [ 1 ]; data = [| x |] }
+let shape t = t.shape
+let numel t = Array.length t.data
+let data t = t.data
+let get t i = t.data.(i)
+let set t i v = t.data.(i) <- v
+
+let cols t =
+  match t.shape with
+  | [ _; c ] -> c
+  | _ -> invalid_arg "Tensor.cols: rank-2 expected"
+
+let rows t =
+  match t.shape with
+  | r :: _ -> r
+  | [] -> invalid_arg "Tensor.rows: empty shape"
+
+let get2 t i j = t.data.((i * cols t) + j)
+let set2 t i j v = t.data.((i * cols t) + j) <- v
+let copy t = { t with data = Array.copy t.data }
+
+let reshape t shape =
+  check_shape shape;
+  if numel_of_shape shape <> numel t then invalid_arg "Tensor.reshape: size mismatch";
+  { t with shape }
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+let map f t = { t with data = Array.map f t.data }
+
+let map2 f a b =
+  if numel a <> numel b then invalid_arg "Tensor.map2: size mismatch";
+  { a with data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i)) }
+
+let mapi_inplace f t =
+  for i = 0 to numel t - 1 do
+    t.data.(i) <- f i t.data.(i)
+  done
+
+let iteri f t = Array.iteri f t.data
+let fold f acc t = Array.fold_left f acc t.data
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let mul = map2 ( *. )
+let scale s t = map (fun x -> s *. x) t
+
+let dot a b =
+  if numel a <> numel b then invalid_arg "Tensor.dot: size mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    acc := !acc +. (a.data.(i) *. b.data.(i))
+  done;
+  !acc
+
+let matmul a b =
+  let m, k =
+    match a.shape with [ m; k ] -> (m, k) | _ -> invalid_arg "Tensor.matmul: lhs rank"
+  in
+  let k', n =
+    match b.shape with [ k'; n ] -> (k', n) | _ -> invalid_arg "Tensor.matmul: rhs rank"
+  in
+  if k <> k' then invalid_arg "Tensor.matmul: inner dimension mismatch";
+  let out = create [ m; n ] in
+  for i = 0 to m - 1 do
+    for p = 0 to k - 1 do
+      let aip = a.data.((i * k) + p) in
+      if aip <> 0.0 then
+        let brow = p * n in
+        let orow = i * n in
+        for j = 0 to n - 1 do
+          out.data.(orow + j) <- out.data.(orow + j) +. (aip *. b.data.(brow + j))
+        done
+    done
+  done;
+  out
+
+let transpose t =
+  let m, n =
+    match t.shape with [ m; n ] -> (m, n) | _ -> invalid_arg "Tensor.transpose: rank"
+  in
+  init [ n; m ] (fun idx ->
+      let j = idx / m and i = idx mod m in
+      t.data.((i * n) + j))
+
+let row t i =
+  let n = cols t in
+  init [ n ] (fun j -> t.data.((i * n) + j))
+
+let set_row t i r =
+  let n = cols t in
+  if numel r <> n then invalid_arg "Tensor.set_row: size mismatch";
+  Array.blit r.data 0 t.data (i * n) n
+
+let concat_cols a b =
+  let m = rows a and na = cols a and nb = cols b in
+  if rows b <> m then invalid_arg "Tensor.concat_cols: row mismatch";
+  init [ m; na + nb ] (fun idx ->
+      let i = idx / (na + nb) and j = idx mod (na + nb) in
+      if j < na then a.data.((i * na) + j) else b.data.((i * nb) + (j - na)))
+
+let sum t = fold ( +. ) 0.0 t
+
+let max_value t =
+  if numel t = 0 then invalid_arg "Tensor.max_value: empty";
+  Array.fold_left Float.max t.data.(0) t.data
+
+let min_value t =
+  if numel t = 0 then invalid_arg "Tensor.min_value: empty";
+  Array.fold_left Float.min t.data.(0) t.data
+
+let mean t =
+  if numel t = 0 then invalid_arg "Tensor.mean: empty";
+  sum t /. float_of_int (numel t)
+
+let variance t =
+  let m = mean t in
+  fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 t /. float_of_int (numel t)
+
+let argmax t =
+  if numel t = 0 then invalid_arg "Tensor.argmax: empty";
+  let best = ref 0 in
+  for i = 1 to numel t - 1 do
+    if t.data.(i) > t.data.(!best) then best := i
+  done;
+  !best
+
+let randn rng shape ~mu ~sigma = init shape (fun _ -> Rng.normal rng ~mu ~sigma)
+let rand_uniform rng shape ~lo ~hi = init shape (fun _ -> Rng.uniform rng ~lo ~hi)
+let rand_laplace rng shape ~mu ~b = init shape (fun _ -> Rng.laplace rng ~mu ~b)
+
+let equal ?(eps = 0.0) a b =
+  a.shape = b.shape
+  &&
+  let ok = ref true in
+  for i = 0 to numel a - 1 do
+    if abs_float (a.data.(i) -. b.data.(i)) > eps then ok := false
+  done;
+  !ok
+
+let pp fmt t =
+  let prefix = Stdlib.min 8 (numel t) in
+  Format.fprintf fmt "tensor%a [" (fun fmt l ->
+      List.iter (fun d -> Format.fprintf fmt " %d" d) l)
+    t.shape;
+  for i = 0 to prefix - 1 do
+    Format.fprintf fmt "%s%g" (if i > 0 then "; " else "") t.data.(i)
+  done;
+  if numel t > prefix then Format.fprintf fmt "; ...";
+  Format.fprintf fmt "]"

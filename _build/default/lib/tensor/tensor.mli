@@ -1,0 +1,98 @@
+(** Dense float tensors.
+
+    A deliberately small substrate: row-major [float array] data with an
+    explicit shape.  Values are stored in float64; reduced-precision behaviour
+    (FP16/INT16/...) is modelled by the numerics library, which rounds values
+    through the target format and back.  This mirrors how the paper's RTL-level
+    formats are evaluated against a float64 software reference. *)
+
+type t
+
+val create : int list -> t
+(** [create shape] allocates a zero tensor. Raises [Invalid_argument] on a
+    negative dimension or empty shape. *)
+
+val init : int list -> (int -> float) -> t
+(** [init shape f] fills position [i] (flat index) with [f i]. *)
+
+val of_array : int list -> float array -> t
+(** Wraps an existing array; the array is not copied. Raises
+    [Invalid_argument] if the length does not match the shape. *)
+
+val scalar : float -> t
+(** A rank-1 singleton tensor. *)
+
+val shape : t -> int list
+val numel : t -> int
+val data : t -> float array
+(** The underlying storage (shared, mutable). *)
+
+val get : t -> int -> float
+(** Flat-index read. *)
+
+val set : t -> int -> float -> unit
+(** Flat-index write. *)
+
+val get2 : t -> int -> int -> float
+(** [get2 t i j] reads row [i], column [j] of a rank-2 tensor. *)
+
+val set2 : t -> int -> int -> float -> unit
+
+val rows : t -> int
+(** First dimension of a rank >= 1 tensor. *)
+
+val cols : t -> int
+(** Second dimension of a rank-2 tensor. *)
+
+val copy : t -> t
+val reshape : t -> int list -> t
+(** Shares storage; raises [Invalid_argument] if element counts differ. *)
+
+val fill : t -> float -> unit
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val mapi_inplace : (int -> float -> float) -> t -> unit
+val iteri : (int -> float -> unit) -> t -> unit
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Element-wise product. *)
+
+val scale : float -> t -> t
+val dot : t -> t -> float
+(** Inner product of same-size tensors (shape-agnostic, flat). *)
+
+val matmul : t -> t -> t
+(** [matmul a b] for rank-2 [a : m x k] and [b : k x n]. *)
+
+val transpose : t -> t
+(** Rank-2 transpose (copies). *)
+
+val row : t -> int -> t
+(** [row t i] copies row [i] of a rank-2 tensor into a rank-1 tensor. *)
+
+val set_row : t -> int -> t -> unit
+
+val concat_cols : t -> t -> t
+(** [concat_cols a b] concatenates rank-2 tensors along the column axis. *)
+
+val sum : t -> float
+val max_value : t -> float
+val min_value : t -> float
+val mean : t -> float
+val variance : t -> float
+(** Population variance. *)
+
+val argmax : t -> int
+
+val randn : Rng.t -> int list -> mu:float -> sigma:float -> t
+val rand_uniform : Rng.t -> int list -> lo:float -> hi:float -> t
+val rand_laplace : Rng.t -> int list -> mu:float -> b:float -> t
+
+val equal : ?eps:float -> t -> t -> bool
+(** Same shape and element-wise within [eps] (default 0: exact). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints shape and a bounded prefix of the data. *)

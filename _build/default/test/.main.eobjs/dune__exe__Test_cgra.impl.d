@@ -1,0 +1,1 @@
+test/test_cgra.ml: Alcotest Arch Array Cost Dfg Fu Fuse Hashtbl Kernel Kernels List Mapper Mapper_exact Noc Op Picachu_cgra Picachu_dfg Picachu_ir Printf QCheck QCheck_alcotest Rf Stdlib Transform

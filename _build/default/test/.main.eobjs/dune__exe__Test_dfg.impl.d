@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Analysis Array Dfg Fuse Kernel Kernels List Op Picachu_dfg Picachu_ir QCheck QCheck_alcotest Transform

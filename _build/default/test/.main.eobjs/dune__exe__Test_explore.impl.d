@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Explore Float Lazy List Picachu Picachu_cgra Picachu_llm Printf

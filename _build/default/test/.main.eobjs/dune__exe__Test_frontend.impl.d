@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Float Layer_builder List Offload Patterns Picachu_frontend Picachu_llm Picachu_nonlinear Tensor_ir

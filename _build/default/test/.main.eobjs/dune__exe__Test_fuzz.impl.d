@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Builder Compiler Float Hashtbl Hw_sim Interp Kernel List Op Picachu Picachu_cgra Picachu_dfg Picachu_ir Picachu_tensor Printf QCheck QCheck_alcotest Transform

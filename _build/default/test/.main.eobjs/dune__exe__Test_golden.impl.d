@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Array Compiler Picachu Picachu_cgra Picachu_ir Picachu_llm Picachu_numerics Picachu_tensor

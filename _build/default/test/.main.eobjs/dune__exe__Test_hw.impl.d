@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Compiler Hw_sim List Picachu Picachu_cgra Picachu_dfg Picachu_ir

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Float Instr Interp Kernel Kernels List Op Picachu_ir Picachu_numerics Printf QCheck QCheck_alcotest String Transform

@@ -1,0 +1,1 @@
+test/test_llm.ml: Alcotest Array Cpu_model Float Gpu_model List Model_zoo Picachu_llm Picachu_nonlinear Picachu_numerics Picachu_tensor Ppl Surrogate Workload Zero_shot

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Dataflow Dma Double_buffer Picachu_memory Picachu_systolic QCheck QCheck_alcotest Shared_buffer

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Experiments Filename Float List Picachu Picachu_ir Picachu_numerics Report String Sys Unix

@@ -1,0 +1,1 @@
+test/test_nonlinear.ml: Activations Alcotest Array Float List Norms Picachu_ir Picachu_nonlinear Picachu_numerics Picachu_tensor QCheck QCheck_alcotest Registry Rope Softmax

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Approx Array Fixed_point Float Fp16 Gemmlowp Ibert Int_ops Lazy List Lut Picachu_numerics Picachu_tensor Poly Printf QCheck QCheck_alcotest Quant Rng Taylor Tensor

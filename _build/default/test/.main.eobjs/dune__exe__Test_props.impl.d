@@ -1,0 +1,1 @@
+test/test_props.ml: Approx Array Float Int_ops List Picachu Picachu_llm Picachu_numerics Picachu_systolic Picachu_tensor QCheck QCheck_alcotest Quant Simulator Taylor

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Fmt Picachu_tensor QCheck QCheck_alcotest Rng Stats Tensor

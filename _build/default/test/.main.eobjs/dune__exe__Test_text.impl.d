@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Interp Kernel Kernel_text Kernels List Picachu_ir QCheck QCheck_alcotest String Test_fuzz Transform

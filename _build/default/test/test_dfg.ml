@@ -1,0 +1,246 @@
+(* Tests for DFG extraction, Table 4 pattern fusion, and DFG analyses. *)
+open Picachu_ir
+open Picachu_dfg
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let dfg_of name variant loop_idx =
+  let k = Kernels.by_name variant name in
+  Dfg.of_loop (List.nth k.Kernel.loops loop_idx)
+
+(* ------------------------------------------------------------ extraction *)
+
+let test_no_const_input_nodes () =
+  List.iter
+    (fun (k : Kernel.t) ->
+      List.iter
+        (fun loop ->
+          let g = Dfg.of_loop loop in
+          Array.iter
+            (fun (node : Dfg.node) ->
+              match node.Dfg.op with
+              | Op.Const _ | Op.Input _ ->
+                  Alcotest.failf "%s: config register materialized as node"
+                    loop.Kernel.label
+              | _ -> ())
+            g.Dfg.nodes)
+        k.Kernel.loops)
+    (Kernels.all Kernels.Picachu)
+
+let test_relu_structure () =
+  let g = dfg_of "relu" Kernels.Picachu 0 in
+  (* load, cmp, select, store, iv phi, iv add, loop cmp, br *)
+  Alcotest.(check int) "node count" 8 (Dfg.node_count g);
+  let back = List.filter (fun (e : Dfg.edge) -> e.Dfg.distance = 1) g.Dfg.edges in
+  Alcotest.(check int) "one back edge (induction)" 1 (List.length back)
+
+let test_back_edges_target_phis () =
+  List.iter
+    (fun (k : Kernel.t) ->
+      List.iter
+        (fun loop ->
+          let g = Dfg.of_loop loop in
+          List.iter
+            (fun (e : Dfg.edge) ->
+              if e.Dfg.distance = 1 then
+                Alcotest.(check bool) "back edge targets phi" true
+                  (g.Dfg.nodes.(e.Dfg.dst).Dfg.op = Op.Phi))
+            g.Dfg.edges)
+        k.Kernel.loops)
+    (Kernels.all Kernels.Picachu)
+
+let test_topo_order_valid () =
+  List.iter
+    (fun (k : Kernel.t) ->
+      List.iter
+        (fun loop ->
+          let g = Dfg.of_loop loop in
+          let order = Dfg.topo_order g in
+          Alcotest.(check int) "covers all nodes" (Dfg.node_count g) (List.length order);
+          let pos = Array.make (Dfg.node_count g) 0 in
+          List.iteri (fun i u -> pos.(u) <- i) order;
+          List.iter
+            (fun (e : Dfg.edge) ->
+              if e.Dfg.distance = 0 then
+                Alcotest.(check bool) "preds first" true (pos.(e.Dfg.src) < pos.(e.Dfg.dst)))
+            g.Dfg.edges)
+        k.Kernel.loops)
+    (Kernels.all Kernels.Baseline)
+
+let test_vector_flags () =
+  let k = Transform.vectorize_kernel 4 (Kernels.softmax Kernels.Picachu) in
+  let g = Dfg.of_loop (List.nth k.Kernel.loops 2) in
+  Array.iter
+    (fun (node : Dfg.node) ->
+      let expected = Op.is_vectorizable node.Dfg.op in
+      Alcotest.(check bool) (Op.name node.Dfg.op ^ " vector flag") expected node.Dfg.vector)
+    g.Dfg.nodes
+
+(* ---------------------------------------------------------------- fusion *)
+
+let test_fuse_shrinks () =
+  List.iter
+    (fun (k : Kernel.t) ->
+      List.iter
+        (fun loop ->
+          let g = Dfg.of_loop loop in
+          let f = Fuse.fuse g in
+          Alcotest.(check bool) "fused graph is smaller" true
+            (Dfg.node_count f < Dfg.node_count g))
+        k.Kernel.loops)
+    (Kernels.all Kernels.Picachu)
+
+let test_fuse_preserves_members () =
+  List.iter
+    (fun (k : Kernel.t) ->
+      List.iter
+        (fun loop ->
+          let g = Dfg.of_loop loop in
+          let f = Fuse.fuse g in
+          let members_total =
+            Array.fold_left
+              (fun acc (n : Dfg.node) -> acc + List.length n.Dfg.members)
+              0 f.Dfg.nodes
+          in
+          Alcotest.(check int)
+            (loop.Kernel.label ^ ": members account for every node")
+            (Dfg.node_count g) members_total)
+        k.Kernel.loops)
+    (Kernels.all Kernels.Picachu)
+
+let test_relu_patterns () =
+  let f = Fuse.fuse (dfg_of "relu" Kernels.Picachu 0) in
+  let counts = Fuse.pattern_counts f in
+  Alcotest.(check (option int)) "cmp+select" (Some 1) (List.assoc_opt Op.Cmp_sel counts);
+  Alcotest.(check (option int)) "cmp+br" (Some 1) (List.assoc_opt Op.Cmp_br counts);
+  Alcotest.(check (option int)) "phi+add (induction)" (Some 1)
+    (List.assoc_opt Op.Phi_add counts)
+
+let test_horner_mul_add_chains () =
+  let f = Fuse.fuse (dfg_of "softmax" Kernels.Picachu 1) in
+  let counts = Fuse.pattern_counts f in
+  match List.assoc_opt Op.Mul_add counts with
+  | Some n -> Alcotest.(check bool) "taylor horner produces mul+add chains" true (n >= 5)
+  | None -> Alcotest.fail "no mul+add in the exp loop"
+
+let test_unrolled_reduction_phi_add_add () =
+  let k = Kernels.rmsnorm Kernels.Picachu in
+  let l2 = Transform.unroll 2 (List.hd k.Kernel.loops) in
+  let f = Fuse.fuse (Dfg.of_loop l2) in
+  Alcotest.(check bool) "phi+add+add appears" true
+    (Fuse.contains_pattern f Op.Phi_add_add)
+
+let test_fused_self_loop () =
+  (* the fused induction update must carry a distance-1 self edge *)
+  let f = Fuse.fuse (dfg_of "relu" Kernels.Picachu 0) in
+  let self =
+    List.exists
+      (fun (e : Dfg.edge) -> e.Dfg.src = e.Dfg.dst && e.Dfg.distance = 1)
+      f.Dfg.edges
+  in
+  Alcotest.(check bool) "self loop present" true self
+
+let test_fuse_idempotent_on_fused () =
+  let f = Fuse.fuse (dfg_of "softmax" Kernels.Picachu 1) in
+  let f2 = Fuse.fuse f in
+  Alcotest.(check int) "second pass finds nothing new" (Dfg.node_count f)
+    (Dfg.node_count f2)
+
+(* -------------------------------------------------------------- analysis *)
+
+let test_intensity_relu_low () =
+  (* §3.1: ReLU is the only op under the 5.3 threshold *)
+  let k = Kernels.relu Kernels.Baseline in
+  let ci =
+    let gs = List.map Dfg.of_loop k.Kernel.loops in
+    let c = List.fold_left (fun a g -> a + Analysis.compute_node_count g) 0 gs in
+    let m = List.fold_left (fun a g -> a + Analysis.memory_node_count g) 0 gs in
+    float_of_int c /. float_of_int m
+  in
+  Alcotest.(check bool) "relu below threshold" true (ci < 5.3)
+
+let test_intensity_exp_kernels_high () =
+  List.iter
+    (fun name ->
+      let k = Kernels.by_name Kernels.Baseline name in
+      let gs = List.map Dfg.of_loop k.Kernel.loops in
+      let c = List.fold_left (fun a g -> a + Analysis.compute_node_count g) 0 gs in
+      let m = List.fold_left (fun a g -> a + Analysis.memory_node_count g) 0 gs in
+      let ci = float_of_int c /. float_of_int m in
+      Alcotest.(check bool) (name ^ " above threshold") true (ci > 5.3))
+    [ "softmax"; "silu"; "gelu"; "rope" ]
+
+let test_intensity_infinite_without_memory () =
+  let g =
+    {
+      Dfg.nodes =
+        [|
+          {
+            Dfg.id = 0;
+            op = Op.Bin Op.Add;
+            members = [ Op.Bin Op.Add ];
+            origins = [ 0 ];
+            vector = false;
+          };
+        |];
+      edges = [];
+      vector_width = 1;
+      label = "synthetic";
+    }
+  in
+  Alcotest.(check bool) "infinite" true (Analysis.computational_intensity g = infinity)
+
+let test_rec_mii_unfused_vs_fused () =
+  let g = dfg_of "rmsnorm" Kernels.Picachu 0 in
+  Alcotest.(check int) "unfused accumulator recurrence" 2 (Analysis.rec_mii g);
+  Alcotest.(check int) "fused accumulator recurrence" 1 (Analysis.rec_mii (Fuse.fuse g))
+
+let test_critical_path_shrinks_under_fusion () =
+  let g = dfg_of "softmax" Kernels.Picachu 1 in
+  let f = Fuse.fuse g in
+  Alcotest.(check bool) "critical path shrinks" true
+    (Analysis.critical_path f < Analysis.critical_path g)
+
+let prop_fusion_never_raises_recmii =
+  QCheck.Test.make ~name:"fusion never increases RecMII" ~count:30
+    (QCheck.oneofl [ "softmax"; "relu"; "gelu"; "layernorm"; "rmsnorm"; "rope"; "silu" ])
+    (fun name ->
+      let k = Kernels.by_name Kernels.Picachu name in
+      List.for_all
+        (fun loop ->
+          let g = Dfg.of_loop loop in
+          Analysis.rec_mii (Fuse.fuse g) <= Analysis.rec_mii g)
+        k.Kernel.loops)
+
+let suite =
+  [
+    ( "dfg-extraction",
+      [
+        Alcotest.test_case "no config-register nodes" `Quick test_no_const_input_nodes;
+        Alcotest.test_case "relu structure" `Quick test_relu_structure;
+        Alcotest.test_case "back edges target phis" `Quick test_back_edges_target_phis;
+        Alcotest.test_case "topological order" `Quick test_topo_order_valid;
+        Alcotest.test_case "vector flags" `Quick test_vector_flags;
+      ] );
+    ( "fusion",
+      [
+        Alcotest.test_case "shrinks graphs" `Quick test_fuse_shrinks;
+        Alcotest.test_case "accounts for all members" `Quick test_fuse_preserves_members;
+        Alcotest.test_case "relu patterns" `Quick test_relu_patterns;
+        Alcotest.test_case "horner mul+add chains" `Quick test_horner_mul_add_chains;
+        Alcotest.test_case "unrolled phi+add+add" `Quick test_unrolled_reduction_phi_add_add;
+        Alcotest.test_case "fused self loop" `Quick test_fused_self_loop;
+        Alcotest.test_case "idempotent" `Quick test_fuse_idempotent_on_fused;
+      ] );
+    ( "analysis",
+      [
+        Alcotest.test_case "relu intensity low" `Quick test_intensity_relu_low;
+        Alcotest.test_case "exp kernels intensity high" `Quick
+          test_intensity_exp_kernels_high;
+        Alcotest.test_case "no memory = infinite" `Quick test_intensity_infinite_without_memory;
+        Alcotest.test_case "recMII fused vs unfused" `Quick test_rec_mii_unfused_vs_fused;
+        Alcotest.test_case "fusion shortens critical path" `Quick
+          test_critical_path_shrinks_under_fusion;
+        qtest prop_fusion_never_raises_recmii;
+      ] );
+  ]

@@ -1,0 +1,145 @@
+(* Tests for the design-space explorer, the tile-mix constructor, and the
+   decode-phase workload extension. *)
+open Picachu
+module Arch = Picachu_cgra.Arch
+module Fu = Picachu_cgra.Fu
+module Mz = Picachu_llm.Model_zoo
+module Workload = Picachu_llm.Workload
+module Gpu = Picachu_llm.Gpu_model
+
+(* -------------------------------------------------------------- tile mix *)
+
+let count_kind arch kind =
+  Array.fold_left (fun acc k -> if k = kind then acc + 1 else acc) 0 arch.Arch.kinds
+
+let test_mix_share_respected () =
+  List.iter
+    (fun share ->
+      let a = Arch.hetero_mix ~rows:4 ~cols:4 ~cot_share:share in
+      let cots = count_kind a Fu.CoT in
+      let expected = int_of_float (Float.round (share *. 12.0)) in
+      Alcotest.(check int) (Printf.sprintf "share %.2f" share) expected cots;
+      Alcotest.(check int) "corners stay BrT" 4 (count_kind a Fu.BrT))
+    [ 0.0; 0.25; 0.5; 2.0 /. 3.0; 1.0 ]
+
+let test_mix_validation () =
+  Alcotest.check_raises "share range" (Invalid_argument "Arch.hetero_mix: share")
+    (fun () -> ignore (Arch.hetero_mix ~rows:4 ~cols:4 ~cot_share:1.5))
+
+let test_mix_two_thirds_matches_picachu_counts () =
+  let mix = Arch.hetero_mix ~rows:4 ~cols:4 ~cot_share:(2.0 /. 3.0) in
+  let pic = Arch.picachu () in
+  Alcotest.(check int) "same CoT count" (count_kind pic Fu.CoT) (count_kind mix Fu.CoT);
+  Alcotest.(check int) "same BaT count" (count_kind pic Fu.BaT) (count_kind mix Fu.BaT)
+
+(* --------------------------------------------------------------- explore *)
+
+let small_sweep =
+  lazy (Explore.sweep ~sizes:[ (3, 3); (4, 4) ] ~cot_shares:[ 0.5; 2.0 /. 3.0 ] ())
+
+let test_sweep_produces_points () =
+  let points = Lazy.force small_sweep in
+  Alcotest.(check int) "all points evaluated" 4 (List.length points);
+  List.iter
+    (fun (p : Explore.point) ->
+      Alcotest.(check bool) "positive throughput" true (p.Explore.geomean_throughput > 0.0);
+      Alcotest.(check bool) "positive area" true (p.Explore.area_mm2 > 0.0))
+    points
+
+let test_pareto_subset_and_nonempty () =
+  let points = Lazy.force small_sweep in
+  let front = Explore.pareto points in
+  Alcotest.(check bool) "non-empty" true (front <> []);
+  List.iter
+    (fun p -> Alcotest.(check bool) "frontier from the sweep" true (List.memq p points))
+    front;
+  (* no frontier point dominates another *)
+  List.iter
+    (fun (a : Explore.point) ->
+      List.iter
+        (fun (b : Explore.point) ->
+          if a != b then
+            Alcotest.(check bool) "mutually non-dominated" false
+              (a.Explore.geomean_throughput >= b.Explore.geomean_throughput
+              && a.Explore.area_mm2 <= b.Explore.area_mm2
+              && (a.Explore.geomean_throughput > b.Explore.geomean_throughput
+                 || a.Explore.area_mm2 < b.Explore.area_mm2)))
+        front)
+    front
+
+let test_reference_point_on_frontier () =
+  (* the paper's 4x4 operating point is not dominated in the default sweep *)
+  let points = Explore.sweep () in
+  let r = Explore.reference_point () in
+  let dominated =
+    List.exists
+      (fun (q : Explore.point) ->
+        q.Explore.geomean_throughput >= r.Explore.geomean_throughput
+        && q.Explore.area_mm2 <= r.Explore.area_mm2
+        && (q.Explore.geomean_throughput > r.Explore.geomean_throughput
+           || q.Explore.area_mm2 < r.Explore.area_mm2))
+      points
+  in
+  Alcotest.(check bool) "paper point undominated" false dominated
+
+let test_more_cots_more_area () =
+  let a = Explore.evaluate ~rows:4 ~cols:4 ~cot_share:(1.0 /. 3.0) in
+  let b = Explore.evaluate ~rows:4 ~cols:4 ~cot_share:(5.0 /. 6.0) in
+  Alcotest.(check bool) "CoTs cost area" true (b.Explore.area_mm2 > a.Explore.area_mm2);
+  Alcotest.(check bool) "CoTs buy throughput" true
+    (b.Explore.geomean_throughput > a.Explore.geomean_throughput)
+
+(* ---------------------------------------------------------------- decode *)
+
+let test_decode_structure () =
+  let w = Workload.decode_of_model Mz.llama2_7b ~context:1024 in
+  List.iter
+    (fun (g : Workload.gemm) ->
+      Alcotest.(check int) (g.Workload.g_tag ^ " is a gemv") 1 g.Workload.m)
+    w.Workload.gemms;
+  let sm = List.find (fun (nl : Workload.nl) -> nl.Workload.nl_tag = "softmax") w.Workload.nls in
+  Alcotest.(check int) "softmax spans the cache" 1024 sm.Workload.dim;
+  Alcotest.(check int) "one row per head" 32 sm.Workload.rows
+
+let test_decode_validation () =
+  Alcotest.check_raises "context" (Invalid_argument "Workload.decode_of_model: context")
+    (fun () -> ignore (Workload.decode_of_model Mz.gpt2_xl ~context:0))
+
+let test_decode_gemv_memory_bound () =
+  (* the GPU model must charge a GEMV its weight traffic, not just FLOPs *)
+  let g = { Workload.m = 1; k = 4096; n = 4096; count = 1; g_tag = "gemv" } in
+  let t = Gpu.gemm_seconds Gpu.a100 g in
+  let weight_bytes = 2.0 *. 4096.0 *. 4096.0 in
+  let min_memory_s = weight_bytes /. (Gpu.a100.Gpu.hbm_gbs *. 1e9) in
+  Alcotest.(check bool) "at least the weight-streaming time" true (t >= min_memory_s)
+
+let test_decode_cheaper_than_prefill () =
+  let prefill = Gpu.run Gpu.a100 (Workload.of_model Mz.llama2_7b ~seq:1024) in
+  let decode = Gpu.run Gpu.a100 (Workload.decode_of_model Mz.llama2_7b ~context:1024) in
+  Alcotest.(check bool) "one step far cheaper than a prefill" true
+    (decode.Gpu.total_s < prefill.Gpu.total_s /. 4.0)
+
+let suite =
+  [
+    ( "tile-mix",
+      [
+        Alcotest.test_case "share respected" `Quick test_mix_share_respected;
+        Alcotest.test_case "validation" `Quick test_mix_validation;
+        Alcotest.test_case "2/3 matches picachu" `Quick
+          test_mix_two_thirds_matches_picachu_counts;
+      ] );
+    ( "explore",
+      [
+        Alcotest.test_case "sweep" `Slow test_sweep_produces_points;
+        Alcotest.test_case "pareto" `Slow test_pareto_subset_and_nonempty;
+        Alcotest.test_case "paper point undominated" `Slow test_reference_point_on_frontier;
+        Alcotest.test_case "cot share tradeoff" `Slow test_more_cots_more_area;
+      ] );
+    ( "decode",
+      [
+        Alcotest.test_case "structure" `Quick test_decode_structure;
+        Alcotest.test_case "validation" `Quick test_decode_validation;
+        Alcotest.test_case "gemv memory bound" `Quick test_decode_gemv_memory_bound;
+        Alcotest.test_case "decode step cheap" `Quick test_decode_cheaper_than_prefill;
+      ] );
+  ]

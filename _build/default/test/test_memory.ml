@@ -1,0 +1,196 @@
+(* Tests for the systolic array model and the memory system (DMA, double
+   buffering, Shared Buffer, the three data-flow cases). *)
+open Picachu_memory
+module Systolic = Picachu_systolic.Systolic
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* -------------------------------------------------------------- systolic *)
+
+let test_gemm_cycles_formula () =
+  let s = Systolic.make 32 in
+  (* single tile: k + 2*dim *)
+  Alcotest.(check int) "single tile" (128 + 64) (Systolic.gemm_cycles s ~m:32 ~k:128 ~n:32);
+  (* four tiles pipeline: first pays fill, rest pay k *)
+  Alcotest.(check int) "2x2 tiles"
+    (128 + 64 + (3 * 128))
+    (Systolic.gemm_cycles s ~m:64 ~k:128 ~n:64)
+
+let test_gemm_validation () =
+  let s = Systolic.default in
+  Alcotest.check_raises "bad dims" (Invalid_argument "Systolic.gemm_cycles: dims")
+    (fun () -> ignore (Systolic.gemm_cycles s ~m:0 ~k:4 ~n:4))
+
+let test_gemm_utilization_approaches_one () =
+  let s = Systolic.make 32 in
+  let u = Systolic.utilization s ~m:1024 ~k:8192 ~n:1024 in
+  Alcotest.(check bool) "large gemm utilization > 0.95" true (u > 0.95);
+  Alcotest.(check bool) "never above 1" true (u <= 1.0)
+
+let test_gemm_energy_proportional () =
+  let s = Systolic.default in
+  let e1 = Systolic.gemm_energy_uj s ~m:64 ~k:64 ~n:64 in
+  let e2 = Systolic.gemm_energy_uj s ~m:128 ~k:64 ~n:64 in
+  Alcotest.(check (float 1e-9)) "scales with macs" (2.0 *. e1) e2
+
+(* ------------------------------------------------------------------- dma *)
+
+let test_dma_transfer () =
+  let d = Dma.make ~setup_cycles:100 ~bytes_per_cycle:8.0 () in
+  Alcotest.(check int) "zero bytes free" 0 (Dma.transfer_cycles d ~bytes:0);
+  Alcotest.(check int) "setup plus stream" (100 + 128) (Dma.transfer_cycles d ~bytes:1024);
+  Alcotest.check_raises "negative" (Invalid_argument "Dma.transfer_cycles: negative size")
+    (fun () -> ignore (Dma.transfer_cycles d ~bytes:(-1)))
+
+let prop_dma_monotone =
+  QCheck.Test.make ~name:"dma cycles monotone in size" ~count:200
+    (QCheck.pair (QCheck.int_range 0 100000) (QCheck.int_range 0 100000)) (fun (a, b) ->
+      let d = Dma.default in
+      let lo = min a b and hi = max a b in
+      Dma.transfer_cycles d ~bytes:lo <= Dma.transfer_cycles d ~bytes:hi)
+
+(* --------------------------------------------------------- double buffer *)
+
+let test_double_buffer_known () =
+  (* 4 chunks, transfer 10, compute 30: 10 + 30*3 + 30 = 130 *)
+  Alcotest.(check int) "compute bound" 130
+    (Double_buffer.pipelined_cycles ~chunks:4 ~transfer:10 ~compute:30);
+  Alcotest.(check int) "serialized" 160
+    (Double_buffer.serialized_cycles ~chunks:4 ~transfer:10 ~compute:30);
+  Alcotest.(check int) "zero chunks" 0
+    (Double_buffer.pipelined_cycles ~chunks:0 ~transfer:10 ~compute:30)
+
+let prop_pipelined_never_slower =
+  QCheck.Test.make ~name:"overlap never slower than serial" ~count:500
+    (QCheck.triple (QCheck.int_range 0 50) (QCheck.int_range 0 1000) (QCheck.int_range 0 1000))
+    (fun (chunks, transfer, compute) ->
+      Double_buffer.pipelined_cycles ~chunks ~transfer ~compute
+      <= Double_buffer.serialized_cycles ~chunks ~transfer ~compute)
+
+let prop_hidden_fraction_bounded =
+  QCheck.Test.make ~name:"hidden fraction in [0,1]" ~count:500
+    (QCheck.triple (QCheck.int_range 1 50) (QCheck.int_range 1 1000) (QCheck.int_range 0 1000))
+    (fun (chunks, transfer, compute) ->
+      let f = Double_buffer.hidden_fraction ~chunks ~transfer ~compute in
+      f >= 0.0 && f <= 1.0 +. 1e-9)
+
+let test_hidden_fraction_extremes () =
+  (* compute >> transfer: nearly all DMA hidden *)
+  let f = Double_buffer.hidden_fraction ~chunks:100 ~transfer:10 ~compute:1000 in
+  Alcotest.(check bool) "mostly hidden" true (f > 0.95);
+  (* compute = 0: nothing to hide behind *)
+  let f0 = Double_buffer.hidden_fraction ~chunks:100 ~transfer:10 ~compute:0 in
+  Alcotest.(check bool) "nothing hidden" true (f0 < 0.05)
+
+(* ----------------------------------------------------------- shared buffer *)
+
+let test_buffer_validation () =
+  Alcotest.check_raises "capacity" (Invalid_argument "Shared_buffer.make: capacity")
+    (fun () -> ignore (Shared_buffer.make ~kb:0.0 ()))
+
+let test_paper_channel_thresholds () =
+  (* §5.3.5: 40KB holds a LLaMA2-7B channel (d=4096), 20KB a GPT2-XL channel
+     (d=1600), with double-buffered in/out pairs *)
+  let b40 = Shared_buffer.make ~kb:40.0 () in
+  let b20 = Shared_buffer.make ~kb:20.0 () in
+  let b10 = Shared_buffer.make ~kb:10.0 () in
+  Alcotest.(check bool) "llama fits in 40KB" true (Shared_buffer.holds_channel b40 ~dim:4096);
+  Alcotest.(check bool) "llama does not fit in 20KB" false
+    (Shared_buffer.holds_channel b20 ~dim:4096);
+  Alcotest.(check bool) "gpt2 fits in 20KB" true (Shared_buffer.holds_channel b20 ~dim:1600);
+  Alcotest.(check bool) "gpt2 does not fit in 10KB" false
+    (Shared_buffer.holds_channel b10 ~dim:1600)
+
+let test_channels_resident () =
+  let b = Shared_buffer.make ~kb:40.0 () in
+  Alcotest.(check int) "resident channels" 5 (Shared_buffer.channels_resident b ~dim:1024)
+
+(* ---------------------------------------------------------------- dataflow *)
+
+let buf40 = Shared_buffer.make ~kb:40.0 ()
+
+let test_classify () =
+  Alcotest.(check string) "EO streams" "case1-stream"
+    (Dataflow.case_name (Dataflow.classify buf40 ~reduction:false ~rows:100000 ~dim:4096));
+  Alcotest.(check string) "big RE uses channel dma" "case2-channel-dma"
+    (Dataflow.case_name (Dataflow.classify buf40 ~reduction:true ~rows:1024 ~dim:4096));
+  Alcotest.(check string) "small RE resident" "case3-resident"
+    (Dataflow.case_name (Dataflow.classify buf40 ~reduction:true ~rows:4 ~dim:512))
+
+let test_case1_overlap () =
+  Alcotest.(check int) "producer dominates" 1010
+    (Dataflow.case1_cycles ~producer_cycles:1000 ~cgra_cycles:400 ~prologue:10);
+  Alcotest.(check int) "cgra dominates" 1210
+    (Dataflow.case1_cycles ~producer_cycles:400 ~cgra_cycles:1200 ~prologue:10)
+
+let test_case2_segmentation_penalty () =
+  (* a buffer too small for the channel re-streams it segment by segment *)
+  let small = Shared_buffer.make ~kb:10.0 () in
+  let big = Shared_buffer.make ~kb:64.0 () in
+  let cycles buf =
+    Dataflow.case2_cycles Dma.default buf ~rows:256 ~dim:4096 ~element_bytes:2
+      ~compute_per_channel:500 ~writeback:true
+  in
+  Alcotest.(check bool) "segmentation costs" true (cycles small > cycles big)
+
+let test_case2_double_buffering_wins () =
+  let args buf f =
+    f Dma.default buf ~rows:128 ~dim:2048 ~element_bytes:2 ~compute_per_channel:700
+      ~writeback:true
+  in
+  Alcotest.(check bool) "pipelined faster" true
+    (args buf40 Dataflow.case2_cycles < args buf40 Dataflow.case2_cycles_single_buffered)
+
+let test_case3_on_chip_cheaper () =
+  let c on = Dataflow.case3_cycles Dma.default ~rows:8 ~dim:512 ~element_bytes:2
+      ~compute_per_channel:600 ~input_on_chip:on
+  in
+  Alcotest.(check bool) "on-chip input skips the load" true (c true < c false)
+
+let prop_case2_rows_monotone =
+  QCheck.Test.make ~name:"case2 cycles monotone in rows" ~count:200
+    (QCheck.pair (QCheck.int_range 1 500) (QCheck.int_range 1 500)) (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let f rows =
+        Dataflow.case2_cycles Dma.default buf40 ~rows ~dim:1024 ~element_bytes:2
+          ~compute_per_channel:300 ~writeback:true
+      in
+      f lo <= f hi)
+
+let suite =
+  [
+    ( "systolic",
+      [
+        Alcotest.test_case "cycle formula" `Quick test_gemm_cycles_formula;
+        Alcotest.test_case "validation" `Quick test_gemm_validation;
+        Alcotest.test_case "utilization" `Quick test_gemm_utilization_approaches_one;
+        Alcotest.test_case "energy" `Quick test_gemm_energy_proportional;
+      ] );
+    ( "dma",
+      [
+        Alcotest.test_case "transfer" `Quick test_dma_transfer;
+        qtest prop_dma_monotone;
+      ] );
+    ( "double-buffer",
+      [
+        Alcotest.test_case "known values" `Quick test_double_buffer_known;
+        qtest prop_pipelined_never_slower;
+        qtest prop_hidden_fraction_bounded;
+        Alcotest.test_case "hidden fraction extremes" `Quick test_hidden_fraction_extremes;
+      ] );
+    ( "shared-buffer",
+      [
+        Alcotest.test_case "validation" `Quick test_buffer_validation;
+        Alcotest.test_case "paper thresholds" `Quick test_paper_channel_thresholds;
+        Alcotest.test_case "channels resident" `Quick test_channels_resident;
+      ] );
+    ( "dataflow",
+      [
+        Alcotest.test_case "classify" `Quick test_classify;
+        Alcotest.test_case "case1 overlap" `Quick test_case1_overlap;
+        Alcotest.test_case "case2 segmentation" `Quick test_case2_segmentation_penalty;
+        Alcotest.test_case "case2 double buffering" `Quick test_case2_double_buffering_wins;
+        Alcotest.test_case "case3 on-chip input" `Quick test_case3_on_chip_cheaper;
+        qtest prop_case2_rows_monotone;
+      ] );
+  ]

@@ -1,0 +1,285 @@
+(* Tests for the tensor-level nonlinear operators: closed-form correctness,
+   mathematical invariants, cross-validation against the IR kernels, and the
+   registry metadata. *)
+open Picachu_nonlinear
+module Tensor = Picachu_tensor.Tensor
+module Rng = Picachu_tensor.Rng
+module Approx = Picachu_numerics.Approx
+module Interp = Picachu_ir.Interp
+module Kernels = Picachu_ir.Kernels
+
+let qtest = QCheck_alcotest.to_alcotest
+let check_close eps = Alcotest.(check (float eps))
+
+let random_matrix seed rows cols =
+  Tensor.randn (Rng.create seed) [ rows; cols ] ~mu:0.0 ~sigma:1.5
+
+(* --------------------------------------------------------------- softmax *)
+
+let test_softmax_rows_sum_one () =
+  let t = random_matrix 1 6 17 in
+  let s = Softmax.exact t in
+  for i = 0 to 5 do
+    let sum = ref 0.0 in
+    for j = 0 to 16 do
+      sum := !sum +. Tensor.get2 s i j
+    done;
+    check_close 1e-12 "row sums to one" 1.0 !sum
+  done
+
+let test_softmax_shift_invariance () =
+  let row = [| 0.1; 2.0; -3.0; 1.5 |] in
+  let shifted = Array.map (fun x -> x +. 100.0) row in
+  let a = Softmax.exact_row row and b = Softmax.exact_row shifted in
+  Array.iteri (fun i v -> check_close 1e-12 "shift invariant" v b.(i)) a
+
+let test_softmax_overflow_safe () =
+  let row = [| 1000.0; 999.0 |] in
+  let p = Softmax.exact_row row in
+  Alcotest.(check bool) "finite under large logits" true
+    (Array.for_all Float.is_finite p)
+
+let test_softmax_approx_close () =
+  let t = random_matrix 2 4 32 in
+  let e = Softmax.exact t and a = Softmax.approx (Approx.ours_fp ()) t in
+  Alcotest.(check bool) "ours-fp within 1e-3" true (Tensor.equal ~eps:1e-3 e a)
+
+let prop_softmax_monotone =
+  QCheck.Test.make ~name:"softmax preserves ordering" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 2 12) (QCheck.float_range (-8.0) 8.0))
+    (fun l ->
+      let row = Array.of_list l in
+      let p = Softmax.exact_row row in
+      let ok = ref true in
+      Array.iteri
+        (fun i _ ->
+          Array.iteri
+            (fun j _ -> if row.(i) < row.(j) && p.(i) > p.(j) +. 1e-12 then ok := false)
+            row)
+        row;
+      !ok)
+
+(* ----------------------------------------------------------- activations *)
+
+let test_relu_values () =
+  let t = Tensor.of_array [ 4 ] [| -1.0; 0.0; 2.5; -0.1 |] in
+  let r = Activations.relu_exact t in
+  Alcotest.(check bool) "relu" true
+    (Tensor.equal r (Tensor.of_array [ 4 ] [| 0.0; 0.0; 2.5; 0.0 |]))
+
+let test_gelu_landmarks () =
+  let t = Tensor.of_array [ 3 ] [| 0.0; 10.0; -10.0 |] in
+  let g = Activations.gelu_exact t in
+  check_close 1e-9 "gelu(0)" 0.0 (Tensor.get g 0);
+  check_close 1e-3 "gelu(10) ~ 10" 10.0 (Tensor.get g 1);
+  check_close 1e-3 "gelu(-10) ~ 0" 0.0 (Tensor.get g 2)
+
+let test_silu_landmarks () =
+  let t = Tensor.of_array [ 2 ] [| 0.0; 20.0 |] in
+  let s = Activations.silu_exact t in
+  check_close 1e-9 "silu(0)" 0.0 (Tensor.get s 0);
+  check_close 1e-3 "silu(20) ~ 20" 20.0 (Tensor.get s 1)
+
+let test_gated_shape_check () =
+  Alcotest.check_raises "shape mismatch" (Invalid_argument "Activations: gate shape")
+    (fun () ->
+      ignore
+        (Activations.swiglu_exact ~gate:(Tensor.create [ 2 ]) (Tensor.create [ 3 ])))
+
+let test_swiglu_is_silu_times_value () =
+  let gate = random_matrix 3 2 8 and v = random_matrix 4 2 8 in
+  let direct = Activations.swiglu_exact ~gate v in
+  let manual = Tensor.mul (Activations.silu_exact gate) v in
+  Alcotest.(check bool) "definition" true (Tensor.equal direct manual)
+
+(* ----------------------------------------------------------------- norms *)
+
+let test_layernorm_moments () =
+  let t = random_matrix 5 4 64 in
+  let n = Norms.layernorm_exact t in
+  for i = 0 to 3 do
+    let row = Tensor.row n i in
+    check_close 1e-9 "mean 0" 0.0 (Tensor.mean row);
+    check_close 1e-3 "variance 1" 1.0 (Tensor.variance row)
+  done
+
+let test_rmsnorm_unit_rms () =
+  let t = random_matrix 6 4 64 in
+  let n = Norms.rmsnorm_exact t in
+  for i = 0 to 3 do
+    let row = Tensor.row n i in
+    let ms = Tensor.mean (Tensor.mul row row) in
+    check_close 1e-3 "unit mean square" 1.0 ms
+  done
+
+let test_norm_scale_invariance () =
+  (* rmsnorm(c x) = rmsnorm(x) up to the epsilon *)
+  let t = random_matrix 7 1 32 in
+  let a = Norms.rmsnorm_exact t and b = Norms.rmsnorm_exact (Tensor.scale 7.0 t) in
+  Alcotest.(check bool) "scale invariant" true (Tensor.equal ~eps:1e-3 a b)
+
+let test_norm_backends_close () =
+  let t = random_matrix 8 2 48 in
+  let e = Norms.layernorm_exact t in
+  List.iter
+    (fun b ->
+      let a = Norms.layernorm b t in
+      Alcotest.(check bool) "backend close" true (Tensor.equal ~eps:5e-3 e a))
+    [ Approx.fp16_reference; Approx.ours_fp (); Approx.ours_int () ]
+
+(* ------------------------------------------------------------------ rope *)
+
+let test_rope_theta () =
+  check_close 1e-12 "theta_1 = 1" 1.0 (Rope.theta ~dim:64 1);
+  Alcotest.(check bool) "theta decreasing" true
+    (Rope.theta ~dim:64 10 < Rope.theta ~dim:64 2)
+
+let test_reduce_angle_identity () =
+  List.iter
+    (fun a ->
+      let t, ss, cs = Rope.reduce_angle a in
+      check_close 1e-9 "sin identity" (sin a) (ss *. sin t);
+      check_close 1e-9 "cos identity" (cos a) (cs *. cos t);
+      Alcotest.(check bool) "reduced range" true
+        (t >= -.(Float.pi /. 2.0) -. 1e-9 && t <= (Float.pi /. 2.0) +. 1e-9))
+    [ 0.0; 1.0; -1.0; 2.5; -2.5; 7.0; 100.3; -55.5 ]
+
+let test_rope_position_zero_identity () =
+  let x = Tensor.of_array [ 8 ] [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. |] in
+  let y = Rope.exact ~pos:0 x in
+  Alcotest.(check bool) "pos 0 is identity" true (Tensor.equal ~eps:1e-12 x y)
+
+let prop_rope_preserves_pair_norms =
+  QCheck.Test.make ~name:"rotation preserves pair norms" ~count:100
+    (QCheck.pair (QCheck.int_range 0 500)
+       (QCheck.list_of_size (QCheck.Gen.return 8) (QCheck.float_range (-5.0) 5.0)))
+    (fun (pos, l) ->
+      let x = Tensor.of_array [ 8 ] (Array.of_list l) in
+      let y = Rope.exact ~pos x in
+      let ok = ref true in
+      for i = 0 to 3 do
+        let nx = (Tensor.get x (2 * i) ** 2.0) +. (Tensor.get x ((2 * i) + 1) ** 2.0) in
+        let ny = (Tensor.get y (2 * i) ** 2.0) +. (Tensor.get y ((2 * i) + 1) ** 2.0) in
+        if Float.abs (nx -. ny) > 1e-6 then ok := false
+      done;
+      !ok)
+
+let test_rope_odd_dim_rejected () =
+  Alcotest.check_raises "odd dim" (Invalid_argument "Rope: odd dimension") (fun () ->
+      ignore (Rope.exact ~pos:1 (Tensor.create [ 7 ])))
+
+let test_rope_backend_close () =
+  let x = random_matrix 9 6 16 in
+  let e = Rope.exact_rows x and a = Rope.approx_rows (Approx.ours_fp ()) x in
+  Alcotest.(check bool) "ours-fp rope close" true (Tensor.equal ~eps:2e-2 e a)
+
+(* -------------------------------------------- kernel cross-validation *)
+
+(* The IR kernels and the tensor-level operators implement the same
+   mathematics; run both on the same data. *)
+let test_kernel_vs_tensor_softmax () =
+  let n = 24 in
+  let xs = Array.init n (fun i -> ((float_of_int i *. 7.3) -. 80.0) /. 11.0) in
+  let res =
+    Interp.run (Kernels.softmax Kernels.Picachu)
+      { Interp.arrays = [ ("x", xs) ]; scalars = [ ("n", float_of_int n) ] }
+  in
+  let y = List.assoc "y" res.Interp.out_arrays in
+  let expect = Softmax.exact_row xs in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "kernel matches tensor op" true
+        (Float.abs (v -. expect.(i)) < 1e-5))
+    y
+
+let test_kernel_vs_tensor_rmsnorm () =
+  let n = 24 in
+  let xs = Array.init n (fun i -> ((float_of_int i *. 3.1) -. 30.0) /. 7.0) in
+  let res =
+    Interp.run (Kernels.rmsnorm Kernels.Picachu)
+      { Interp.arrays = [ ("x", xs) ]; scalars = [ ("n", float_of_int n) ] }
+  in
+  let y = List.assoc "y" res.Interp.out_arrays in
+  let expect =
+    Tensor.data (Norms.rmsnorm_exact (Tensor.of_array [ 1; n ] (Array.copy xs)))
+  in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "kernel matches tensor op" true
+        (Float.abs (v -. expect.(i)) < 1e-9))
+    y
+
+(* -------------------------------------------------------------- registry *)
+
+let test_registry_roundtrip () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "roundtrip" true (Registry.of_name (Registry.name k) = k))
+    Registry.all;
+  Alcotest.check_raises "unknown" (Invalid_argument "Registry.of_name: frobnicate")
+    (fun () -> ignore (Registry.of_name "frobnicate"))
+
+let test_registry_classes () =
+  Alcotest.(check bool) "softmax is RE" true
+    (Registry.klass Registry.Softmax = Picachu_ir.Kernel.RE);
+  Alcotest.(check bool) "gelu is EO" true
+    (Registry.klass Registry.Gelu = Picachu_ir.Kernel.EO)
+
+let test_registry_kernels_exist () =
+  List.iter
+    (fun op -> ignore (Registry.kernel Kernels.Picachu op))
+    Registry.all
+
+let test_registry_math_operators () =
+  Alcotest.(check (list string)) "softmax operators" [ "division"; "exponential" ]
+    (Registry.mathematical_operators Registry.Softmax);
+  Alcotest.(check (list string)) "norm operators" [ "inverted square root" ]
+    (Registry.mathematical_operators Registry.Rmsnorm)
+
+let suite =
+  [
+    ( "softmax",
+      [
+        Alcotest.test_case "rows sum to one" `Quick test_softmax_rows_sum_one;
+        Alcotest.test_case "shift invariance" `Quick test_softmax_shift_invariance;
+        Alcotest.test_case "overflow safe" `Quick test_softmax_overflow_safe;
+        Alcotest.test_case "approx close" `Quick test_softmax_approx_close;
+        qtest prop_softmax_monotone;
+      ] );
+    ( "activations",
+      [
+        Alcotest.test_case "relu values" `Quick test_relu_values;
+        Alcotest.test_case "gelu landmarks" `Quick test_gelu_landmarks;
+        Alcotest.test_case "silu landmarks" `Quick test_silu_landmarks;
+        Alcotest.test_case "gated shape check" `Quick test_gated_shape_check;
+        Alcotest.test_case "swiglu definition" `Quick test_swiglu_is_silu_times_value;
+      ] );
+    ( "norms",
+      [
+        Alcotest.test_case "layernorm moments" `Quick test_layernorm_moments;
+        Alcotest.test_case "rmsnorm unit rms" `Quick test_rmsnorm_unit_rms;
+        Alcotest.test_case "scale invariance" `Quick test_norm_scale_invariance;
+        Alcotest.test_case "backends close" `Quick test_norm_backends_close;
+      ] );
+    ( "rope",
+      [
+        Alcotest.test_case "theta" `Quick test_rope_theta;
+        Alcotest.test_case "angle reduction" `Quick test_reduce_angle_identity;
+        Alcotest.test_case "position zero" `Quick test_rope_position_zero_identity;
+        qtest prop_rope_preserves_pair_norms;
+        Alcotest.test_case "odd dim rejected" `Quick test_rope_odd_dim_rejected;
+        Alcotest.test_case "backend close" `Quick test_rope_backend_close;
+      ] );
+    ( "kernel-crosscheck",
+      [
+        Alcotest.test_case "softmax kernel vs tensor" `Quick test_kernel_vs_tensor_softmax;
+        Alcotest.test_case "rmsnorm kernel vs tensor" `Quick test_kernel_vs_tensor_rmsnorm;
+      ] );
+    ( "registry",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_registry_roundtrip;
+        Alcotest.test_case "classes" `Quick test_registry_classes;
+        Alcotest.test_case "kernels exist" `Quick test_registry_kernels_exist;
+        Alcotest.test_case "math operators" `Quick test_registry_math_operators;
+      ] );
+  ]

@@ -1,0 +1,532 @@
+(* Tests for the numerics substrate: formats, the PICACHU operator algorithm
+   (FP and INT datapaths), the LUT, and the I-BERT / gemmlowp baselines. *)
+open Picachu_numerics
+
+let check_float = Alcotest.(check (float 1e-12))
+let check_close eps = Alcotest.(check (float eps))
+let qtest = QCheck_alcotest.to_alcotest
+
+let rel_err ref v =
+  Float.abs (ref -. v) /. Float.max 1e-12 (Float.abs ref)
+
+(* ------------------------------------------------------------------ Fp16 *)
+
+let test_fp16_known_encodings () =
+  Alcotest.(check int) "1.0" 0x3C00 (Fp16.of_float 1.0);
+  Alcotest.(check int) "-2.0" 0xC000 (Fp16.of_float (-2.0));
+  Alcotest.(check int) "0.5" 0x3800 (Fp16.of_float 0.5);
+  Alcotest.(check int) "65504" 0x7BFF (Fp16.of_float 65504.0);
+  Alcotest.(check int) "inf" 0x7C00 (Fp16.of_float infinity);
+  Alcotest.(check int) "-inf" 0xFC00 (Fp16.of_float neg_infinity);
+  Alcotest.(check int) "+0" 0x0000 (Fp16.of_float 0.0)
+
+let test_fp16_decode_known () =
+  check_float "decode 1.0" 1.0 (Fp16.to_float 0x3C00);
+  check_float "decode max" 65504.0 (Fp16.to_float 0x7BFF);
+  check_float "decode smallest subnormal" (2.0 ** -24.0) (Fp16.to_float 0x0001);
+  Alcotest.(check bool) "decode nan" true (Float.is_nan (Fp16.to_float 0x7E00))
+
+let test_fp16_overflow_to_inf () =
+  Alcotest.(check bool) "66000 -> inf" true (Fp16.round 66000.0 = infinity);
+  check_float "65504 stays" 65504.0 (Fp16.round 65504.0)
+
+let test_fp16_round_to_nearest_even () =
+  (* 2049 is exactly between representables 2048 and 2050: ties to even *)
+  check_float "tie to even" 2048.0 (Fp16.round 2049.0);
+  check_float "above tie" 2052.0 (Fp16.round 2051.0)
+
+let prop_fp16_roundtrip_idempotent =
+  QCheck.Test.make ~name:"fp16 round is idempotent" ~count:1000
+    (QCheck.float_range (-60000.0) 60000.0) (fun x ->
+      let r = Fp16.round x in
+      Fp16.round r = r)
+
+let prop_fp16_relative_error =
+  QCheck.Test.make ~name:"fp16 relative error within half-ulp" ~count:1000
+    (QCheck.float_range 6.2e-5 60000.0) (fun x ->
+      rel_err x (Fp16.round x) <= Fp16.epsilon /. 2.0 +. 1e-12)
+
+let prop_fp16_monotone =
+  QCheck.Test.make ~name:"fp16 rounding is monotone" ~count:1000
+    (QCheck.pair (QCheck.float_range (-1000.0) 1000.0) (QCheck.float_range (-1000.0) 1000.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Fp16.round lo <= Fp16.round hi)
+
+(* ----------------------------------------------------------- Fixed_point *)
+
+let test_fx_fmt_validation () =
+  Alcotest.check_raises "bad total" (Invalid_argument "Fixed_point.fmt: total_bits")
+    (fun () -> ignore (Fixed_point.fmt ~total_bits:63 ~frac_bits:10));
+  Alcotest.check_raises "bad frac" (Invalid_argument "Fixed_point.fmt: frac_bits")
+    (fun () -> ignore (Fixed_point.fmt ~total_bits:16 ~frac_bits:16))
+
+let test_fx_roundtrip () =
+  let f = Fixed_point.q15 in
+  check_close 1e-4 "roundtrip" 0.333 (Fixed_point.round f 0.333);
+  check_float "exact half" 0.5 (Fixed_point.round f 0.5)
+
+let test_fx_saturation () =
+  let f = Fixed_point.q15 in
+  Alcotest.(check int) "positive saturate" (Fixed_point.max_int_value f)
+    (Fixed_point.of_float f 2.0);
+  Alcotest.(check int) "negative saturate" (Fixed_point.min_int_value f)
+    (Fixed_point.of_float f (-2.0))
+
+let test_fx_mul () =
+  let f = Fixed_point.fmt ~total_bits:32 ~frac_bits:16 in
+  let a = Fixed_point.of_float f 1.5 and b = Fixed_point.of_float f 2.25 in
+  check_close 1e-4 "product" 3.375 (Fixed_point.to_float f (Fixed_point.mul f a b))
+
+let test_fx_split () =
+  let i, fr = Fixed_point.split 3.75 in
+  Alcotest.(check int) "int part" 3 i;
+  check_float "frac part" 0.75 fr;
+  let i, fr = Fixed_point.split (-1.25) in
+  Alcotest.(check int) "negative floors" (-2) i;
+  check_float "frac in [0,1)" 0.75 fr
+
+let prop_fx_split_reconstructs =
+  QCheck.Test.make ~name:"split reconstructs x with frac in [0,1)" ~count:1000
+    (QCheck.float_range (-1e6) 1e6) (fun x ->
+      let i, f = Fixed_point.split x in
+      f >= 0.0 && f < 1.0 && Float.abs (float_of_int i +. f -. x) < 1e-6)
+
+let prop_fx_roundtrip_error =
+  QCheck.Test.make ~name:"fixed-point roundtrip error <= half lsb" ~count:1000
+    (QCheck.float_range (-0.999) 0.999) (fun x ->
+      let f = Fixed_point.q15 in
+      Float.abs (Fixed_point.round f x -. x) <= 0.5 /. 32768.0 +. 1e-12)
+
+(* ----------------------------------------------------------------- Quant *)
+
+let test_quant_roundtrip_bound () =
+  let open Picachu_tensor in
+  let r = Rng.create 2 in
+  let t = Tensor.randn r [ 256 ] ~mu:0.0 ~sigma:2.0 in
+  let q = Quant.quantize ~bits:8 t in
+  let back = Quant.dequantize q in
+  for i = 0 to 255 do
+    Alcotest.(check bool) "error within half step" true
+      (Float.abs (Tensor.get t i -. Tensor.get back i) <= q.Quant.scale /. 2.0 +. 1e-12)
+  done
+
+let test_quant_zero_tensor () =
+  let t = Picachu_tensor.Tensor.create [ 4 ] in
+  let q = Quant.quantize ~bits:8 t in
+  check_float "scale defaults to 1" 1.0 q.Quant.scale
+
+let test_saturating_cast () =
+  Alcotest.(check int) "clamps high" 127 (Quant.saturating_cast ~bits:8 300);
+  Alcotest.(check int) "clamps low" (-128) (Quant.saturating_cast ~bits:8 (-300));
+  Alcotest.(check int) "passes through" 42 (Quant.saturating_cast ~bits:8 42)
+
+let test_requantize () =
+  let t = Picachu_tensor.Tensor.of_array [ 2 ] [| 1.0; -0.5 |] in
+  let q = Quant.quantize ~bits:16 t in
+  let q2 = Quant.requantize q ~new_scale:(q.Quant.scale *. 2.0) in
+  let back = Quant.dequantize q2 in
+  Alcotest.(check bool) "value preserved" true
+    (Picachu_tensor.Tensor.equal ~eps:(q2.Quant.scale) t
+       (Picachu_tensor.Tensor.reshape back [ 2 ]))
+
+(* ------------------------------------------------------------------ Poly *)
+
+let prop_horner_matches_naive =
+  QCheck.Test.make ~name:"horner matches naive evaluation" ~count:500
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 8) (QCheck.float_range (-5.0) 5.0))
+       (QCheck.float_range (-2.0) 2.0))
+    (fun (coeffs, x) ->
+      let c = Array.of_list coeffs in
+      let naive =
+        Array.to_list (Array.mapi (fun k ck -> ck *. (x ** float_of_int k)) c)
+        |> List.fold_left ( +. ) 0.0
+      in
+      Float.abs (Poly.horner c x -. naive) < 1e-6)
+
+let prop_complete_square_identity =
+  QCheck.Test.make ~name:"completing the square preserves the quadratic" ~count:500
+    (QCheck.quad (QCheck.float_range (-5.0) 5.0) (QCheck.float_range (-5.0) 5.0)
+       (QCheck.float_range 0.1 5.0) (QCheck.float_range (-3.0) 3.0))
+    (fun (a, b, c, x) ->
+      let s, d, e = Poly.complete_square { Poly.a; b; c } in
+      let direct = a +. (b *. x) +. (c *. x *. x) in
+      let squared = (s *. (x +. d) *. (x +. d)) +. e in
+      Float.abs (direct -. squared) < 1e-6)
+
+let test_exp_coeffs () =
+  let c = Poly.exp_taylor_coeffs ~order:3 in
+  check_float "c0" 1.0 c.(0);
+  check_float "c1 = ln2" (log 2.0) c.(1);
+  check_close 1e-12 "c2 = ln2^2/2" (log 2.0 ** 2.0 /. 2.0) c.(2)
+
+let test_eval_quadratic_int () =
+  (* the I-BERT exp quadratic on a mid-range point *)
+  let quad = { Poly.a = 0.344; b = 0.0; c = 0.3585 } in
+  let quad = { quad with Poly.b = 2.0 *. 0.3585 *. 1.353 } in
+  (* a + bx + cx^2 with completing-the-square equals c(x+1.353)^2 + const *)
+  let in_scale = 0.7 /. 127.0 in
+  let q = Quant.quantize_value ~bits:8 ~scale:in_scale (-0.3) in
+  let q_out, out_scale = Poly.eval_quadratic_int quad ~in_scale ~bits:8 q in
+  let got = float_of_int q_out *. out_scale in
+  let expect = quad.Poly.a +. (quad.Poly.b *. -0.3) +. (quad.Poly.c *. 0.09) in
+  check_close 0.02 "integer quadratic tracks float" expect got
+
+(* ----------------------------------------------------- Taylor (FP path) *)
+
+let grid ~lo ~hi n f =
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)) in
+    worst := Float.max !worst (f x)
+  done;
+  !worst
+
+let test_taylor_exp_accuracy () =
+  let w = grid ~lo:(-30.0) ~hi:8.0 1000 (fun x -> rel_err (exp x) (Taylor.exp x)) in
+  Alcotest.(check bool) "exp rel err < 1e-4" true (w < 1e-4)
+
+let test_taylor_exp_edges () =
+  check_float "exp(-inf)" 0.0 (Taylor.exp neg_infinity);
+  Alcotest.(check bool) "exp(inf)" true (Taylor.exp infinity = infinity);
+  Alcotest.(check bool) "exp(nan)" true (Float.is_nan (Taylor.exp nan));
+  check_close 1e-6 "exp(0)" 1.0 (Taylor.exp 0.0)
+
+let test_taylor_log_accuracy () =
+  let w = grid ~lo:0.001 ~hi:1000.0 1000 (fun x -> rel_err (log x) (Taylor.log x)) in
+  Alcotest.(check bool) "log rel err < 1e-3" true (w < 1e-3)
+
+let test_taylor_log_edges () =
+  Alcotest.(check bool) "log(-1) nan" true (Float.is_nan (Taylor.log (-1.0)));
+  Alcotest.(check bool) "log 0" true (Taylor.log 0.0 = neg_infinity);
+  check_close 1e-6 "log 1" 0.0 (Taylor.log 1.0)
+
+let test_taylor_trig_accuracy () =
+  (* default order 6 keeps sin terms through t^5: worst case ~t^7/7! at the
+     range-reduction boundary, i.e. ~5e-3 *)
+  let ws = grid ~lo:(-10.0) ~hi:10.0 1000 (fun x -> Float.abs (sin x -. Taylor.sin x)) in
+  let wc = grid ~lo:(-10.0) ~hi:10.0 1000 (fun x -> Float.abs (cos x -. Taylor.cos x)) in
+  Alcotest.(check bool) "sin abs err < 6e-3" true (ws < 6e-3);
+  Alcotest.(check bool) "cos abs err < 1.5e-3" true (wc < 1.5e-3)
+
+let test_taylor_isqrt () =
+  let w =
+    grid ~lo:0.001 ~hi:10000.0 1000 (fun x -> rel_err (1.0 /. sqrt x) (Taylor.isqrt x))
+  in
+  Alcotest.(check bool) "isqrt rel err < 1e-6" true (w < 1e-6);
+  Alcotest.(check bool) "isqrt of negative" true (Float.is_nan (Taylor.isqrt (-1.0)))
+
+let test_taylor_sigmoid_tanh () =
+  let ws =
+    grid ~lo:(-12.0) ~hi:12.0 500 (fun x ->
+        Float.abs ((1.0 /. (1.0 +. exp (-.x))) -. Taylor.sigmoid x))
+  in
+  let wt = grid ~lo:(-12.0) ~hi:12.0 500 (fun x -> Float.abs (tanh x -. Taylor.tanh x)) in
+  Alcotest.(check bool) "sigmoid abs err < 1e-5" true (ws < 1e-5);
+  Alcotest.(check bool) "tanh abs err < 1e-4" true (wt < 1e-4)
+
+let test_taylor_order_monotone () =
+  (* user-defined precision: error shrinks as the order grows *)
+  let err order =
+    grid ~lo:(-5.0) ~hi:2.0 200 (fun x ->
+        rel_err (exp x) (Taylor.exp ~cfg:{ Taylor.order } x))
+  in
+  let e2 = err 2 and e4 = err 4 and e6 = err 6 in
+  Alcotest.(check bool) "order 4 better than 2" true (e4 < e2);
+  Alcotest.(check bool) "order 6 better than 4" true (e6 < e4)
+
+let prop_taylor_sigmoid_bounded =
+  QCheck.Test.make ~name:"sigmoid stays in (0,1)" ~count:500
+    (QCheck.float_range (-80.0) 80.0) (fun x ->
+      let s = Taylor.sigmoid x in
+      s >= 0.0 && s <= 1.0)
+
+(* ------------------------------------------------------ Int_ops (INT16) *)
+
+let test_int_exp_accuracy () =
+  let w = grid ~lo:(-20.0) ~hi:8.0 1000 (fun x -> rel_err (exp x) (Int_ops.exp x)) in
+  Alcotest.(check bool) "int exp rel err < 1e-3" true (w < 1e-3)
+
+let test_int_log_accuracy () =
+  let w = grid ~lo:0.01 ~hi:1000.0 1000 (fun x -> rel_err (log x) (Int_ops.log x)) in
+  Alcotest.(check bool) "int log rel err < 1e-3" true (w < 1e-3)
+
+let test_int_trig_accuracy () =
+  let ws = grid ~lo:(-6.0) ~hi:6.0 500 (fun x -> Float.abs (sin x -. Int_ops.sin x)) in
+  let wc = grid ~lo:(-6.0) ~hi:6.0 500 (fun x -> Float.abs (cos x -. Int_ops.cos x)) in
+  Alcotest.(check bool) "int sin abs err < 1e-3" true (ws < 1e-3);
+  Alcotest.(check bool) "int cos abs err < 1e-2" true (wc < 1e-2)
+
+let test_int_reciprocal () =
+  let w = grid ~lo:0.01 ~hi:100.0 500 (fun x -> rel_err (1.0 /. x) (Int_ops.reciprocal x)) in
+  Alcotest.(check bool) "reciprocal rel err < 1e-4" true (w < 1e-4);
+  check_close 1e-6 "negative operand" (-0.25) (Int_ops.reciprocal (-4.0))
+
+let test_int_isqrt_sigmoid () =
+  let w = grid ~lo:0.01 ~hi:100.0 300 (fun x -> rel_err (1.0 /. sqrt x) (Int_ops.isqrt x)) in
+  Alcotest.(check bool) "int isqrt < 1e-5" true (w < 1e-5);
+  let ws =
+    grid ~lo:(-10.0) ~hi:10.0 300 (fun x ->
+        Float.abs ((1.0 /. (1.0 +. exp (-.x))) -. Int_ops.sigmoid x))
+  in
+  Alcotest.(check bool) "int sigmoid < 1e-3" true (ws < 1e-3)
+
+(* ------------------------------------------------------------------- Lut *)
+
+let test_lut_validation () =
+  Alcotest.check_raises "entries" (Invalid_argument "Lut.create: entries < 2") (fun () ->
+      ignore (Lut.create ~entries:1 ~lo:0.0 ~hi:1.0 (fun x -> x)));
+  Alcotest.check_raises "range" (Invalid_argument "Lut.create: empty range") (fun () ->
+      ignore (Lut.create ~lo:1.0 ~hi:1.0 (fun x -> x)))
+
+let test_lut_clamps () =
+  let l = Lut.create ~entries:16 ~lo:0.0 ~hi:1.0 (fun x -> x) in
+  check_close 1e-3 "below lo" 0.0 (Lut.eval l (-5.0));
+  check_close 1e-3 "above hi" 1.0 (Lut.eval l 10.0)
+
+let test_lut_linear_exact () =
+  (* a linear function interpolates with only FP16 storage error *)
+  let l = Lut.create ~entries:64 ~lo:(-2.0) ~hi:2.0 (fun x -> (0.5 *. x) +. 0.25) in
+  let w = grid ~lo:(-2.0) ~hi:2.0 200 (fun x -> Float.abs (Lut.eval l x -. ((0.5 *. x) +. 0.25))) in
+  Alcotest.(check bool) "linear within fp16 step" true (w < 2e-3)
+
+let test_lut_gauss_cdf () =
+  let l = Lazy.force Lut.gauss_cdf in
+  check_close 1e-3 "phi(0)" 0.5 (Lut.eval l 0.0);
+  check_close 1e-3 "phi(6)" 1.0 (Lut.eval l 6.0);
+  check_close 1e-3 "phi(-6)" 0.0 (Lut.eval l (-6.0));
+  Alcotest.(check int) "rom bytes" 2048 (Lut.size_bytes l)
+
+let test_gauss_cdf_exact () =
+  check_close 1e-6 "phi(0)" 0.5 (Lut.gauss_cdf_exact 0.0);
+  check_close 1e-4 "phi(1.96)" 0.975 (Lut.gauss_cdf_exact 1.96);
+  check_close 1e-6 "symmetry" 1.0
+    (Lut.gauss_cdf_exact 1.3 +. Lut.gauss_cdf_exact (-1.3))
+
+(* ----------------------------------------------------------------- Ibert *)
+
+let test_ibert_i_exp_accuracy () =
+  (* within the calibrated regime the quadratic tracks exp to a few % *)
+  let scale = 8.0 /. 127.0 in
+  let worst = ref 0.0 in
+  for q = -127 to 0 do
+    let x = float_of_int q *. scale in
+    let q_out, s_out = Ibert.i_exp ~scale q in
+    let got = float_of_int q_out *. s_out in
+    worst := Float.max !worst (Float.abs (got -. exp x))
+  done;
+  Alcotest.(check bool) "i-exp abs err < 0.035" true (!worst < 0.035)
+
+let test_ibert_i_sqrt () =
+  List.iter
+    (fun n ->
+      let s = Ibert.i_sqrt n in
+      Alcotest.(check bool) "floor sqrt" true (s * s <= n && (s + 1) * (s + 1) > n))
+    [ 0; 1; 2; 15; 16; 17; 1000; 999999 ];
+  Alcotest.check_raises "negative" (Invalid_argument "Ibert.i_sqrt: negative") (fun () ->
+      ignore (Ibert.i_sqrt (-1)))
+
+let prop_ibert_i_sqrt_random =
+  QCheck.Test.make ~name:"i_sqrt is floor sqrt" ~count:500 (QCheck.int_range 0 1_000_000)
+    (fun n ->
+      let s = Ibert.i_sqrt n in
+      s * s <= n && (s + 1) * (s + 1) > n)
+
+let test_ibert_exp_v_in_range () =
+  let xs = [| 0.5; -1.0; 2.0; -3.0 |] in
+  let es = Ibert.exp_v xs in
+  Array.iteri
+    (fun i e ->
+      let expect = exp (xs.(i) -. 2.0) in
+      Alcotest.(check bool) "within 5%" true (Float.abs (e -. expect) < 0.05))
+    es
+
+let test_ibert_saturates_outliers () =
+  (* beyond the static calibration range the grid clips: this is the LLaMA
+     failure mechanism of Table 2 *)
+  let xs = [| 40.0; 0.5 |] in
+  let q = Quant.quantize_value ~bits:8 ~scale:(Ibert.calibrated_absmax /. 127.0) xs.(0) in
+  Alcotest.(check int) "clipped to int8 max" 127 q
+
+let test_ibert_gelu_shape () =
+  let xs = [| -3.0; -1.0; 0.0; 1.0; 3.0 |] in
+  let g = Ibert.gelu_v xs in
+  Alcotest.(check bool) "gelu(-3) ~ 0" true (Float.abs g.(0) < 0.05);
+  Alcotest.(check bool) "gelu(3) ~ 3" true (Float.abs (g.(4) -. 3.0) < 0.2);
+  Alcotest.(check bool) "gelu(0) ~ 0" true (Float.abs g.(2) < 0.05)
+
+(* -------------------------------------------------------------- Gemmlowp *)
+
+let test_gemmlowp_exp_accuracy () =
+  let w =
+    grid ~lo:(-15.0) ~hi:0.0 500 (fun x -> Float.abs (exp x -. Gemmlowp.exp_on_negative x))
+  in
+  Alcotest.(check bool) "fixed exp abs err < 1e-3" true (w < 1e-3)
+
+let test_gemmlowp_exp_edges () =
+  check_float "positive clamps to 1" 1.0 (Gemmlowp.exp_on_negative 0.5);
+  check_float "flushes below -16" 0.0 (Gemmlowp.exp_on_negative (-20.0))
+
+let test_gemmlowp_logistic () =
+  let w =
+    grid ~lo:(-8.0) ~hi:8.0 500 (fun x ->
+        Float.abs ((1.0 /. (1.0 +. exp (-.x))) -. Gemmlowp.logistic x))
+  in
+  Alcotest.(check bool) "logistic abs err < 1e-2" true (w < 1e-2)
+
+let test_gemmlowp_tanh_symmetry () =
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "odd symmetry" true
+        (Float.abs (Gemmlowp.tanh x +. Gemmlowp.tanh (-.x)) < 2e-3))
+    [ 0.3; 1.1; 2.7; 5.0 ]
+
+let test_gemmlowp_exp_v_max_one () =
+  let es = Gemmlowp.exp_v [| 1.0; 3.0; -2.0 |] in
+  Alcotest.(check bool) "max element is ~1" true (Float.abs (es.(1) -. 1.0) < 1e-3)
+
+(* ---------------------------------------------------------------- Approx *)
+
+let test_backend_names_unique () =
+  let names = List.map (fun (b : Approx.t) -> b.Approx.name) Approx.all_backends in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_exact_softmax_primitive () =
+  let es = Approx.exact.Approx.exp_shifted [| 1.0; 2.0; 3.0 |] in
+  check_close 1e-12 "max maps to 1" 1.0 es.(2);
+  check_close 1e-12 "ratio" (exp (-1.0)) es.(1)
+
+let test_backend_softmax_agreement () =
+  (* each backend's primitives normalize to a distribution close to exact *)
+  let xs = [| 0.3; -1.2; 2.4; 0.0; 1.1 |] in
+  let exact_es = Approx.exact.Approx.exp_shifted xs in
+  let exact_sum = Array.fold_left ( +. ) 0.0 exact_es in
+  List.iter
+    (fun (b : Approx.t) ->
+      let es = b.Approx.exp_shifted xs in
+      let sum = Array.fold_left ( +. ) 0.0 es in
+      Array.iteri
+        (fun i e ->
+          let p = b.Approx.div e sum and p_exact = exact_es.(i) /. exact_sum in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s prob within 0.02" b.Approx.name)
+            true
+            (Float.abs (p -. p_exact) < 0.02))
+        es)
+    [ Approx.fp16_reference; Approx.ours_fp (); Approx.ours_int (); Approx.gemmlowp ]
+
+let test_gelu_forms_agree () =
+  (* tanh form (Table 1) and Phi form agree to ~1e-3 *)
+  let w =
+    grid ~lo:(-5.0) ~hi:5.0 300 (fun x ->
+        Float.abs (Approx.gelu_tanh_exact x -. (x *. Lut.gauss_cdf_exact x)))
+  in
+  Alcotest.(check bool) "forms agree" true (w < 5e-3)
+
+let test_ours_backends_close_to_exact () =
+  let xs = Array.init 64 (fun i -> (float_of_int i /. 8.0) -. 4.0) in
+  List.iter
+    (fun (b : Approx.t) ->
+      let g = b.Approx.gelu xs and g0 = Approx.exact.Approx.gelu xs in
+      let s = b.Approx.silu xs and s0 = Approx.exact.Approx.silu xs in
+      Array.iteri
+        (fun i _ ->
+          Alcotest.(check bool) (b.Approx.name ^ " gelu close") true
+            (Float.abs (g.(i) -. g0.(i)) < 0.01);
+          Alcotest.(check bool) (b.Approx.name ^ " silu close") true
+            (Float.abs (s.(i) -. s0.(i)) < 0.01))
+        xs)
+    [ Approx.fp16_reference; Approx.ours_fp (); Approx.ours_int () ]
+
+let suite =
+  [
+    ( "fp16",
+      [
+        Alcotest.test_case "known encodings" `Quick test_fp16_known_encodings;
+        Alcotest.test_case "decode known" `Quick test_fp16_decode_known;
+        Alcotest.test_case "overflow to inf" `Quick test_fp16_overflow_to_inf;
+        Alcotest.test_case "round to nearest even" `Quick test_fp16_round_to_nearest_even;
+        qtest prop_fp16_roundtrip_idempotent;
+        qtest prop_fp16_relative_error;
+        qtest prop_fp16_monotone;
+      ] );
+    ( "fixed-point",
+      [
+        Alcotest.test_case "format validation" `Quick test_fx_fmt_validation;
+        Alcotest.test_case "roundtrip" `Quick test_fx_roundtrip;
+        Alcotest.test_case "saturation" `Quick test_fx_saturation;
+        Alcotest.test_case "multiplication" `Quick test_fx_mul;
+        Alcotest.test_case "fp2fx split" `Quick test_fx_split;
+        qtest prop_fx_split_reconstructs;
+        qtest prop_fx_roundtrip_error;
+      ] );
+    ( "quant",
+      [
+        Alcotest.test_case "roundtrip bound" `Quick test_quant_roundtrip_bound;
+        Alcotest.test_case "zero tensor" `Quick test_quant_zero_tensor;
+        Alcotest.test_case "saturating cast" `Quick test_saturating_cast;
+        Alcotest.test_case "requantize" `Quick test_requantize;
+      ] );
+    ( "poly",
+      [
+        qtest prop_horner_matches_naive;
+        qtest prop_complete_square_identity;
+        Alcotest.test_case "exp coefficients" `Quick test_exp_coeffs;
+        Alcotest.test_case "integer quadratic" `Quick test_eval_quadratic_int;
+      ] );
+    ( "taylor",
+      [
+        Alcotest.test_case "exp accuracy" `Quick test_taylor_exp_accuracy;
+        Alcotest.test_case "exp edges" `Quick test_taylor_exp_edges;
+        Alcotest.test_case "log accuracy" `Quick test_taylor_log_accuracy;
+        Alcotest.test_case "log edges" `Quick test_taylor_log_edges;
+        Alcotest.test_case "trig accuracy" `Quick test_taylor_trig_accuracy;
+        Alcotest.test_case "isqrt" `Quick test_taylor_isqrt;
+        Alcotest.test_case "sigmoid/tanh" `Quick test_taylor_sigmoid_tanh;
+        Alcotest.test_case "order monotonicity" `Quick test_taylor_order_monotone;
+        qtest prop_taylor_sigmoid_bounded;
+      ] );
+    ( "int-ops",
+      [
+        Alcotest.test_case "exp accuracy" `Quick test_int_exp_accuracy;
+        Alcotest.test_case "log accuracy" `Quick test_int_log_accuracy;
+        Alcotest.test_case "trig accuracy" `Quick test_int_trig_accuracy;
+        Alcotest.test_case "reciprocal" `Quick test_int_reciprocal;
+        Alcotest.test_case "isqrt & sigmoid" `Quick test_int_isqrt_sigmoid;
+      ] );
+    ( "lut",
+      [
+        Alcotest.test_case "validation" `Quick test_lut_validation;
+        Alcotest.test_case "clamps" `Quick test_lut_clamps;
+        Alcotest.test_case "linear interpolation" `Quick test_lut_linear_exact;
+        Alcotest.test_case "gauss cdf table" `Quick test_lut_gauss_cdf;
+        Alcotest.test_case "gauss cdf exact" `Quick test_gauss_cdf_exact;
+      ] );
+    ( "ibert",
+      [
+        Alcotest.test_case "i-exp accuracy" `Quick test_ibert_i_exp_accuracy;
+        Alcotest.test_case "i-sqrt" `Quick test_ibert_i_sqrt;
+        qtest prop_ibert_i_sqrt_random;
+        Alcotest.test_case "exp_v in range" `Quick test_ibert_exp_v_in_range;
+        Alcotest.test_case "outliers saturate" `Quick test_ibert_saturates_outliers;
+        Alcotest.test_case "gelu shape" `Quick test_ibert_gelu_shape;
+      ] );
+    ( "gemmlowp",
+      [
+        Alcotest.test_case "exp accuracy" `Quick test_gemmlowp_exp_accuracy;
+        Alcotest.test_case "exp edges" `Quick test_gemmlowp_exp_edges;
+        Alcotest.test_case "logistic" `Quick test_gemmlowp_logistic;
+        Alcotest.test_case "tanh symmetry" `Quick test_gemmlowp_tanh_symmetry;
+        Alcotest.test_case "exp_v max one" `Quick test_gemmlowp_exp_v_max_one;
+      ] );
+    ( "approx",
+      [
+        Alcotest.test_case "backend names unique" `Quick test_backend_names_unique;
+        Alcotest.test_case "exact softmax primitive" `Quick test_exact_softmax_primitive;
+        Alcotest.test_case "backend softmax agreement" `Quick test_backend_softmax_agreement;
+        Alcotest.test_case "gelu forms agree" `Quick test_gelu_forms_agree;
+        Alcotest.test_case "ours close to exact" `Quick test_ours_backends_close_to_exact;
+      ] );
+  ]

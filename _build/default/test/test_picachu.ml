@@ -1,0 +1,421 @@
+(* Tests for the baseline accelerator models, the PICACHU compiler pipeline,
+   the end-to-end simulator, and shape assertions over the experiment
+   reproductions (the integration layer). *)
+open Picachu
+module Kernels = Picachu_ir.Kernels
+module Kernel = Picachu_ir.Kernel
+module Arch = Picachu_cgra.Arch
+module Mapper = Picachu_cgra.Mapper
+module Mz = Picachu_llm.Model_zoo
+module Workload = Picachu_llm.Workload
+module Registry = Picachu_nonlinear.Registry
+module Gemmini = Picachu_baselines.Gemmini
+module Tandem = Picachu_baselines.Tandem
+module Stats = Picachu_tensor.Stats
+
+(* ------------------------------------------------------------- baselines *)
+
+let test_gemmini_support_set () =
+  Alcotest.(check bool) "gelu supported" true (Gemmini.supported Registry.Gelu);
+  Alcotest.(check bool) "swiglu falls to scalar core" false
+    (Gemmini.supported Registry.Swiglu);
+  Alcotest.(check bool) "rmsnorm falls to scalar core" false
+    (Gemmini.supported Registry.Rmsnorm)
+
+let test_gemmini_scalar_cliff () =
+  (* the same element count costs far more on the scalar fallback *)
+  let mk op tag = { Workload.op; rows = 64; dim = 256; nl_count = 1; nl_tag = tag } in
+  let fast = Gemmini.nl_cycles Gemmini.default (mk Registry.Gelu "activation") in
+  let slow = Gemmini.nl_cycles Gemmini.default (mk Registry.Swiglu "activation") in
+  Alcotest.(check bool) "cliff >= 20x" true (slow > 20 * fast)
+
+let test_gemmini_llama_penalty () =
+  (* Figure 8a structure: Gemmini's nonlinear time explodes on LLaMA *)
+  let nl_frac m =
+    let w = Workload.of_model m ~seq:1024 in
+    let r = Gemmini.run Gemmini.default w in
+    float_of_int r.Gemmini.nl_cycles_total /. float_of_int r.Gemmini.total_cycles
+  in
+  Alcotest.(check bool) "llama >> gpt2 nonlinear share" true
+    (nl_frac Mz.llama2_7b > 2.0 *. nl_frac Mz.gpt2_xl)
+
+let test_tandem_covers_everything () =
+  (* no cliff: per-element costs within one order of magnitude *)
+  let costs = List.map Tandem.algo_cycles_per_elem Registry.all in
+  let mx = List.fold_left Float.max 0.0 costs in
+  let mn = List.fold_left Float.min infinity costs in
+  Alcotest.(check bool) "no scalar cliff" true (mx /. mn < 20.0)
+
+let test_tandem_dma_overlap () =
+  let nl = { Workload.op = Registry.Softmax; rows = 1024; dim = 1024; nl_count = 1; nl_tag = "softmax" } in
+  let c = Tandem.nl_cycles Tandem.default nl in
+  let compute = int_of_float (ceil (1024.0 *. 1024.0 *. 9.0 /. 4.0)) in
+  (* overlapped: max(compute, dma) + setup, never the sum *)
+  Alcotest.(check bool) "no serialization" true (c < compute * 2)
+
+(* -------------------------------------------------------------- compiler *)
+
+let test_compile_all_kernels () =
+  let opts = Compiler.picachu_options () in
+  List.iter
+    (fun (k : Kernel.t) ->
+      let c = Compiler.compile opts k in
+      Alcotest.(check bool) "has loops" true (List.length c.Compiler.loops > 0);
+      Alcotest.(check bool) "positive cycles" true (Compiler.pass_cycles c ~n:256 > 0))
+    (Kernels.all Kernels.Picachu)
+
+let test_compile_unroll_tuning () =
+  (* the tuner never does worse than UF=1 *)
+  let opts = Compiler.picachu_options () in
+  List.iter
+    (fun (k : Kernel.t) ->
+      let tuned = Compiler.pass_cycles (Compiler.compile opts k) ~n:1024 in
+      let uf1 = Compiler.pass_cycles (Compiler.compile_with_unroll opts 1 k) ~n:1024 in
+      Alcotest.(check bool) (k.Kernel.name ^ " tuned <= uf1") true (tuned <= uf1))
+    (Kernels.all Kernels.Picachu)
+
+let test_pass_cycles_monotone () =
+  let opts = Compiler.picachu_options () in
+  let c = Compiler.compile opts (Kernels.softmax Kernels.Picachu) in
+  Alcotest.(check bool) "monotone in n" true
+    (Compiler.pass_cycles c ~n:2048 > Compiler.pass_cycles c ~n:256)
+
+let test_per_channel_excludes_prologue () =
+  let opts = Compiler.picachu_options () in
+  let c = Compiler.compile opts (Kernels.rmsnorm Kernels.Picachu) in
+  Alcotest.(check bool) "steady-state below full pass" true
+    (Compiler.per_channel_cycles c ~dim:512 < Compiler.pass_cycles c ~n:512)
+
+let test_cached_memoizes () =
+  let opts = Compiler.picachu_options () in
+  let a = Compiler.cached opts Kernels.Picachu "relu" in
+  let b = Compiler.cached opts Kernels.Picachu "relu" in
+  Alcotest.(check bool) "physically shared" true (a == b)
+
+let test_vector_mode_faster () =
+  let scalar = Compiler.picachu_options () in
+  let vec = Compiler.picachu_options ~vector:4 () in
+  List.iter
+    (fun name ->
+      let s = Compiler.pass_cycles (Compiler.cached scalar Kernels.Picachu name) ~n:1024 in
+      let v = Compiler.pass_cycles (Compiler.cached vec Kernels.Picachu name) ~n:1024 in
+      Alcotest.(check bool) (name ^ " vector mode faster") true (v < s))
+    [ "relu"; "gelu"; "layernorm"; "softmax" ]
+
+(* ------------------------------------------------------------- simulator *)
+
+let test_simulator_runs_all_models () =
+  let cfg = Simulator.default_config () in
+  List.iter
+    (fun m ->
+      let r = Simulator.run cfg (Workload.of_model m ~seq:512) in
+      Alcotest.(check bool) "positive total" true (r.Simulator.total_cycles > 0);
+      Alcotest.(check bool) "energy positive" true (r.Simulator.energy_uj > 0.0);
+      Alcotest.(check bool) "exposed <= total" true
+        (r.Simulator.nl_exposed_total <= r.Simulator.total_cycles))
+    Mz.all
+
+let test_simulator_case_assignment () =
+  let cfg = Simulator.default_config () in
+  let r = Simulator.run cfg (Workload.of_model Mz.llama2_7b ~seq:1024) in
+  List.iter
+    (fun (o : Simulator.op_time) ->
+      match o.Simulator.ot_tag with
+      | "activation" | "rope" ->
+          Alcotest.(check bool) "EO streams" true
+            (o.Simulator.case = Picachu_memory.Dataflow.Stream_overlap)
+      | "norm" | "softmax" ->
+          Alcotest.(check bool) "RE does not stream" true
+            (o.Simulator.case <> Picachu_memory.Dataflow.Stream_overlap)
+      | _ -> ())
+    r.Simulator.nl
+
+let test_double_buffering_helps () =
+  let w = Workload.of_model Mz.llama2_7b ~seq:1024 in
+  let on = Simulator.run (Simulator.default_config ()) w in
+  let off =
+    Simulator.run { (Simulator.default_config ()) with Simulator.double_buffering = false } w
+  in
+  Alcotest.(check bool) "double buffering reduces cycles" true
+    (on.Simulator.total_cycles < off.Simulator.total_cycles)
+
+let test_nl_parallel_scales () =
+  let w = Workload.of_model Mz.llama2_7b ~seq:1024 in
+  let r1 = Simulator.run (Simulator.default_config ()) w in
+  let r8 =
+    Simulator.run { (Simulator.default_config ()) with Simulator.nl_parallel = 8 } w
+  in
+  Alcotest.(check bool) "more engines, less exposure" true
+    (r8.Simulator.nl_exposed_total < r1.Simulator.nl_exposed_total)
+
+(* --------------------------------------------------------------- serving *)
+
+let test_serving_summary_math () =
+  let costs =
+    { Serving.prefill_s = 0.1; decode_s_at = [ (100, 0.01); (200, 0.02) ] }
+  in
+  let r = { Serving.prompt = 100; generate = 100 } in
+  let s = Serving.summarize costs r in
+  Alcotest.(check (float 1e-9)) "ttft is prefill" 0.1 s.Serving.ttft_s;
+  (* per-step cost interpolates 0.01..0.02 over contexts 100..199 *)
+  Alcotest.(check bool) "total between bounds" true
+    (s.Serving.total_s > 0.1 +. 1.0 && s.Serving.total_s < 0.1 +. 2.0);
+  Alcotest.(check bool) "throughput consistent" true
+    (Float.abs ((float_of_int r.Serving.generate /. s.Serving.tokens_per_s)
+                -. (s.Serving.total_s -. 0.1))
+    < 1e-9)
+
+let test_serving_validation () =
+  let costs = { Serving.prefill_s = 0.1; decode_s_at = [ (10, 0.01) ] } in
+  Alcotest.check_raises "bad request" (Invalid_argument "Serving.summarize: request")
+    (fun () ->
+      ignore (Serving.summarize costs { Serving.prompt = 0; generate = 5 }))
+
+let test_serving_end_to_end_sane () =
+  let r = { Serving.prompt = 256; generate = 32 } in
+  let cfg = Simulator.default_config ~vector:4 () in
+  let s = Serving.summarize (Serving.picachu_costs cfg Mz.gpt2_xl r) r in
+  Alcotest.(check bool) "positive throughput" true (s.Serving.tokens_per_s > 0.0);
+  Alcotest.(check bool) "ttft below total" true (s.Serving.ttft_s < s.Serving.total_s)
+
+(* -------------------------------------------------------------- timeline *)
+
+let test_timeline_structure () =
+  let w = Workload.of_model Mz.llama2_7b ~seq:512 in
+  let cfg = Simulator.default_config ~vector:4 () in
+  let ev = Timeline.layer cfg w in
+  Alcotest.(check bool) "events exist" true (List.length ev > 8);
+  Alcotest.(check bool) "total positive" true (Timeline.total_cycles ev > 0);
+  let count label =
+    List.length (List.filter (fun (e : Timeline.event) -> e.Timeline.label = label) ev)
+  in
+  Alcotest.(check int) "two norms per layer" 2 (count "norm");
+  Alcotest.(check int) "one softmax" 1 (count "softmax");
+  List.iter
+    (fun (e : Timeline.event) ->
+      Alcotest.(check bool) "well-formed interval" true
+        (e.Timeline.end_cycle > e.Timeline.start_cycle))
+    ev
+
+let test_timeline_overlap () =
+  (* Case 1: the activation starts before its producing GEMM finishes *)
+  let w = Workload.of_model Mz.gpt2_xl ~seq:512 in
+  let cfg = Simulator.default_config ~vector:4 () in
+  let ev = Timeline.layer cfg w in
+  let find label = List.find (fun (e : Timeline.event) -> e.Timeline.label = label) ev in
+  let act = find "activation" and up = find "ffn.up" in
+  Alcotest.(check bool) "activation overlaps ffn.up" true
+    (act.Timeline.start_cycle < up.Timeline.end_cycle)
+
+let test_timeline_render () =
+  let w = Workload.of_model Mz.opt_6_7b ~seq:256 in
+  let cfg = Simulator.default_config () in
+  let s = Timeline.render ~width:40 (Timeline.layer cfg w) in
+  Alcotest.(check bool) "renders rows" true (String.length s > 200);
+  Alcotest.(check bool) "no rope lane for opt" true
+    (not (Test_ir.string_contains s "rope"))
+
+(* ----------------------------------------------------------- experiments *)
+
+let test_fig7a_shape () =
+  let rows = Experiments.fig7a () in
+  List.iter
+    (fun (r : Experiments.fig7a_row) ->
+      Alcotest.(check bool)
+        (r.Experiments.f7_loop ^ " picachu at least on par")
+        true
+        (r.Experiments.f7_speedup >= 0.95))
+    rows;
+  let gm, mx = Experiments.fig7a_summary rows in
+  Alcotest.(check bool) "geomean in band (paper 2.95x)" true (gm > 1.8 && gm < 4.5);
+  Alcotest.(check bool) "max in band (paper 6.4x)" true (mx > 3.5 && mx < 8.0)
+
+let test_fig7d_shape () =
+  let rows = Experiments.fig7d () in
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check bool) (name ^ " below theoretical 4x") true (s <= 4.0 +. 1e-9);
+      Alcotest.(check bool) (name ^ " speedup material") true (s > 1.5))
+    rows
+
+let test_fig7b_split_mode () =
+  List.iter
+    (fun (name, entries) ->
+      let at key = List.assoc key entries in
+      Alcotest.(check (float 1e-9)) (name ^ " split doubles 4x4") (2.0 *. at "4x4")
+        (at "4x8-split"))
+    (Experiments.fig7b ())
+
+let test_fig7c_knee () =
+  (* the 10KB point must be the slowest for both models (below the channel
+     threshold of either) *)
+  List.iter
+    (fun (name, entries) ->
+      let v10 = List.assoc 10.0 entries and v160 = List.assoc 160.0 entries in
+      Alcotest.(check bool) (name ^ " 10KB slowest") true (v10 < v160))
+    (Experiments.fig7c ())
+
+let test_tab4_shape () =
+  let rows = Experiments.tab4 () in
+  let frac p = match List.find_opt (fun (n, _, _) -> n = p) rows with
+    | Some (_, _, f) -> f
+    | None -> 0.0
+  in
+  Alcotest.(check (float 1e-9)) "cmp+br everywhere" 1.0 (frac "cmp+br");
+  Alcotest.(check (float 1e-9)) "phi+add everywhere" 1.0 (frac "phi+add");
+  Alcotest.(check bool) "mul+add common" true (frac "mul+add" > 0.3)
+
+let test_tab7_shape () =
+  let b = Experiments.tab7 () in
+  let t = Picachu_cgra.Cost.total b in
+  Alcotest.(check bool) "sram dominates area" true
+    (b.Picachu_cgra.Cost.sram.Picachu_cgra.Cost.area_mm2 > 0.7 *. t.Picachu_cgra.Cost.area_mm2)
+
+let test_fig8a_shape () =
+  let rows = Experiments.fig8a () in
+  (* PICACHU beats the CPU config everywhere; Gemmini collapses on LLaMA *)
+  List.iter
+    (fun (m, gem, pic) ->
+      Alcotest.(check bool) (m ^ " picachu beats cpu") true (pic > 1.0);
+      if m = "llama2-7b" || m = "llama2-13b" then
+        Alcotest.(check bool) (m ^ " gemmini collapses") true (pic > 2.0 *. gem))
+    rows;
+  let ratio = Stats.geomean (List.map (fun (_, g, p) -> p /. g) rows) in
+  Alcotest.(check bool) "picachu/gemmini geomean in band (paper 1.86x)" true
+    (ratio > 1.2 && ratio < 2.6)
+
+let test_fig9b_shape () =
+  List.iter
+    (fun (m, gpu_frac, pic_frac) ->
+      Alcotest.(check bool) (m ^ " nonlinear share shrinks") true (pic_frac < gpu_frac))
+    (Experiments.fig9b ())
+
+let test_ablation_order_tradeoff () =
+  let rows = Experiments.ablation_order () in
+  let errs = List.map (fun (_, e, _) -> e) rows in
+  let nodes = List.map (fun (_, _, n) -> n) rows in
+  let rec decreasing = function a :: b :: t -> a > b && decreasing (b :: t) | _ -> true in
+  let rec increasing = function a :: b :: t -> a <= b && increasing (b :: t) | _ -> true in
+  Alcotest.(check bool) "error falls with order" true (decreasing errs);
+  Alcotest.(check bool) "dfg grows with order" true (increasing nodes)
+
+let test_ablation_online_softmax_compute_bound () =
+  (* documented finding: on the compute-bound CGRA the online form is
+     somewhat slower per stage (its value is Case 3 residency), so the ratio
+     sits a little below 1 — never catastrophic, never above the three-loop
+     form by much *)
+  List.iter
+    (fun (m, ratio) ->
+      Alcotest.(check bool) (m ^ " ratio in expected band") true
+        (ratio > 0.5 && ratio < 1.2))
+    (Experiments.ablation_online_softmax ())
+
+let test_ablation_fusion_always_helps () =
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check bool) (name ^ " fusion >= 1x") true (s >= 0.99))
+    (Experiments.ablation_fusion ())
+
+let test_extras_compile_and_execute () =
+  (* future ops compile onto the unmodified fabric and run bit-exact *)
+  let opts = Compiler.picachu_options () in
+  List.iter
+    (fun (k : Kernel.t) ->
+      let compiled = Compiler.compile opts k in
+      let n = 16 in
+      let env =
+        {
+          Picachu_ir.Interp.arrays =
+            [ ("x", Array.init n (fun i -> (float_of_int i /. 2.0) -. 4.0)) ];
+          scalars = [ ("n", float_of_int n) ];
+        }
+      in
+      let hw = Hw_sim.run compiled env in
+      let reference = Picachu_ir.Interp.run compiled.Compiler.kernel env in
+      let a = List.assoc "y" hw.Hw_sim.result.Picachu_ir.Interp.out_arrays in
+      let b = List.assoc "y" reference.Picachu_ir.Interp.out_arrays in
+      Array.iteri
+        (fun i v ->
+          if v <> b.(i) then Alcotest.failf "%s: hw/interp diverge" k.Kernel.name)
+        a)
+    (Kernels.extras Kernels.Picachu)
+
+let test_outlier_sweep_monotone_collapse () =
+  let rows = Experiments.supp_outliers () in
+  (* ours tracks FP16 at every outlier magnitude; I-BERT's damage grows
+     monotonically with the outlier scale *)
+  List.iter
+    (fun (_, fp, ours, _) ->
+      Alcotest.(check bool) "ours tracks fp16" true (Float.abs (ours -. fp) /. fp < 0.02))
+    rows;
+  let ratios = List.map (fun (_, fp, _, ib) -> ib /. fp) rows in
+  let rec nondecreasing = function
+    | a :: b :: t -> a <= b *. 1.2 && nondecreasing (b :: t)
+    | _ -> true
+  in
+  Alcotest.(check bool) "i-bert damage grows with outliers" true (nondecreasing ratios);
+  Alcotest.(check bool) "collapse at the top" true
+    (List.nth ratios (List.length ratios - 1) > 20.0)
+
+let test_print_unknown_id () =
+  Alcotest.check_raises "unknown id"
+    (Invalid_argument "Experiments.print: unknown id nonsense") (fun () ->
+      Experiments.print "nonsense")
+
+let suite =
+  [
+    ( "baselines",
+      [
+        Alcotest.test_case "gemmini support set" `Quick test_gemmini_support_set;
+        Alcotest.test_case "gemmini scalar cliff" `Quick test_gemmini_scalar_cliff;
+        Alcotest.test_case "gemmini llama penalty" `Quick test_gemmini_llama_penalty;
+        Alcotest.test_case "tandem coverage" `Quick test_tandem_covers_everything;
+        Alcotest.test_case "tandem dma overlap" `Quick test_tandem_dma_overlap;
+      ] );
+    ( "compiler",
+      [
+        Alcotest.test_case "compiles all kernels" `Quick test_compile_all_kernels;
+        Alcotest.test_case "unroll tuning" `Quick test_compile_unroll_tuning;
+        Alcotest.test_case "pass cycles monotone" `Quick test_pass_cycles_monotone;
+        Alcotest.test_case "per-channel steady state" `Quick test_per_channel_excludes_prologue;
+        Alcotest.test_case "cache memoizes" `Quick test_cached_memoizes;
+        Alcotest.test_case "vector mode faster" `Quick test_vector_mode_faster;
+      ] );
+    ( "simulator",
+      [
+        Alcotest.test_case "runs all models" `Quick test_simulator_runs_all_models;
+        Alcotest.test_case "case assignment" `Quick test_simulator_case_assignment;
+        Alcotest.test_case "double buffering helps" `Quick test_double_buffering_helps;
+        Alcotest.test_case "nl_parallel scales" `Quick test_nl_parallel_scales;
+      ] );
+    ( "serving",
+      [
+        Alcotest.test_case "summary math" `Quick test_serving_summary_math;
+        Alcotest.test_case "validation" `Quick test_serving_validation;
+        Alcotest.test_case "end-to-end sane" `Quick test_serving_end_to_end_sane;
+      ] );
+    ( "timeline",
+      [
+        Alcotest.test_case "structure" `Quick test_timeline_structure;
+        Alcotest.test_case "case-1 overlap" `Quick test_timeline_overlap;
+        Alcotest.test_case "render" `Quick test_timeline_render;
+      ] );
+    ( "experiments",
+      [
+        Alcotest.test_case "fig7a shape" `Slow test_fig7a_shape;
+        Alcotest.test_case "fig7d shape" `Slow test_fig7d_shape;
+        Alcotest.test_case "fig7b split mode" `Slow test_fig7b_split_mode;
+        Alcotest.test_case "fig7c knee" `Slow test_fig7c_knee;
+        Alcotest.test_case "tab4 shape" `Quick test_tab4_shape;
+        Alcotest.test_case "tab7 shape" `Quick test_tab7_shape;
+        Alcotest.test_case "fig8a shape" `Slow test_fig8a_shape;
+        Alcotest.test_case "fig9b shape" `Slow test_fig9b_shape;
+        Alcotest.test_case "order ablation tradeoff" `Slow test_ablation_order_tradeoff;
+        Alcotest.test_case "fusion ablation" `Slow test_ablation_fusion_always_helps;
+        Alcotest.test_case "online softmax ablation" `Slow
+          test_ablation_online_softmax_compute_bound;
+        Alcotest.test_case "extras compile & execute" `Quick test_extras_compile_and_execute;
+        Alcotest.test_case "outlier sweep" `Slow test_outlier_sweep_monotone_collapse;
+        Alcotest.test_case "unknown id" `Quick test_print_unknown_id;
+      ] );
+  ]

@@ -1,0 +1,129 @@
+(* Cross-cutting mathematical property tests: identities the approximation
+   algorithms must respect (up to their error budgets), and monotonicity
+   invariants of the performance models. *)
+open Picachu_numerics
+module Mz = Picachu_llm.Model_zoo
+module Workload = Picachu_llm.Workload
+module Gpu = Picachu_llm.Gpu_model
+open Picachu
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------- numerics *)
+
+let prop_exp_additivity =
+  QCheck.Test.make ~name:"taylor exp respects exp(a+b) = exp a * exp b" ~count:300
+    (QCheck.pair (QCheck.float_range (-8.0) 4.0) (QCheck.float_range (-8.0) 4.0))
+    (fun (a, b) ->
+      let lhs = Taylor.exp (a +. b) in
+      let rhs = Taylor.exp a *. Taylor.exp b in
+      Float.abs (lhs -. rhs) /. Float.max 1e-12 lhs < 1e-4)
+
+let prop_log_inverts_exp =
+  QCheck.Test.make ~name:"taylor log inverts taylor exp" ~count:300
+    (QCheck.float_range (-10.0) 10.0) (fun x ->
+      Float.abs (Taylor.log (Taylor.exp x) -. x) < 2e-3)
+
+let prop_int_exp_monotone =
+  QCheck.Test.make ~name:"int exp is monotone" ~count:300
+    (QCheck.pair (QCheck.float_range (-15.0) 5.0) (QCheck.float_range 0.0 2.0))
+    (fun (x, d) -> Int_ops.exp x <= Int_ops.exp (x +. d) +. 1e-12)
+
+let prop_sin_cos_pythagoras =
+  QCheck.Test.make ~name:"taylor sin^2 + cos^2 = 1" ~count:300
+    (QCheck.float_range (-10.0) 10.0) (fun x ->
+      let s = Taylor.sin x and c = Taylor.cos x in
+      Float.abs ((s *. s) +. (c *. c) -. 1.0) < 2e-2)
+
+let prop_isqrt_inverts_square =
+  QCheck.Test.make ~name:"isqrt(x^2) = 1/x" ~count:300 (QCheck.float_range 0.01 100.0)
+    (fun x ->
+      Float.abs (Taylor.isqrt (x *. x) -. (1.0 /. x)) *. x < 1e-5)
+
+let prop_sigmoid_symmetry =
+  QCheck.Test.make ~name:"sigmoid(x) + sigmoid(-x) = 1" ~count:300
+    (QCheck.float_range (-20.0) 20.0) (fun x ->
+      Float.abs (Taylor.sigmoid x +. Taylor.sigmoid (-.x) -. 1.0) < 1e-5)
+
+let prop_fp16_idempotent_under_format =
+  QCheck.Test.make ~name:"backend format functions are idempotent" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 16) (QCheck.float_range (-50.0) 50.0))
+    (fun l ->
+      let xs = Array.of_list l in
+      List.for_all
+        (fun (b : Approx.t) ->
+          let once = b.Approx.format xs in
+          let twice = b.Approx.format once in
+          Array.for_all2 (fun u v -> u = v) once twice)
+        [ Approx.fp16_reference; Approx.ours_fp (); Approx.gemmlowp ])
+
+let prop_quant_scale_covers_range =
+  QCheck.Test.make ~name:"quantization never saturates its own absmax" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 32) (QCheck.float_range (-100.0) 100.0))
+    (fun l ->
+      let t = Picachu_tensor.Tensor.of_array [ List.length l ] (Array.of_list l) in
+      let q = Quant.quantize ~bits:8 t in
+      Array.for_all (fun v -> v >= -128 && v <= 127) q.Quant.q)
+
+(* --------------------------------------------------------- model invariants *)
+
+let prop_gpu_time_monotone_in_seq =
+  QCheck.Test.make ~name:"gpu total time monotone in sequence length" ~count:30
+    (QCheck.pair (QCheck.int_range 32 1024) (QCheck.int_range 32 1024))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let t s = (Gpu.run Gpu.a100 (Workload.of_model Mz.llama2_7b ~seq:s)).Gpu.total_s in
+      t lo <= t hi +. 1e-12)
+
+let prop_simulator_monotone_in_seq =
+  QCheck.Test.make ~name:"picachu total cycles monotone in sequence length" ~count:15
+    (QCheck.pair (QCheck.int_range 64 512) (QCheck.int_range 64 512))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let cfg = Simulator.default_config ~vector:4 () in
+      let t s = (Simulator.run cfg (Workload.of_model Mz.gpt2_xl ~seq:s)).Simulator.total_cycles in
+      t lo <= t hi)
+
+let prop_bigger_buffer_never_slower =
+  QCheck.Test.make ~name:"bigger shared buffer never slower" ~count:15
+    (QCheck.pair (QCheck.float_range 8.0 100.0) (QCheck.float_range 8.0 100.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let w = Workload.of_model Mz.llama2_7b ~seq:256 in
+      let t kb =
+        (Simulator.run (Simulator.default_config ~buffer_kb:kb ~vector:4 ()) w)
+          .Simulator.total_cycles
+      in
+      t hi <= t lo)
+
+let prop_gemm_cycles_monotone =
+  QCheck.Test.make ~name:"systolic cycles monotone in every dimension" ~count:200
+    (QCheck.triple (QCheck.int_range 1 512) (QCheck.int_range 1 512) (QCheck.int_range 1 512))
+    (fun (m, k, n) ->
+      let s = Picachu_systolic.Systolic.default in
+      let base = Picachu_systolic.Systolic.gemm_cycles s ~m ~k ~n in
+      Picachu_systolic.Systolic.gemm_cycles s ~m:(m + 32) ~k ~n >= base
+      && Picachu_systolic.Systolic.gemm_cycles s ~m ~k:(k + 32) ~n >= base
+      && Picachu_systolic.Systolic.gemm_cycles s ~m ~k ~n:(n + 32) >= base)
+
+let suite =
+  [
+    ( "identities",
+      [
+        qtest prop_exp_additivity;
+        qtest prop_log_inverts_exp;
+        qtest prop_int_exp_monotone;
+        qtest prop_sin_cos_pythagoras;
+        qtest prop_isqrt_inverts_square;
+        qtest prop_sigmoid_symmetry;
+        qtest prop_fp16_idempotent_under_format;
+        qtest prop_quant_scale_covers_range;
+      ] );
+    ( "model-invariants",
+      [
+        qtest prop_gpu_time_monotone_in_seq;
+        qtest prop_simulator_monotone_in_seq;
+        qtest prop_bigger_buffer_never_slower;
+        qtest prop_gemm_cycles_monotone;
+      ] );
+  ]
