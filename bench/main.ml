@@ -115,12 +115,26 @@ let bench_tests =
            ignore (Explore.evaluate ~rows:3 ~cols:3 ~cot_share:0.5)));
   ]
 
+(* machine-readable perf trajectory: name -> ns/run, diffable across PRs *)
+let write_results_json path results =
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %.3f%s\n" name ns
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  output_string oc "}\n";
+  close_out oc
+
 let run_benchmarks () =
   print_newline ();
   print_endline "Bechamel microbenchmarks (monotonic clock per run)";
+  Printf.printf "(domain pool: %d)\n" (Picachu_parallel.Parallel.size ());
   print_endline "--------------------------------------------------";
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.2) ~kde:(Some 10) () in
   let instances = [ Instance.monotonic_clock ] in
+  let collected = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -138,10 +152,14 @@ let run_benchmarks () =
                 else if est > 1e3 then (est /. 1e3, "us")
                 else (est, "ns")
               in
+              collected := (name, est) :: !collected;
               Printf.printf "  %-36s %10.2f %s/run\n%!" name v unit_name
           | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
         analysis)
-    bench_tests
+    bench_tests;
+  let results = List.rev !collected in
+  write_results_json "BENCH_RESULTS.json" results;
+  Printf.printf "\n[wrote %d entries to BENCH_RESULTS.json]\n" (List.length results)
 
 let () =
   let t0 = Unix.gettimeofday () in

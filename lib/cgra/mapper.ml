@@ -1,6 +1,7 @@
 module Op = Picachu_ir.Op
 module Dfg = Picachu_dfg.Dfg
 module Analysis = Picachu_dfg.Analysis
+module Parallel = Picachu_parallel.Parallel
 
 type placement = { time : int; tile : int }
 
@@ -42,10 +43,23 @@ let min_ii arch g = Stdlib.max (res_mii arch g) (Analysis.rec_mii g)
 (* Rau-style iterative modulo scheduling with ejection, extended with spatial
    placement: a schedule slot is a (cycle, tile) pair; operand transport over
    the mesh adds Manhattan-distance cycles to dependence latencies. *)
-let rec rotate k = function
-  | [] -> []
-  | x :: rest when k > 0 -> rotate (k - 1) (rest @ [ x ])
-  | l -> l
+(* [rotate k l] moves the first [k mod length] elements to the back — a
+   single split instead of [k] quadratic [rest @ [x]] appends *)
+let rotate k l =
+  if k <= 0 || l = [] then l
+  else
+    let n = List.length l in
+    let k = k mod n in
+    if k = 0 then l
+    else
+      let rec split i acc rest =
+        if i = 0 then rest @ List.rev acc
+        else
+          match rest with
+          | x :: tl -> split (i - 1) (x :: acc) tl
+          | [] -> assert false
+      in
+      split k [] l
 
 let try_map ?(salt = 0) arch (g : Dfg.t) ii =
   let n = Dfg.node_count g in
@@ -227,23 +241,44 @@ let try_map ?(salt = 0) arch (g : Dfg.t) ii =
     Some { ii; schedule; makespan; routed_hops; arch_name = arch.Arch.name }
   end
 
+let max_salt = 3
+
 let map_dfg ?(max_ii = 128) arch g =
   let start = min_ii arch g in
   (* a few salted attempts per II escape deterministic ejection livelocks
-     (the phi/source pair chasing each other through the same tile order) *)
-  let rec attempts ii salt =
-    if salt > 3 then None
-    else
-      match try_map ~salt arch g ii with
-      | Some m -> Some m
-      | None -> attempts ii (salt + 1)
+     (the phi/source pair chasing each other through the same tile order).
+     Salt 0 runs first on its own — the common immediate success — and only
+     the retry salts fan out across the domain pool; the accepted mapping is
+     always the lowest successful salt, matching the sequential order. *)
+  let retry_salts = Array.init max_salt (fun i -> i + 1) in
+  let attempts ii =
+    match try_map ~salt:0 arch g ii with
+    | Some m -> Some m
+    | None ->
+        if Parallel.in_parallel () || Parallel.size () <= 1 then
+          (* sequential retries keep the historical early exit *)
+          let rec go salt =
+            if salt > max_salt then None
+            else
+              match try_map ~salt arch g ii with
+              | Some m -> Some m
+              | None -> go (salt + 1)
+          in
+          go 1
+        else
+          let results =
+            Parallel.parallel_map_array (fun salt -> try_map ~salt arch g ii) retry_salts
+          in
+          Array.fold_left
+            (fun acc r -> match acc with Some _ -> acc | None -> r)
+            None results
   in
   let rec go ii =
     if ii > max_ii then
       raise
         (Unmappable
            (Printf.sprintf "%s: no II <= %d on %s" g.Dfg.label max_ii arch.Arch.name))
-    else match attempts ii 0 with Some m -> m | None -> go (ii + 1)
+    else match attempts ii with Some m -> m | None -> go (ii + 1)
   in
   go start
 

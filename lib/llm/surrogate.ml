@@ -3,6 +3,7 @@ module Rng = Picachu_tensor.Rng
 module Approx = Picachu_numerics.Approx
 module Nl = Picachu_nonlinear
 module Mz = Model_zoo
+module Parallel = Picachu_parallel.Parallel
 
 type cfg = {
   name : string;
@@ -147,7 +148,9 @@ let attention c (b : Approx.t) ~q ~k ~v =
   let group = c.heads / c.kv_heads in
   let out = Tensor.create [ seq; d ] in
   let scale = 1.0 /. sqrt (float_of_int dh) in
-  for h = 0 to c.heads - 1 do
+  (* heads are independent and each writes its own column slice of [out],
+     so the head loop parallelizes with bit-identical results *)
+  let head h =
     let qh = slice_head q ~heads:c.heads ~h in
     (* grouped-query attention: [group] query heads share one KV head *)
     let kv = h / group in
@@ -155,7 +158,7 @@ let attention c (b : Approx.t) ~q ~k ~v =
     let vh = slice_head v ~heads:c.kv_heads ~h:kv in
     let qh = if c.pos = Mz.Rope_pos then Nl.Rope.approx_rows b qh else qh in
     let kh = if c.pos = Mz.Rope_pos then Nl.Rope.approx_rows b kh else kh in
-    let scores = Tensor.matmul qh (Tensor.transpose kh) in
+    let scores = Tensor.matmul_nt qh kh in
     (* causal attention: each query row softmaxes over its own prefix — the
        channel-by-channel shape the CGRA kernel actually executes, so no
        sentinel mask value ever reaches a quantizer *)
@@ -167,7 +170,8 @@ let attention c (b : Approx.t) ~q ~k ~v =
     done;
     let ctx = Tensor.matmul probs vh in
     write_head ~dst:out ctx ~heads:c.heads ~h
-  done;
+  in
+  Parallel.parallel_for ~chunk:1 0 c.heads head;
   out
 
 let ffn c (b : Approx.t) (l : layer) h =
@@ -209,7 +213,7 @@ let logits t (b : Approx.t) tokens =
   (* trained LLMs emit confident (low-entropy) distributions; the sharpening
      factor stands in for that, so operator damage moves perplexity the way
      it does in a real checkpoint *)
-  Tensor.scale c.logit_scale (Tensor.matmul xf (Tensor.transpose t.emb))
+  Tensor.scale c.logit_scale (Tensor.matmul_nt xf t.emb)
 
 let sample t rng ?(temperature = 0.8) ~len () =
   if len < 2 || len > t.c.max_seq then invalid_arg "Surrogate.sample: len";

@@ -2,6 +2,7 @@ module Approx = Picachu_numerics.Approx
 module Rng = Picachu_tensor.Rng
 module Tensor = Picachu_tensor.Tensor
 module Nl = Picachu_nonlinear
+module Parallel = Picachu_parallel.Parallel
 
 type item = { context : int array; cand_a : int; cand_b : int; label_a : bool }
 type task = { task_name : string; items : item list }
@@ -69,11 +70,14 @@ let accuracy model backend task =
   match task.items with
   | [] -> 0.0
   | items ->
-      let correct =
-        List.fold_left
-          (fun acc it ->
+      (* each item is an independent forward pass; score them across the
+         domain pool (integer counting, so the reduction is exact) *)
+      let verdicts =
+        Parallel.parallel_map_array
+          (fun it ->
             let lp = continuation_logprobs model backend it.context in
-            if lp.(it.cand_a) > lp.(it.cand_b) = it.label_a then acc + 1 else acc)
-          0 items
+            lp.(it.cand_a) > lp.(it.cand_b) = it.label_a)
+          (Array.of_list items)
       in
+      let correct = Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 verdicts in
       float_of_int correct /. float_of_int (List.length items)

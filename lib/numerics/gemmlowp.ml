@@ -22,7 +22,7 @@ let exp_on_quarter_interval r_q26 =
 
 let exp_barrel_constants =
   (* exp(-2^k / 4) for k = 0..6 in Q26 *)
-  lazy (Array.init 7 (fun k -> Fixed_point.of_float q26 (exp (-.(2.0 ** float_of_int k) /. 4.0))))
+  Lazy.from_val (Array.init 7 (fun k -> Fixed_point.of_float q26 (exp (-.(2.0 ** float_of_int k) /. 4.0))))
 
 let exp_on_negative x =
   if x >= 0.0 then 1.0

@@ -21,8 +21,8 @@ let horner_fx coeffs_q30 f_q16 =
   !acc
 
 let q30_of_coeffs coeffs = Array.map (Fixed_point.of_float fmt_acc) coeffs
-let exp_coeffs_q30 = lazy (q30_of_coeffs (Poly.exp_taylor_coeffs ~order:6))
-let log1p_coeffs_q30 = lazy (q30_of_coeffs (Poly.log1p_taylor_coeffs ~order:8))
+let exp_coeffs_q30 = Lazy.from_val (q30_of_coeffs (Poly.exp_taylor_coeffs ~order:6))
+let log1p_coeffs_q30 = Lazy.from_val (q30_of_coeffs (Poly.log1p_taylor_coeffs ~order:8))
 
 let exp x =
   if Float.is_nan x then nan
@@ -58,11 +58,11 @@ let fmt_trig = Fixed_point.fmt ~total_bits:34 ~frac_bits:28
 
 let sin_even_coeffs_q28 =
   (* sin t = t * (1 - t^2/6 + t^4/120 - t^6/5040) *)
-  lazy (Array.map (Fixed_point.of_float fmt_trig)
+  Lazy.from_val (Array.map (Fixed_point.of_float fmt_trig)
           [| 1.0; -1.0 /. 6.0; 1.0 /. 120.0; -1.0 /. 5040.0 |])
 
 let cos_even_coeffs_q28 =
-  lazy (Array.map (Fixed_point.of_float fmt_trig)
+  Lazy.from_val (Array.map (Fixed_point.of_float fmt_trig)
           [| 1.0; -0.5; 1.0 /. 24.0; -1.0 /. 720.0; 1.0 /. 40320.0 |])
 
 let horner_trig coeffs_q28 u_q28 =

@@ -41,4 +41,7 @@ let erf x =
     sign *. y
 
 let gauss_cdf_exact x = 0.5 *. (1.0 +. erf (x /. sqrt 2.0))
-let gauss_cdf = lazy (create ~entries:1024 ~lo:(-6.0) ~hi:6.0 gauss_cdf_exact)
+(* eagerly built: concurrently forcing a pending lazy from several domains
+   is unsafe in OCaml 5, and surrogate attention evaluates backends from
+   every pool worker *)
+let gauss_cdf = Lazy.from_val (create ~entries:1024 ~lo:(-6.0) ~hi:6.0 gauss_cdf_exact)

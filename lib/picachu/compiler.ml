@@ -100,6 +100,7 @@ let compile (opts : options) (k : Kernel.t) =
       raise (Mapper.Unmappable (k.Kernel.name ^ ": no unroll candidate mapped"))
 
 let cache : (string, compiled) Hashtbl.t = Hashtbl.create 64
+let cache_lock = Mutex.create ()
 
 let cached (opts : options) variant name =
   let key =
@@ -107,9 +108,15 @@ let cached (opts : options) variant name =
       (match variant with Kernels.Picachu -> "p" | Kernels.Baseline -> "b")
       name
   in
-  match Hashtbl.find_opt cache key with
+  let lookup () = Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key) in
+  match lookup () with
   | Some c -> c
   | None ->
       let c = compile opts (Kernels.by_name variant name) in
-      Hashtbl.add cache key c;
-      c
+      (* keep the first insertion so concurrent compilers share one value *)
+      Mutex.protect cache_lock (fun () ->
+          match Hashtbl.find_opt cache key with
+          | Some c' -> c'
+          | None ->
+              Hashtbl.add cache key c;
+              c)

@@ -4,6 +4,7 @@ module Mapper = Picachu_cgra.Mapper
 module Kernels = Picachu_ir.Kernels
 module Kernel = Picachu_ir.Kernel
 module Stats = Picachu_tensor.Stats
+module Parallel = Picachu_parallel.Parallel
 
 type point = {
   rows : int;
@@ -25,8 +26,10 @@ let kernel_roster () =
 let evaluate ~rows ~cols ~cot_share =
   let arch = Arch.hetero_mix ~rows ~cols ~cot_share in
   let opts = Compiler.picachu_options ~arch () in
+  (* kernels compile independently (the mapper keeps all its state local),
+     so one design point fans its roster out across the domain pool *)
   let throughputs =
-    List.filter_map
+    Parallel.parallel_map_array
       (fun k ->
         match Compiler.compile opts k with
         | compiled ->
@@ -34,7 +37,9 @@ let evaluate ~rows ~cols ~cot_share =
               (float_of_int pass_elements
               /. float_of_int (Compiler.pass_cycles compiled ~n:pass_elements))
         | exception Mapper.Unmappable _ -> None)
-      (kernel_roster ())
+      (Array.of_list (kernel_roster ()))
+    |> Array.to_list
+    |> List.filter_map Fun.id
   in
   if throughputs = [] then
     raise (Mapper.Unmappable (arch.Arch.name ^ ": no kernel maps"));
@@ -52,15 +57,22 @@ let evaluate ~rows ~cols ~cot_share =
 
 let sweep ?(sizes = [ (3, 3); (4, 4); (4, 8); (5, 5) ])
     ?(cot_shares = [ 1.0 /. 3.0; 0.5; 2.0 /. 3.0; 5.0 /. 6.0 ]) () =
-  List.concat_map
-    (fun (rows, cols) ->
-      List.filter_map
-        (fun cot_share ->
-          match evaluate ~rows ~cols ~cot_share with
-          | p -> Some p
-          | exception Mapper.Unmappable _ -> None)
-        cot_shares)
-    sizes
+  (* flatten the grid and evaluate design points across the pool; inner
+     per-kernel parallelism collapses to sequential inside a worker *)
+  let grid =
+    Array.of_list
+      (List.concat_map
+         (fun (rows, cols) -> List.map (fun cot -> (rows, cols, cot)) cot_shares)
+         sizes)
+  in
+  Parallel.parallel_map_array
+    (fun (rows, cols, cot_share) ->
+      match evaluate ~rows ~cols ~cot_share with
+      | p -> Some p
+      | exception Mapper.Unmappable _ -> None)
+    grid
+  |> Array.to_list
+  |> List.filter_map Fun.id
 
 let dominates a b =
   a.geomean_throughput >= b.geomean_throughput

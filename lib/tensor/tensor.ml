@@ -1,3 +1,5 @@
+module Parallel = Picachu_parallel.Parallel
+
 type t = { shape : int list; data : float array }
 
 let numel_of_shape shape = List.fold_left ( * ) 1 shape
@@ -73,6 +75,11 @@ let dot a b =
   done;
   !acc
 
+(* Below this many multiply-accumulates a matmul is not worth a pool
+   dispatch; the row kernels themselves are identical either way, so the
+   choice never changes the result. *)
+let par_flops_threshold = 32_768
+
 let matmul a b =
   let m, k =
     match a.shape with [ m; k ] -> (m, k) | _ -> invalid_arg "Tensor.matmul: lhs rank"
@@ -82,17 +89,58 @@ let matmul a b =
   in
   if k <> k' then invalid_arg "Tensor.matmul: inner dimension mismatch";
   let out = create [ m; n ] in
-  for i = 0 to m - 1 do
+  let ad = a.data and bd = b.data and od = out.data in
+  (* row-blocked: each index owns one output row, so the parallel and
+     sequential paths perform the same additions in the same order *)
+  let row i =
+    let arow = i * k and orow = i * n in
     for p = 0 to k - 1 do
-      let aip = a.data.((i * k) + p) in
+      let aip = Array.unsafe_get ad (arow + p) in
       if aip <> 0.0 then
         let brow = p * n in
-        let orow = i * n in
         for j = 0 to n - 1 do
-          out.data.(orow + j) <- out.data.(orow + j) +. (aip *. b.data.(brow + j))
+          Array.unsafe_set od (orow + j)
+            (Array.unsafe_get od (orow + j) +. (aip *. Array.unsafe_get bd (brow + j)))
         done
     done
-  done;
+  in
+  if m * k * n < par_flops_threshold then
+    for i = 0 to m - 1 do
+      row i
+    done
+  else Parallel.parallel_for 0 m row;
+  out
+
+let matmul_nt a b =
+  let m, k =
+    match a.shape with [ m; k ] -> (m, k) | _ -> invalid_arg "Tensor.matmul_nt: lhs rank"
+  in
+  let n, k' =
+    match b.shape with [ n; k' ] -> (n, k') | _ -> invalid_arg "Tensor.matmul_nt: rhs rank"
+  in
+  if k <> k' then invalid_arg "Tensor.matmul_nt: inner dimension mismatch";
+  let out = create [ m; n ] in
+  let ad = a.data and bd = b.data and od = out.data in
+  (* dot-product form over rows of [b]; the [aip <> 0.0] skip mirrors
+     [matmul] so [matmul_nt a b] is bit-identical to
+     [matmul a (transpose b)] *)
+  let row i =
+    let arow = i * k and orow = i * n in
+    for j = 0 to n - 1 do
+      let brow = j * k in
+      let acc = ref 0.0 in
+      for p = 0 to k - 1 do
+        let aip = Array.unsafe_get ad (arow + p) in
+        if aip <> 0.0 then acc := !acc +. (aip *. Array.unsafe_get bd (brow + p))
+      done;
+      Array.unsafe_set od (orow + j) !acc
+    done
+  in
+  if m * k * n < par_flops_threshold then
+    for i = 0 to m - 1 do
+      row i
+    done
+  else Parallel.parallel_for 0 m row;
   out
 
 let transpose t =
@@ -152,9 +200,11 @@ let rand_laplace rng shape ~mu ~b = init shape (fun _ -> Rng.laplace rng ~mu ~b)
 let equal ?(eps = 0.0) a b =
   a.shape = b.shape
   &&
-  let ok = ref true in
-  for i = 0 to numel a - 1 do
-    if abs_float (a.data.(i) -. b.data.(i)) > eps then ok := false
+  let n = numel a in
+  let ok = ref true and i = ref 0 in
+  while !ok && !i < n do
+    if abs_float (a.data.(!i) -. b.data.(!i)) > eps then ok := false;
+    incr i
   done;
   !ok
 

@@ -65,7 +65,17 @@ val dot : t -> t -> float
 (** Inner product of same-size tensors (shape-agnostic, flat). *)
 
 val matmul : t -> t -> t
-(** [matmul a b] for rank-2 [a : m x k] and [b : k x n]. *)
+(** [matmul a b] for rank-2 [a : m x k] and [b : k x n].  Large products are
+    row-blocked across the ambient {!Picachu_parallel.Parallel} pool; each
+    output row is computed exactly as in the sequential loop, so results are
+    bit-identical for every pool size. *)
+
+val matmul_nt : t -> t -> t
+(** [matmul_nt a b] for [a : m x k] and [b : n x k] computes
+    [a * transpose b] without materializing the transpose — the shape taken
+    by attention scores ([q @ k^T]) and the logit projection against tied
+    embeddings.  Bit-identical to [matmul a (transpose b)], and parallelized
+    the same way as {!matmul}. *)
 
 val transpose : t -> t
 (** Rank-2 transpose (copies). *)

@@ -165,6 +165,20 @@ let test_serving_summary_math () =
                 -. (s.Serving.total_s -. 0.1))
     < 1e-9)
 
+let test_serving_summary_pinned () =
+  (* pinned end-to-end numbers for a known request, guarding the
+     anchor-interpolation rewrite: contexts 8..31 over anchors at 8/16/32.
+     decode = 0.010 + sum_{d=1..8}(0.010 + 0.00125 d)
+                    + sum_{d=1..15}(0.020 + 0.00125 d) = 0.585 s *)
+  let costs =
+    { Serving.prefill_s = 0.25; decode_s_at = [ (8, 0.010); (16, 0.020); (32, 0.040) ] }
+  in
+  let r = { Serving.prompt = 8; generate = 24 } in
+  let s = Serving.summarize costs r in
+  Alcotest.(check (float 1e-12)) "ttft" 0.25 s.Serving.ttft_s;
+  Alcotest.(check (float 1e-12)) "total" 0.835 s.Serving.total_s;
+  Alcotest.(check (float 1e-9)) "tokens/s" (24.0 /. 0.585) s.Serving.tokens_per_s
+
 let test_serving_validation () =
   let costs = { Serving.prefill_s = 0.1; decode_s_at = [ (10, 0.01) ] } in
   Alcotest.check_raises "bad request" (Invalid_argument "Serving.summarize: request")
@@ -391,6 +405,7 @@ let suite =
     ( "serving",
       [
         Alcotest.test_case "summary math" `Quick test_serving_summary_math;
+        Alcotest.test_case "summary pinned numbers" `Quick test_serving_summary_pinned;
         Alcotest.test_case "validation" `Quick test_serving_validation;
         Alcotest.test_case "end-to-end sane" `Quick test_serving_end_to_end_sane;
       ] );
