@@ -1,0 +1,19 @@
+#!/bin/sh
+# Repo CI gate: build, tier-1 tests, and one tiny end-to-end fault campaign
+# (seeded, positive rate — exercises injection, DMR detection, bounded
+# re-execution, and the graceful-degradation serving path).
+#
+# Usage: bin/check.sh        (from the repo root)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build
+
+echo "== tier-1 tests =="
+dune runtest
+
+echo "== fault campaign smoke =="
+dune exec examples/fault_campaign.exe -- 0.002 7
+
+echo "== check.sh: all green =="

@@ -38,8 +38,8 @@ let eval_cmp (op : Op.cmpop) a b =
   in
   if r then 1.0 else 0.0
 
-let run_loop arch (loop : Kernel.loop) (g : Dfg.t) (m : Mapper.mapping) ~arrays
-    ~scalars =
+let run_loop ?fault arch (loop : Kernel.loop) (g : Dfg.t) (m : Mapper.mapping)
+    ~arrays ~scalars =
   if loop.Kernel.vector_width <> 1 then
     invalid_arg "Executor.run_loop: vectorized loops share the scalar schedule";
   let body = Array.of_list loop.Kernel.body in
@@ -112,7 +112,20 @@ let run_loop arch (loop : Kernel.loop) (g : Dfg.t) (m : Mapper.mapping) ~arrays
                 loop.Kernel.label u a kk c
                 avail.(kk).(a) hops
           end;
-          values.(kk).(a)
+          let v = values.(kk).(a) in
+          match fault with
+          | None -> v
+          | Some inj ->
+              (* a dropped mesh transfer leaves the consumer's input register
+                 holding the previous iteration's value (zero before any
+                 iteration wrote it); RF read disturbance applies to every
+                 register read, local or routed *)
+              let v =
+                if producer <> u && Fault.noc_drop inj then
+                  if kk > 0 then values.(kk - 1).(a) else 0.0
+                else v
+              in
+              Fault.rf_read inj v
         end
   in
   let exec_node (node : Dfg.node) k =
@@ -163,6 +176,20 @@ let run_loop arch (loop : Kernel.loop) (g : Dfg.t) (m : Mapper.mapping) ~arrays
           | Op.Lut name -> Nm.Lut.eval (Interp.lookup_lut name) (arg 0)
           | Op.Br -> arg 0
           | Op.Fused _ -> fail "%s: fused opcode with no members" loop.Kernel.label
+        in
+        (* FU output corruption latches into the result register and
+           propagates; memory/routing ops (load, store, phi, br) have no FU
+           datapath — their faults are the RF/NoC models above *)
+        let v =
+          match fault with
+          | None -> v
+          | Some inj -> (
+              match i.Instr.op with
+              | Op.Lut _ -> Fault.lut_output inj v
+              | Op.Bin _ | Op.Un _ | Op.Cmp _ | Op.Select | Op.Fp2fx_int
+              | Op.Fp2fx_frac | Op.Shift_exp ->
+                  Fault.fu_output inj v
+              | _ -> v)
         in
         values.(k).(iid) <- v;
         avail.(k).(iid) <- done_at)

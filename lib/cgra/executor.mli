@@ -25,6 +25,7 @@ type result = {
 }
 
 val run_loop :
+  ?fault:Fault.injector ->
   Arch.t ->
   Kernel.loop ->
   Dfg.t ->
@@ -34,4 +35,11 @@ val run_loop :
   result
 (** The trip count comes from the loop's trip scalar (like the reference
     interpreter). Requires [vector_width = 1] (the INT16 lane mode shares
-    this schedule; its lanes are SIMD within a tile). *)
+    this schedule; its lanes are SIMD within a tile).
+
+    [fault] samples the {!Fault} models while executing: RF read disturbance
+    and NoC drops at operand reads, FU/LUT output corruption at result
+    latches.  Faults perturb values only — never the schedule — so a faulty
+    run completes (no exception) and mismatches surface as corrupted
+    outputs.  Omitting [fault] (or passing an injector over {!Fault.none})
+    leaves the execution byte-identical to the hook-free path. *)

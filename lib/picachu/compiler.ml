@@ -79,11 +79,17 @@ let per_channel_cycles c ~dim =
     (fun acc cl -> acc + (loop_trips cl ~n:dim * cl.mapping.Mapper.ii))
     0 c.loops
 
-let compile (opts : options) (k : Kernel.t) =
+let compile_runs = Atomic.make 0
+
+let compile_count () = Atomic.get compile_runs
+
+let compile_result (opts : options) (k : Kernel.t) =
+  Atomic.incr compile_runs;
   let candidates =
     match opts.unroll_candidates with [] -> [ 1 ] | l -> l
   in
   let best = ref None in
+  let failed = ref [] in
   List.iter
     (fun uf ->
       match compile_with_unroll opts uf k with
@@ -92,17 +98,27 @@ let compile (opts : options) (k : Kernel.t) =
           match !best with
           | Some (_, best_cost) when best_cost <= cost -> ()
           | _ -> best := Some (compiled, cost))
-      | exception Mapper.Unmappable _ -> ())
+      | exception Mapper.Unmappable msg -> failed := (uf, msg) :: !failed)
     candidates;
   match !best with
-  | Some (c, _) -> c
+  | Some (c, _) -> Ok c
   | None ->
-      raise (Mapper.Unmappable (k.Kernel.name ^ ": no unroll candidate mapped"))
+      Error
+        (Picachu_error.Unmappable { kernel = k.Kernel.name; reasons = List.rev !failed })
 
-let cache : (string, compiled) Hashtbl.t = Hashtbl.create 64
+let compile (opts : options) (k : Kernel.t) =
+  match compile_result opts k with
+  | Ok c -> c
+  | Error e -> raise (Picachu_error.Error e)
+
+(* Results are cached negatively too: a kernel known to be unmappable on an
+   arch is answered from the table instead of re-running the whole II search
+   per request — the fallback tiers of [Serving.robust_costs] pay the mapper
+   once, not once per request. *)
+let cache : (string, (compiled, Picachu_error.t) result) Hashtbl.t = Hashtbl.create 64
 let cache_lock = Mutex.create ()
 
-let cached (opts : options) variant name =
+let cached_result (opts : options) variant name =
   let key =
     Printf.sprintf "%s/%b/%d/%s/%s" opts.arch.Arch.name opts.fuse opts.vector
       (match variant with Kernels.Picachu -> "p" | Kernels.Baseline -> "b")
@@ -110,13 +126,22 @@ let cached (opts : options) variant name =
   in
   let lookup () = Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key) in
   match lookup () with
-  | Some c -> c
+  | Some r -> r
   | None ->
-      let c = compile opts (Kernels.by_name variant name) in
+      let r =
+        match Kernels.by_name variant name with
+        | k -> compile_result opts k
+        | exception Not_found -> Error (Picachu_error.Unknown_kernel name)
+      in
       (* keep the first insertion so concurrent compilers share one value *)
       Mutex.protect cache_lock (fun () ->
           match Hashtbl.find_opt cache key with
-          | Some c' -> c'
+          | Some r' -> r'
           | None ->
-              Hashtbl.add cache key c;
-              c)
+              Hashtbl.add cache key r;
+              r)
+
+let cached (opts : options) variant name =
+  match cached_result opts variant name with
+  | Ok c -> c
+  | Error e -> raise (Picachu_error.Error e)

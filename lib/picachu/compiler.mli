@@ -46,10 +46,15 @@ val compile_with_unroll : options -> int -> Kernel.t -> compiled
 (** Fixed unroll factor (no tuning). Raises {!Mapper.Unmappable} like the
     mapper. *)
 
-val compile : options -> Kernel.t -> compiled
+val compile_result : options -> Kernel.t -> (compiled, Picachu_error.t) result
 (** Auto-tuned over [unroll_candidates] (best steady-state cycles at a
-    1024-element pass); falls back to smaller factors when a candidate is
-    unmappable. *)
+    1024-element pass); candidates that fail to map are skipped.  When
+    {e every} candidate fails, returns
+    [Error (Unmappable { kernel; reasons })] carrying each candidate's
+    unroll factor and mapper message — nothing is discarded. *)
+
+val compile : options -> Kernel.t -> compiled
+(** [compile_result] unwrapped; raises {!Picachu_error.Error} on failure. *)
 
 val pass_cycles : compiled -> n:int -> int
 (** One pass of the whole kernel (all loops) over [n] elements. *)
@@ -59,6 +64,17 @@ val per_channel_cycles : compiled -> dim:int -> int
     Buffer data-flow model consumes. Excludes first-iteration prologue,
     which successive channels pipeline away. *)
 
+val cached_result :
+  options -> Kernels.variant -> string -> (compiled, Picachu_error.t) result
+(** [cached_result opts variant kernel_name] — memoized compile of a library
+    kernel.  Failures are cached too (negative caching): a known-unmappable
+    or unknown kernel is answered from the table without re-running the
+    mapper's II search. *)
+
 val cached : options -> Kernels.variant -> string -> compiled
-(** [cached opts variant kernel_name] — memoized compile of a library
-    kernel. *)
+(** [cached_result] unwrapped; raises {!Picachu_error.Error} on failure. *)
+
+val compile_count : unit -> int
+(** Number of (non-memoized) compile pipeline runs since program start —
+    observability for the negative cache: repeated [cached_result] calls on
+    a failing key must not increase it. *)

@@ -150,6 +150,19 @@ val supp_decode : unit -> (string * float * float) list
     A100's nonlinear share in the GEMV-bound regime and PICACHU's speedup at
     the matched scale. *)
 
+(* -- Supplementary: resilience ---------------------------------------------- *)
+
+val resilience_campaign : unit -> (float * Resilience.stats) list
+(** DMR + bounded-re-execution fault campaign over the kernel roster at
+    uniform per-site fault rates 0 .. 1e-2 (seed 1234).  The zero-rate
+    row pins determinism: no injections, every trial Clean.  Trials run on
+    the shared domain pool; results are independent of the pool size. *)
+
+val resilience_serving : unit -> (string * float * (string * int) list) list
+(** Serving under forced tier failures: per scenario, (availability,
+    requests answered per tier).  Availability is 1.0 in every scenario —
+    the roofline tier is analytic and cannot fail. *)
+
 (* -- Ablations -------------------------------------------------------------- *)
 
 val ablation_fusion : unit -> (string * float) list
@@ -181,8 +194,11 @@ val ablation_order : unit -> (int * float * int) list
 (* -- Drivers ---------------------------------------------------------------- *)
 
 val print : string -> unit
-(** Print one experiment by id ("fig1", "tab2", ..., "ablations"). Raises
-    [Invalid_argument] on unknown ids. *)
+(** Print one experiment by id ("fig1", "tab2", ..., "ablations",
+    "resilience"). Raises [Invalid_argument] on unknown ids. *)
 
 val ids : string list
+
 val print_all : unit -> unit
+(** Every paper reproduction entry.  Opt-in extras ("resilience") are only
+    reachable through {!print} so this transcript stays stable. *)

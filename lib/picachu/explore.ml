@@ -31,12 +31,12 @@ let evaluate ~rows ~cols ~cot_share =
   let throughputs =
     Parallel.parallel_map_array
       (fun k ->
-        match Compiler.compile opts k with
-        | compiled ->
+        match Compiler.compile_result opts k with
+        | Ok compiled ->
             Some
               (float_of_int pass_elements
               /. float_of_int (Compiler.pass_cycles compiled ~n:pass_elements))
-        | exception Mapper.Unmappable _ -> None)
+        | Error _ -> None)
       (Array.of_list (kernel_roster ()))
     |> Array.to_list
     |> List.filter_map Fun.id
@@ -69,7 +69,7 @@ let sweep ?(sizes = [ (3, 3); (4, 4); (4, 8); (5, 5) ])
     (fun (rows, cols, cot_share) ->
       match evaluate ~rows ~cols ~cot_share with
       | p -> Some p
-      | exception Mapper.Unmappable _ -> None)
+      | exception (Mapper.Unmappable _ | Picachu_error.Error _) -> None)
     grid
   |> Array.to_list
   |> List.filter_map Fun.id

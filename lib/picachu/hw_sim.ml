@@ -9,7 +9,7 @@ type report = {
   configs : Config.t list;
 }
 
-let run (c : Compiler.compiled) (env : Interp.env) =
+let run ?fault (c : Compiler.compiled) (env : Interp.env) =
   let outputs = Hashtbl.create 4 in
   let cycles = ref 0 in
   let configs = ref [] in
@@ -29,8 +29,8 @@ let run (c : Compiler.compiled) (env : Interp.env) =
           Config.generate c.Compiler.arch loop cl.Compiler.dfg cl.Compiler.mapping
           :: !configs;
         let r =
-          Executor.run_loop c.Compiler.arch loop cl.Compiler.dfg cl.Compiler.mapping
-            ~arrays ~scalars
+          Executor.run_loop ?fault c.Compiler.arch loop cl.Compiler.dfg
+            cl.Compiler.mapping ~arrays ~scalars
         in
         cycles := !cycles + r.Executor.cycles;
         List.iter (fun (name, a) -> Hashtbl.replace outputs name a) r.Executor.out_arrays;

@@ -16,10 +16,13 @@ type report = {
   configs : Config.t list;  (** one per loop, in order *)
 }
 
-val run : Compiler.compiled -> Interp.env -> report
+val run : ?fault:Picachu_cgra.Fault.injector -> Compiler.compiled -> Interp.env -> report
 (** Raises {!Picachu_cgra.Executor.Timing_violation} if the schedule is
     inconsistent — which the test suite asserts never happens for compiler
-    output. Requires a scalar-mode compilation ([vector = 1]). *)
+    output. Requires a scalar-mode compilation ([vector = 1]).
+
+    [fault] threads one fault-injection stream through every loop of the
+    kernel, in order (see {!Picachu_cgra.Executor.run_loop}). *)
 
 val config_words : Compiler.compiled -> int
 (** Total configuration-memory footprint of the kernel. *)

@@ -1,0 +1,37 @@
+module Mapper = Picachu_cgra.Mapper
+module Executor = Picachu_cgra.Executor
+
+type t =
+  | Unmappable of { kernel : string; reasons : (int * string) list }
+  | Mapping_failed of string
+  | Unknown_kernel of string
+  | Execution_fault of string
+  | Timing_violation of string
+  | All_tiers_failed of (string * t) list
+
+exception Error of t
+
+let transient = function
+  | Execution_fault _ | Timing_violation _ -> true
+  | Unmappable _ | Mapping_failed _ | Unknown_kernel _ | All_tiers_failed _ -> false
+
+let of_exn = function
+  | Error e -> Some e
+  | Mapper.Unmappable msg -> Some (Mapping_failed msg)
+  | Executor.Execution_error msg -> Some (Execution_fault msg)
+  | Executor.Timing_violation msg -> Some (Timing_violation msg)
+  | _ -> None
+
+let rec to_string = function
+  | Unmappable { kernel; reasons } ->
+      Printf.sprintf "%s: every unroll candidate unmappable (%s)" kernel
+        (String.concat "; "
+           (List.map (fun (uf, msg) -> Printf.sprintf "UF%d: %s" uf msg) reasons))
+  | Mapping_failed msg -> "mapping failed: " ^ msg
+  | Unknown_kernel name -> "unknown kernel: " ^ name
+  | Execution_fault msg -> "execution fault: " ^ msg
+  | Timing_violation msg -> "timing violation: " ^ msg
+  | All_tiers_failed tiers ->
+      "all serving tiers failed: "
+      ^ String.concat "; "
+          (List.map (fun (name, e) -> Printf.sprintf "[%s] %s" name (to_string e)) tiers)

@@ -1,0 +1,45 @@
+(** The shared error taxonomy of the compile/execute/serve pipeline.
+
+    The seed code signalled every failure as an exception ([Mapper.Unmappable]
+    anywhere in the compile pipeline aborted a whole experiment); production
+    serving needs failures as *values* so a request can fall back to a slower
+    tier instead of dying.  This type is the single channel: the compiler
+    returns it from {!Compiler.compile_result}, the resilience layer raises
+    it when DMR detection exhausts its retry budget, and
+    {!Serving.robust_costs} accumulates it per fallback tier.
+
+    [transient] partitions the taxonomy for retry policy: a transient fault
+    (a detected execution fault, a timing violation) may vanish on
+    re-execution; a structural failure (unmappable kernel, unknown name)
+    is deterministic and retrying is wasted work — the serving path skips
+    straight to the next tier and the compiler caches the failure
+    negatively. *)
+
+type t =
+  | Unmappable of { kernel : string; reasons : (int * string) list }
+      (** Every unroll candidate failed to map; [reasons] pairs each
+          attempted unroll factor with the mapper's failure message. *)
+  | Mapping_failed of string
+      (** A raw mapper failure outside candidate auto-tuning. *)
+  | Unknown_kernel of string
+  | Execution_fault of string
+      (** DMR detected a fault and the retry budget is exhausted. *)
+  | Timing_violation of string
+  | All_tiers_failed of (string * t) list
+      (** Every serving tier failed; payload pairs tier names with their
+          final errors, in attempt order. *)
+
+exception Error of t
+
+val transient : t -> bool
+(** True for failures that re-execution may clear ([Execution_fault],
+    [Timing_violation]); false for deterministic/structural ones. *)
+
+val of_exn : exn -> t option
+(** Map pipeline exceptions into the taxonomy: [Error] unwraps,
+    {!Picachu_cgra.Mapper.Unmappable} becomes [Mapping_failed],
+    {!Picachu_cgra.Executor.Execution_error} becomes [Execution_fault],
+    {!Picachu_cgra.Executor.Timing_violation} becomes [Timing_violation].
+    [None] for foreign exceptions (which should keep propagating). *)
+
+val to_string : t -> string

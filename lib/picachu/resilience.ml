@@ -1,0 +1,163 @@
+module Fault = Picachu_cgra.Fault
+module Interp = Picachu_ir.Interp
+module Kernel = Picachu_ir.Kernel
+module Kernels = Picachu_ir.Kernels
+module Rng = Picachu_tensor.Rng
+module Parallel = Picachu_parallel.Parallel
+
+type verdict = Clean | Masked | Corrected of int | Silent | Uncorrected
+
+type trial = {
+  verdict : verdict;
+  injected : Fault.counts;
+  executions : int;
+  max_abs_err : float;
+}
+
+(* bitwise agreement — float (=) would call NaN /= NaN and make a
+   NaN-corrupted-in-both-copies pair undetectable forever *)
+let bits_eq a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let results_agree (a : Interp.result) (b : Interp.result) =
+  List.for_all2
+    (fun (na, va) (nb, vb) ->
+      na = nb && Array.length va = Array.length vb
+      && (let ok = ref true in
+          Array.iteri (fun i x -> if not (bits_eq x vb.(i)) then ok := false) va;
+          !ok))
+    a.Interp.out_arrays b.Interp.out_arrays
+  && List.for_all2
+       (fun (na, va) (nb, vb) -> na = nb && bits_eq va vb)
+       a.Interp.out_scalars b.Interp.out_scalars
+
+let error_vs_golden (golden : Interp.result) (r : Interp.result) =
+  let worst = ref 0.0 in
+  let note d = if Float.is_nan d then worst := infinity else worst := Float.max !worst d in
+  List.iter
+    (fun (name, a) ->
+      match List.assoc_opt name golden.Interp.out_arrays with
+      | None -> ()
+      | Some g -> Array.iteri (fun i v -> note (Float.abs (v -. g.(i)))) a)
+    r.Interp.out_arrays;
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name golden.Interp.out_scalars with
+      | None -> ()
+      | Some g -> note (Float.abs (v -. g)))
+    r.Interp.out_scalars;
+  !worst
+
+let run_trial ?(budget = 3) ~fault ~salt (compiled : Compiler.compiled)
+    (env : Interp.env) =
+  let golden = (Hw_sim.run compiled env).Hw_sim.result in
+  let injected = ref Fault.no_faults in
+  let execs = ref 0 in
+  (* rounds are spaced well below the inter-trial salt stride (see
+     [campaign]), so every (trial, round, copy) samples its own stream *)
+  let execute round copy =
+    let inj = Fault.injector ~salt:((salt * 1024) + (round * 2) + copy) fault in
+    let r = (Hw_sim.run ~fault:inj compiled env).Hw_sim.result in
+    injected := Fault.add !injected (Fault.counts inj);
+    incr execs;
+    r
+  in
+  let finish verdict err =
+    { verdict; injected = !injected; executions = !execs; max_abs_err = err }
+  in
+  let rec round r =
+    let a = execute r 0 in
+    let b = execute r 1 in
+    if results_agree a b then
+      if results_agree a golden then
+        if r > 0 then finish (Corrected r) 0.0
+        else if Fault.total !injected = 0 then finish Clean 0.0
+        else finish Masked 0.0
+      else finish Silent (error_vs_golden golden a)
+    else if r >= budget then finish Uncorrected (error_vs_golden golden a)
+    else round (r + 1)
+  in
+  round 0
+
+type stats = {
+  trials : int;
+  injected : int;
+  detected : int;
+  corrected : int;
+  silent : int;
+  uncorrected : int;
+  clean : int;
+  masked : int;
+  executions : int;
+  worst_abs_err : float;
+}
+
+let stats_of_trials trials =
+  List.fold_left
+    (fun acc (t : trial) ->
+      let acc =
+        {
+          acc with
+          trials = acc.trials + 1;
+          injected = acc.injected + Fault.total t.injected;
+          executions = acc.executions + t.executions;
+          worst_abs_err = Float.max acc.worst_abs_err t.max_abs_err;
+        }
+      in
+      match t.verdict with
+      | Clean -> { acc with clean = acc.clean + 1 }
+      | Masked -> { acc with masked = acc.masked + 1 }
+      | Corrected _ ->
+          { acc with detected = acc.detected + 1; corrected = acc.corrected + 1 }
+      | Silent -> { acc with silent = acc.silent + 1 }
+      | Uncorrected ->
+          { acc with detected = acc.detected + 1; uncorrected = acc.uncorrected + 1 })
+    {
+      trials = 0;
+      injected = 0;
+      detected = 0;
+      corrected = 0;
+      silent = 0;
+      uncorrected = 0;
+      clean = 0;
+      masked = 0;
+      executions = 0;
+      worst_abs_err = 0.0;
+    }
+    trials
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "trials=%d injected=%d detected=%d corrected=%d silent=%d uncorrected=%d \
+     clean=%d masked=%d executions=%d worst|err|=%g"
+    s.trials s.injected s.detected s.corrected s.silent s.uncorrected s.clean
+    s.masked s.executions s.worst_abs_err
+
+let default_kernels = [ "relu"; "gelu"; "softmax"; "rmsnorm"; "rope" ]
+
+let campaign ?(budget = 3) ?(trials = 8) ?(n = 24) ?(kernels = default_kernels)
+    ~fault () =
+  let opts = Compiler.picachu_options () in
+  let roster =
+    List.map (fun name -> (name, Compiler.cached opts Kernels.Picachu name)) kernels
+  in
+  let descs =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun ki (_, compiled) ->
+              List.init trials (fun t -> (compiled, (ki * 1000003) + (t * 101))))
+            roster))
+  in
+  let run (compiled, salt) =
+    (* inputs are a pure function of (campaign seed, trial salt): trials are
+       independent, so the domain pool never changes any result *)
+    let rng = Rng.create (fault.Fault.seed lxor (salt * 7919)) in
+    let arrays =
+      List.map
+        (fun name -> (name, Array.init n (fun _ -> Rng.uniform rng ~lo:(-2.0) ~hi:2.0)))
+        compiled.Compiler.kernel.Kernel.inputs
+    in
+    let env = { Interp.arrays; scalars = [ ("n", float_of_int n) ] } in
+    run_trial ~budget ~fault ~salt compiled env
+  in
+  stats_of_trials (Array.to_list (Parallel.parallel_map_array run descs))

@@ -1,0 +1,81 @@
+(** Fault detection and recovery over the cycle-level executor.
+
+    Detection is dual modular redundancy (DMR): every protected execution
+    runs the compiled kernel twice with independent fault-sampling streams
+    and compares outputs bit-for-bit.  A mismatch means at least one copy was
+    corrupted — the fault is {e detected} — and recovery re-executes the pair
+    with fresh streams, up to a bounded retry budget.  An agreeing pair is
+    accepted; the campaign (which, unlike real hardware, also holds the
+    fault-free golden output) classifies accepted-but-wrong answers as
+    {e silent} corruption — the probability-squared event DMR cannot see:
+    both copies corrupted into bitwise agreement, or one copy corrupted in a
+    value that never reaches an output.
+
+    Every trial derives its injector seeds from the campaign seed and the
+    trial's index only, so campaigns are bit-identical across domain-pool
+    sizes (asserted at pool sizes 1/2/4 in the test suite). *)
+
+module Fault = Picachu_cgra.Fault
+module Interp = Picachu_ir.Interp
+
+type verdict =
+  | Clean  (** no fault was injected; output correct *)
+  | Masked  (** faults injected, first pair agreed, output correct *)
+  | Corrected of int
+      (** detected, and a retry round produced an agreeing correct pair;
+          payload = retry rounds used *)
+  | Silent  (** an accepted (agreeing) pair produced a wrong output *)
+  | Uncorrected
+      (** detected, but no agreeing pair within the retry budget *)
+
+type trial = {
+  verdict : verdict;
+  injected : Fault.counts;  (** summed over every execution of the trial *)
+  executions : int;  (** 2 per DMR round *)
+  max_abs_err : float;
+      (** worst |accepted - golden| over output streams; 0 unless [Silent];
+          for [Uncorrected], the last pair's primary copy vs golden *)
+}
+
+val run_trial :
+  ?budget:int ->
+  fault:Fault.config ->
+  salt:int ->
+  Compiler.compiled ->
+  Interp.env ->
+  trial
+(** One protected execution ([budget] retry rounds after the initial pair,
+    default 3).  [salt] separates trials: each DMR copy of round [r] samples
+    an independent stream derived from [(fault.seed, salt, r, copy)].
+    Requires a scalar-mode compilation, like {!Hw_sim.run}. *)
+
+type stats = {
+  trials : int;
+  injected : int;  (** total faults injected across all executions *)
+  detected : int;  (** trials whose first DMR pair disagreed *)
+  corrected : int;
+  silent : int;
+  uncorrected : int;
+  clean : int;
+  masked : int;
+  executions : int;
+  worst_abs_err : float;
+}
+
+val stats_of_trials : trial list -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val campaign :
+  ?budget:int ->
+  ?trials:int ->
+  ?n:int ->
+  ?kernels:string list ->
+  fault:Fault.config ->
+  unit ->
+  stats
+(** A seeded fault campaign: for each kernel (default: relu, gelu, softmax,
+    rmsnorm, rope — one per nonlinear family), run [trials] (default 8)
+    protected executions over [n]-element streams (default 24) with
+    deterministic per-trial inputs, fanned out across the ambient domain
+    pool.  Never raises on injected faults: a trial that stays corrupted
+    past the budget is reported as [Uncorrected], not thrown. *)

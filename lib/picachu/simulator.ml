@@ -17,6 +17,7 @@ type config = {
   vector : int;
   double_buffering : bool;
   nl_parallel : int;
+  variant : Kernels.variant;
 }
 
 let default_config ?(buffer_kb = 40.0) ?(vector = 1) () =
@@ -28,6 +29,7 @@ let default_config ?(buffer_kb = 40.0) ?(vector = 1) () =
     vector;
     double_buffering = true;
     nl_parallel = 1;
+    variant = Kernels.Picachu;
   }
 
 let a100_scale_config () =
@@ -70,8 +72,12 @@ let find_gemm (w : Workload.t) tag =
     w.gemms
 
 let nl_op_time cfg (w : Workload.t) (nl : Workload.nl) =
-  let opts = Compiler.picachu_options ~arch:cfg.arch ~vector:cfg.vector () in
-  let compiled = Compiler.cached opts Kernels.Picachu (Registry.name nl.op) in
+  let opts =
+    match cfg.variant with
+    | Kernels.Picachu -> Compiler.picachu_options ~arch:cfg.arch ~vector:cfg.vector ()
+    | Kernels.Baseline -> Compiler.baseline_options ~arch:cfg.arch ()
+  in
+  let compiled = Compiler.cached opts cfg.variant (Registry.name nl.op) in
   let per_channel = Compiler.per_channel_cycles compiled ~dim:nl.dim in
   let prologue =
     Compiler.pass_cycles compiled ~n:nl.dim - per_channel

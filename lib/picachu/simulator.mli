@@ -25,6 +25,10 @@ type config = {
   vector : int;  (** 1 = FP16 path, 4 = INT16 4-lane path *)
   double_buffering : bool;  (** ablation knob (§4.2.3) *)
   nl_parallel : int;  (** CGRA instance count (A100-scale configs) *)
+  variant : Picachu_ir.Kernels.variant;
+      (** which kernel library + compile options feed the CGRA: [Picachu]
+          (fused, special FUs, tuned unrolling — the default) or [Baseline]
+          (primitive-only kernels, no fusion) — the degraded serving tier *)
 }
 
 val default_config : ?buffer_kb:float -> ?vector:int -> unit -> config

@@ -1,0 +1,255 @@
+(* Fault injection, the typed error channel, and graceful degradation:
+   a [Fault.none] injector must be invisible (bit-identical to the hook-free
+   executor path), unmappable compilations must carry per-candidate reasons
+   and be cached negatively, serving must walk the fallback tier ladder and
+   always answer, and fault campaigns must be bit-identical across
+   domain-pool sizes. *)
+open Picachu
+module Kernels = Picachu_ir.Kernels
+module Kernel = Picachu_ir.Kernel
+module Interp = Picachu_ir.Interp
+module Arch = Picachu_cgra.Arch
+module Fault = Picachu_cgra.Fault
+module Parallel = Picachu_parallel.Parallel
+module Gpu = Picachu_llm.Gpu_model
+module Mz = Picachu_llm.Model_zoo
+
+let qtest = QCheck_alcotest.to_alcotest
+let n = 24
+
+let env_for (k : Kernel.t) =
+  let arrays =
+    List.map
+      (fun name ->
+        ( name,
+          match name with
+          | "angle" -> Array.init n (fun i -> (float_of_int i /. 20.0) -. 0.5)
+          | _ -> Array.init n (fun i -> ((float_of_int (i * 7) /. 11.0) -. 3.0) /. 2.0) ))
+      k.Kernel.inputs
+  in
+  { Interp.arrays; scalars = [ ("n", float_of_int n) ] }
+
+let bits = Int64.bits_of_float
+
+(* ------------------------------------------------ zero-fault determinism *)
+
+let test_none_injector_invisible () =
+  let opts = Compiler.picachu_options () in
+  List.iter
+    (fun name ->
+      let compiled = Compiler.cached opts Kernels.Picachu name in
+      let env = env_for compiled.Compiler.kernel in
+      let plain = (Hw_sim.run compiled env).Hw_sim.result in
+      let inj = Fault.injector ~salt:3 Fault.none in
+      let hooked = (Hw_sim.run ~fault:inj compiled env).Hw_sim.result in
+      List.iter2
+        (fun (na, a) (nb, b) ->
+          Alcotest.(check string) "stream name" na nb;
+          Array.iteri
+            (fun i v ->
+              if bits v <> bits b.(i) then
+                Alcotest.failf "%s: %s[%d] differs under Fault.none" name na i)
+            a)
+        plain.Interp.out_arrays hooked.Interp.out_arrays;
+      List.iter2
+        (fun (na, a) (nb, b) ->
+          Alcotest.(check string) "scalar name" na nb;
+          if bits a <> bits b then Alcotest.failf "%s: scalar %s differs" name na)
+        plain.Interp.out_scalars hooked.Interp.out_scalars;
+      Alcotest.(check int)
+        "no faults charged" 0
+        (Fault.total (Fault.counts inj)))
+    [ "relu"; "gelu"; "silu"; "softmax"; "layernorm"; "rmsnorm"; "rope" ]
+
+(* ------------------------------------------------- typed compile failures *)
+
+let test_unmappable_carries_reasons () =
+  (* the Picachu-variant kernels need LUT/FP2FX tiles; the homogeneous
+     baseline fabric has none, so every unroll candidate must fail and say
+     why *)
+  let opts = Compiler.picachu_options ~arch:(Arch.baseline ()) () in
+  match Compiler.compile_result opts (Kernels.by_name Kernels.Picachu "gelu") with
+  | Ok _ -> Alcotest.fail "picachu gelu should not map on the baseline fabric"
+  | Error (Picachu_error.Unmappable { kernel; reasons }) ->
+      Alcotest.(check string) "kernel name" "gelu" kernel;
+      Alcotest.(check (list int))
+        "one reason per unroll candidate, in order" [ 1; 2; 4 ]
+        (List.map fst reasons);
+      List.iter
+        (fun (uf, msg) ->
+          if String.length msg = 0 then Alcotest.failf "empty reason for uf=%d" uf)
+        reasons
+  | Error e -> Alcotest.failf "unexpected error: %s" (Picachu_error.to_string e)
+
+let test_unknown_kernel_typed () =
+  match Compiler.cached_result (Compiler.picachu_options ()) Kernels.Picachu "nope" with
+  | Error (Picachu_error.Unknown_kernel "nope") -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Picachu_error.to_string e)
+  | Ok _ -> Alcotest.fail "unknown kernel compiled?"
+
+let test_negative_caching () =
+  let opts = Compiler.picachu_options ~arch:(Arch.baseline ()) () in
+  let expect_unmappable = function
+    | Error (Picachu_error.Unmappable _) -> ()
+    | Error e -> Alcotest.failf "unexpected error: %s" (Picachu_error.to_string e)
+    | Ok _ -> Alcotest.fail "expected an unmappable kernel"
+  in
+  expect_unmappable (Compiler.cached_result opts Kernels.Picachu "softmax");
+  let before = Compiler.compile_count () in
+  expect_unmappable (Compiler.cached_result opts Kernels.Picachu "softmax");
+  Alcotest.(check int)
+    "failure answered from the cache, no recompilation" before
+    (Compiler.compile_count ())
+
+(* --------------------------------------------------- fallback tier ladder *)
+
+let small_req = { Serving.prompt = 64; generate = 8 }
+
+let check_tier msg expected tier =
+  Alcotest.(check string) msg expected (Serving.tier_name tier)
+
+let test_fallback_lands_on_baseline () =
+  let cfg =
+    { (Simulator.default_config ()) with Simulator.arch = Arch.baseline () }
+  in
+  let a = Serving.robust_costs cfg Mz.gpt2_xl small_req in
+  check_tier "served by" "baseline-cgra" a.Serving.served_by;
+  (match a.Serving.fallbacks with
+  | [ f ] ->
+      check_tier "failed tier" "fused" f.Serving.failed_tier;
+      (match f.Serving.error with
+      | Picachu_error.Unmappable _ -> ()
+      | e -> Alcotest.failf "expected Unmappable, got %s" (Picachu_error.to_string e))
+  | l -> Alcotest.failf "expected exactly one fallback, got %d" (List.length l));
+  Alcotest.(check int) "structural failure: no retries" 0 a.Serving.retries
+
+let fail_with e = fun _ -> raise (Picachu_error.Error e)
+
+let test_fallback_lands_on_roofline () =
+  let fused_calls = ref 0 in
+  let a =
+    Serving.robust_costs_with
+      [
+        ( Serving.Fused,
+          fun r ->
+            incr fused_calls;
+            fail_with (Picachu_error.Mapping_failed "forced") r );
+        (Serving.Baseline_cgra, fail_with (Picachu_error.Unknown_kernel "forced"));
+        (Serving.Roofline, fun r -> Serving.gpu_costs Gpu.a100 Mz.gpt2_xl r);
+      ]
+      small_req
+  in
+  check_tier "served by" "roofline" a.Serving.served_by;
+  Alcotest.(check int) "both CGRA tiers recorded" 2 (List.length a.Serving.fallbacks);
+  Alcotest.(check (list string))
+    "failure order" [ "fused"; "baseline-cgra" ]
+    (List.map (fun f -> Serving.tier_name f.Serving.failed_tier) a.Serving.fallbacks);
+  Alcotest.(check int) "structural errors are not retried" 1 !fused_calls
+
+let test_all_tiers_failed_raises () =
+  match
+    Serving.robust_costs_with
+      [
+        (Serving.Fused, fail_with (Picachu_error.Mapping_failed "a"));
+        (Serving.Baseline_cgra, fail_with (Picachu_error.Execution_fault "b"));
+      ]
+      small_req
+  with
+  | _ -> Alcotest.fail "expected All_tiers_failed"
+  | exception Picachu_error.Error (Picachu_error.All_tiers_failed l) ->
+      Alcotest.(check (list string))
+        "every tier recorded" [ "fused"; "baseline-cgra" ] (List.map fst l)
+
+let test_transient_errors_retried () =
+  let attempts = ref 0 in
+  let flaky r =
+    incr attempts;
+    if !attempts <= 2 then
+      fail_with (Picachu_error.Execution_fault "bit flip") r
+    else Serving.gpu_costs Gpu.a100 Mz.gpt2_xl r
+  in
+  let a =
+    Serving.robust_costs_with ~budget:2 [ (Serving.Fused, flaky) ] small_req
+  in
+  check_tier "recovered in-tier" "fused" a.Serving.served_by;
+  Alcotest.(check int) "retries counted" 2 a.Serving.retries;
+  Alcotest.(check int) "no fallback recorded" 0 (List.length a.Serving.fallbacks)
+
+(* ------------------------------------------------------ campaign behavior *)
+
+let test_zero_rate_never_corrected =
+  let compiled =
+    Compiler.cached (Compiler.picachu_options ()) Kernels.Picachu "gelu"
+  in
+  let env = env_for compiled.Compiler.kernel in
+  qtest
+    (QCheck.Test.make ~name:"zero-fault DMR is always Clean" ~count:30
+       (QCheck.pair (QCheck.int_bound 500) (QCheck.int_bound 3))
+       (fun (salt, budget) ->
+         let t = Resilience.run_trial ~budget ~fault:Fault.none ~salt compiled env in
+         t.Resilience.verdict = Resilience.Clean
+         && Fault.total t.Resilience.injected = 0
+         && t.Resilience.executions = 2))
+
+let campaign_fault = Fault.uniform ~seed:77 0.01
+
+let campaign_at_pool_size size =
+  Parallel.with_pool ~size (fun () ->
+      Resilience.campaign ~trials:3 ~n:16 ~kernels:[ "relu"; "gelu" ]
+        ~fault:campaign_fault ())
+
+let test_campaign_pool_size_invariant () =
+  let s1 = campaign_at_pool_size 1 in
+  let s2 = campaign_at_pool_size 2 in
+  let s4 = campaign_at_pool_size 4 in
+  Alcotest.(check bool) "pool 1 = pool 2" true (s1 = s2);
+  Alcotest.(check bool) "pool 1 = pool 4" true (s1 = s4)
+
+let test_campaign_pinned () =
+  (* the campaign is a pure function of (seed, rate, roster): pin one point
+     so a silent change to the sampling or salting scheme is caught *)
+  let s = campaign_at_pool_size 2 in
+  Alcotest.(check int) "trials" 6 s.Resilience.trials;
+  Alcotest.(check int) "injected" 116 s.Resilience.injected;
+  Alcotest.(check int) "detected" 6 s.Resilience.detected;
+  Alcotest.(check int) "corrected" 1 s.Resilience.corrected;
+  Alcotest.(check int) "silent" 0 s.Resilience.silent;
+  Alcotest.(check int) "uncorrected" 5 s.Resilience.uncorrected;
+  Alcotest.(check int) "executions" 44 s.Resilience.executions
+
+let test_seeded_campaign_completes () =
+  (* a positive-rate campaign must classify every trial, never raise *)
+  let s =
+    Resilience.campaign ~trials:2 ~n:16 ~fault:(Fault.uniform ~seed:5 0.002) ()
+  in
+  Alcotest.(check int) "all trials classified" s.Resilience.trials
+    (s.Resilience.clean + s.Resilience.masked + s.Resilience.corrected
+   + s.Resilience.silent + s.Resilience.uncorrected);
+  Alcotest.(check bool) "faults were injected" true (s.Resilience.injected > 0)
+
+let suite =
+  [
+    ( "resilience",
+      [
+        Alcotest.test_case "Fault.none is invisible" `Quick
+          test_none_injector_invisible;
+        Alcotest.test_case "unmappable reasons per candidate" `Quick
+          test_unmappable_carries_reasons;
+        Alcotest.test_case "unknown kernel typed" `Quick test_unknown_kernel_typed;
+        Alcotest.test_case "negative caching" `Quick test_negative_caching;
+        Alcotest.test_case "fallback lands on baseline" `Quick
+          test_fallback_lands_on_baseline;
+        Alcotest.test_case "fallback lands on roofline" `Quick
+          test_fallback_lands_on_roofline;
+        Alcotest.test_case "all tiers failed raises" `Quick
+          test_all_tiers_failed_raises;
+        Alcotest.test_case "transient errors retried" `Quick
+          test_transient_errors_retried;
+        test_zero_rate_never_corrected;
+        Alcotest.test_case "campaign pool-size invariant" `Quick
+          test_campaign_pool_size_invariant;
+        Alcotest.test_case "campaign pinned point" `Quick test_campaign_pinned;
+        Alcotest.test_case "seeded campaign completes" `Quick
+          test_seeded_campaign_completes;
+      ] );
+  ]
