@@ -13,6 +13,12 @@ dune build
 echo "== tier-1 tests =="
 dune runtest
 
+echo "== static verification sweep =="
+# whole kernel library through the independent verifier (IR lint, DFG
+# invariants, schedule validation, range analysis); non-zero exit on any
+# Error-severity finding
+dune exec bin/picachu_cli.exe -- lint
+
 echo "== fault campaign smoke =="
 dune exec examples/fault_campaign.exe -- 0.002 7
 

@@ -3,6 +3,7 @@
    Subcommands:
      experiments [ID...]   reproduce the paper's tables/figures (default all)
      compile KERNEL        compile a library kernel and show IR/DFG/mapping
+     lint [KERNEL...]      static verification sweep (default: whole library)
      arch                  print the architecture instances and cost model
      models [--seq N]      print the workload inventory of the LLM zoo
      simulate MODEL        end-to-end PICACHU simulation of one model *)
@@ -19,6 +20,9 @@ module Cost = Picachu_cgra.Cost
 module Mz = Picachu_llm.Model_zoo
 module Workload = Picachu_llm.Workload
 module Dataflow = Picachu_memory.Dataflow
+module Verify = Picachu_verify.Verify
+module Range = Picachu_verify.Range
+module Finding = Picachu_verify.Finding
 open Picachu
 
 (* ------------------------------------------------------------ experiments *)
@@ -100,6 +104,85 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a nonlinear kernel onto the CGRA.")
     Term.(const run $ kernel_arg $ baseline $ unroll $ vector $ show_ir)
+
+(* ------------------------------------------------------------------ lint *)
+
+let lint_cmd =
+  let kernels_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"KERNEL"
+           ~doc:"Kernels to verify (default: the whole library, both variants, \
+                 plus the future-operation extras).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ]
+           ~doc:"Also print Info-severity findings (precision advisories).")
+  in
+  let run names verbose =
+    let library variant = Kernels.all variant @ Kernels.extras variant in
+    let roster =
+      match names with
+      | [] ->
+          List.concat_map
+            (fun variant -> List.map (fun k -> (variant, k)) (library variant))
+            [ Kernels.Picachu; Kernels.Baseline ]
+      | names ->
+          List.map
+            (fun name ->
+              match
+                List.find_opt (fun k -> k.Kernel.name = name) (library Kernels.Picachu)
+              with
+              | Some k -> (Kernels.Picachu, k)
+              | None ->
+                  Printf.eprintf "unknown kernel %s\n" name;
+                  exit 2)
+            names
+    in
+    let errors = ref 0 and warnings = ref 0 and infos = ref 0 in
+    let report findings =
+      List.iter
+        (fun (f : Finding.t) ->
+          (match f.Finding.severity with
+          | Finding.Error -> incr errors
+          | Finding.Warning -> incr warnings
+          | Finding.Info -> incr infos);
+          if verbose || f.Finding.severity <> Finding.Info then
+            Format.printf "  %a@." Finding.pp f)
+        findings
+    in
+    List.iter
+      (fun (variant, (k : Kernel.t)) ->
+        let vname = match variant with Kernels.Picachu -> "picachu" | Kernels.Baseline -> "baseline" in
+        Printf.printf "%s (%s)\n" k.Kernel.name vname;
+        report (Verify.lint_kernel k);
+        let opts =
+          match variant with
+          | Kernels.Picachu -> Compiler.picachu_options ()
+          | Kernels.Baseline -> Compiler.baseline_options ()
+        in
+        (match Compiler.compile_result opts k with
+        | Ok c ->
+            List.iter
+              (fun (cl : Compiler.compiled_loop) ->
+                report
+                  (Verify.check_loop ~arch:opts.Compiler.arch
+                     ~source:cl.Compiler.source cl.Compiler.dfg cl.Compiler.mapping))
+              c.Compiler.loops
+        | Error e ->
+            incr errors;
+            Printf.printf "  error[compile] %s\n" (Picachu_error.to_string e));
+        report (Range.analyze k))
+      roster;
+    Printf.printf "%d kernel(s): %d error(s), %d warning(s), %d advisory(ies)\n"
+      (List.length roster) !errors !warnings !infos;
+    if !errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the independent static verifier (IR lint, DFG invariants, \
+             schedule validation, fixed-point range analysis) over library \
+             kernels.  Exits non-zero when any Error-severity finding \
+             survives.")
+    Term.(const run $ kernels_arg $ verbose)
 
 (* ---------------------------------------------------------------- dump *)
 
@@ -290,4 +373,4 @@ let simulate_cmd =
 let () =
   let doc = "PICACHU: plug-in CGRA for nonlinear operations in LLMs (ASPLOS'25 reproduction)" in
   let info = Cmd.info "picachu" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; lint_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd ]))

@@ -38,6 +38,17 @@ let unroll uf (loop : Kernel.loop) =
       id
     in
     let maps = Array.init uf (fun _ -> Array.make count (-1)) in
+    (* a constant or scalar input is worth copying only if something we keep
+       consumes it: the excluded skeleton ops are re-synthesized around a
+       fresh [uf] constant, so e.g. the old induction step literal would
+       otherwise survive as a dead instruction *)
+    let keep = Array.make count false in
+    Array.iter
+      (fun (i : Instr.t) ->
+        if not (excluded i.id) then List.iter (fun a -> keep.(a) <- true) i.args)
+      body;
+    keep.(sk.bound_id) <- true;
+    List.iter (fun (_, id) -> keep.(id) <- true) loop.exports;
     (* phis other than the induction variable are reduction accumulators *)
     let reduction_phis = ref [] in
     for j = 0 to uf - 1 do
@@ -48,7 +59,8 @@ let unroll uf (loop : Kernel.loop) =
             let m a = maps.(j).(a) in
             match i.op with
             | Op.Const _ | Op.Input _ ->
-                maps.(j).(i.id) <- (if j = 0 then emit i.op [] else maps.(0).(i.id))
+                if keep.(i.id) then
+                  maps.(j).(i.id) <- (if j = 0 then emit i.op [] else maps.(0).(i.id))
             | Op.Phi when i.id = sk.iv_phi_id ->
                 maps.(j).(i.id) <-
                   (if j = 0 then

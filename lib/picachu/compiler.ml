@@ -5,6 +5,8 @@ module Dfg = Picachu_dfg.Dfg
 module Fuse = Picachu_dfg.Fuse
 module Arch = Picachu_cgra.Arch
 module Mapper = Picachu_cgra.Mapper
+module Verify = Picachu_verify.Verify
+module Finding = Picachu_verify.Finding
 
 type options = {
   arch : Arch.t;
@@ -83,6 +85,35 @@ let compile_runs = Atomic.make 0
 
 let compile_count () = Atomic.get compile_runs
 
+(* Independent re-validation of everything a compile emits: the (possibly
+   unrolled/vectorized) kernel IR, each loop's DFG against its source, and
+   each modulo schedule against the architecture.  Only Error-severity
+   findings gate; advisory Warnings (dead lane placeholders from the
+   division vector split, conservative range flags) do not block. *)
+let verify_compiled (opts : options) (c : compiled) =
+  let structural =
+    List.concat_map
+      (fun cl ->
+        Verify.check_loop ~arch:opts.arch ~source:cl.source cl.dfg cl.mapping)
+      c.loops
+  in
+  Finding.errors (Verify.lint_kernel c.kernel @ structural)
+
+let gate_result (opts : options) (k : Kernel.t) = function
+  | Error _ as e -> e
+  | Ok c as ok ->
+      if not (Verify.enabled ()) then ok
+      else (
+        match verify_compiled opts c with
+        | [] -> ok
+        | errs ->
+            Error
+              (Picachu_error.Verification_failed
+                 {
+                   kernel = k.Kernel.name;
+                   findings = List.map Finding.to_string errs;
+                 }))
+
 let compile_result (opts : options) (k : Kernel.t) =
   Atomic.incr compile_runs;
   let candidates =
@@ -100,11 +131,14 @@ let compile_result (opts : options) (k : Kernel.t) =
           | _ -> best := Some (compiled, cost))
       | exception Mapper.Unmappable msg -> failed := (uf, msg) :: !failed)
     candidates;
-  match !best with
-  | Some (c, _) -> Ok c
-  | None ->
-      Error
-        (Picachu_error.Unmappable { kernel = k.Kernel.name; reasons = List.rev !failed })
+  let result =
+    match !best with
+    | Some (c, _) -> Ok c
+    | None ->
+        Error
+          (Picachu_error.Unmappable { kernel = k.Kernel.name; reasons = List.rev !failed })
+  in
+  gate_result opts k result
 
 let compile (opts : options) (k : Kernel.t) =
   match compile_result opts k with

@@ -56,6 +56,15 @@ val compile_result : options -> Kernel.t -> (compiled, Picachu_error.t) result
 val compile : options -> Kernel.t -> compiled
 (** [compile_result] unwrapped; raises {!Picachu_error.Error} on failure. *)
 
+val verify_compiled : options -> compiled -> Picachu_verify.Finding.t list
+(** Error-severity findings from the independent validator
+    ({!Picachu_verify.Verify}) over everything a compile emitted: the
+    transformed kernel IR, each loop's DFG against its source, and each
+    modulo schedule against the architecture.  [[]] means the compile
+    verifies clean.  When the [PICACHU_VERIFY] environment knob is set,
+    {!compile_result} runs this on every success and converts a non-empty
+    result into [Error (Verification_failed _)]. *)
+
 val pass_cycles : compiled -> n:int -> int
 (** One pass of the whole kernel (all loops) over [n] elements. *)
 

@@ -7,13 +7,16 @@ type t =
   | Unknown_kernel of string
   | Execution_fault of string
   | Timing_violation of string
+  | Verification_failed of { kernel : string; findings : string list }
   | All_tiers_failed of (string * t) list
 
 exception Error of t
 
 let transient = function
   | Execution_fault _ | Timing_violation _ -> true
-  | Unmappable _ | Mapping_failed _ | Unknown_kernel _ | All_tiers_failed _ -> false
+  | Unmappable _ | Mapping_failed _ | Unknown_kernel _ | Verification_failed _
+  | All_tiers_failed _ ->
+      false
 
 let of_exn = function
   | Error e -> Some e
@@ -31,6 +34,9 @@ let rec to_string = function
   | Unknown_kernel name -> "unknown kernel: " ^ name
   | Execution_fault msg -> "execution fault: " ^ msg
   | Timing_violation msg -> "timing violation: " ^ msg
+  | Verification_failed { kernel; findings } ->
+      Printf.sprintf "%s: static verification failed (%s)" kernel
+        (String.concat "; " findings)
   | All_tiers_failed tiers ->
       "all serving tiers failed: "
       ^ String.concat "; "

@@ -25,6 +25,10 @@ type t =
   | Execution_fault of string
       (** DMR detected a fault and the retry budget is exhausted. *)
   | Timing_violation of string
+  | Verification_failed of { kernel : string; findings : string list }
+      (** The [PICACHU_VERIFY] gate: the independent validator rejected what
+          the compiler produced; [findings] are the pretty-printed
+          Error-severity findings. *)
   | All_tiers_failed of (string * t) list
       (** Every serving tier failed; payload pairs tier names with their
           final errors, in attempt order. *)

@@ -1,0 +1,54 @@
+type severity = Error | Warning | Info
+type pass = Lint | Dfg_check | Schedule_check | Range_check
+
+type loc = {
+  kernel : string option;
+  loop : string option;
+  node : int option;
+}
+
+type t = {
+  pass : pass;
+  severity : severity;
+  code : string;
+  loc : loc;
+  message : string;
+}
+
+let no_loc = { kernel = None; loop = None; node = None }
+
+let make ?kernel ?loop ?node pass severity ~code fmt =
+  Printf.ksprintf
+    (fun message -> { pass; severity; code; loc = { kernel; loop; node }; message })
+    fmt
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let pass_name = function
+  | Lint -> "lint"
+  | Dfg_check -> "dfg"
+  | Schedule_check -> "schedule"
+  | Range_check -> "range"
+
+let pp_loc fmt loc =
+  let parts =
+    List.filter_map Fun.id
+      [
+        loc.kernel;
+        loc.loop;
+        Option.map (Printf.sprintf "%%%d") loc.node;
+      ]
+  in
+  match parts with
+  | [] -> ()
+  | l -> Format.fprintf fmt " %s" (String.concat " " l)
+
+let pp fmt f =
+  Format.fprintf fmt "%s[%s/%s]%a: %s" (severity_name f.severity) (pass_name f.pass)
+    f.code pp_loc f.loc f.message
+
+let to_string f = Format.asprintf "%a" pp f
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+let count sev fs = List.length (List.filter (fun f -> f.severity = sev) fs)
+let has_code code fs = List.exists (fun f -> f.code = code) fs
+let codes fs = List.sort_uniq compare (List.map (fun f -> f.code) fs)

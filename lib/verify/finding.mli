@@ -1,0 +1,53 @@
+(** Typed findings produced by the static-verification passes.
+
+    Every pass of {!Verify} and {!Range} reports through this one channel: a
+    finding carries the pass that produced it, a severity, a stable
+    machine-readable [code] (e.g. ["slot-collision"], ["fx-overflow"]) that
+    tests and mutant oracles key on, a pretty-printable location, and a
+    human-readable message. *)
+
+type severity = Error | Warning | Info
+
+type pass = Lint | Dfg_check | Schedule_check | Range_check
+
+type loc = {
+  kernel : string option;
+  loop : string option;  (** loop label, e.g. ["softmax.2"] *)
+  node : int option;  (** instruction id or DFG node id *)
+}
+
+type t = {
+  pass : pass;
+  severity : severity;
+  code : string;  (** stable finding class, kebab-case *)
+  loc : loc;
+  message : string;
+}
+
+val no_loc : loc
+
+val make :
+  ?kernel:string ->
+  ?loop:string ->
+  ?node:int ->
+  pass ->
+  severity ->
+  code:string ->
+  ('a, unit, string, t) format4 ->
+  'a
+(** [make ~loop:"softmax.2" ~node:4 Schedule_check Error ~code:"timing" fmt ...]
+    builds one finding with a printf-style message. *)
+
+val severity_name : severity -> string
+val pass_name : pass -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val errors : t list -> t list
+(** The Error-severity subset — what gates compilation and the lint CLI's
+    exit code. *)
+
+val count : severity -> t list -> int
+val has_code : string -> t list -> bool
+val codes : t list -> string list
+(** Distinct codes present, sorted. *)

@@ -1,0 +1,358 @@
+module Op = Picachu_ir.Op
+module Instr = Picachu_ir.Instr
+module Kernel = Picachu_ir.Kernel
+module Fx = Picachu_numerics.Fixed_point
+module Lut = Picachu_numerics.Lut
+
+(* ----------------------------------------------------------- interval domain *)
+
+type itv = { lo : float; hi : float }
+
+let top = { lo = neg_infinity; hi = infinity }
+let point v = { lo = v; hi = v }
+let make lo hi = if lo <= hi then { lo; hi } else { lo = hi; hi = lo }
+let is_finite i = Float.is_finite i.lo && Float.is_finite i.hi
+let join a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let guard i = if Float.is_nan i.lo || Float.is_nan i.hi then top else i
+
+(* 0 * inf = 0 under interval multiplication (the zero operand is exact) *)
+let mul_bound a b = if a = 0.0 || b = 0.0 then 0.0 else a *. b
+
+let add_i a b = guard { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+let sub_i a b = guard { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
+
+let mul_i a b =
+  let p1 = mul_bound a.lo b.lo
+  and p2 = mul_bound a.lo b.hi
+  and p3 = mul_bound a.hi b.lo
+  and p4 = mul_bound a.hi b.hi in
+  guard
+    {
+      lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
+      hi = Float.max (Float.max p1 p2) (Float.max p3 p4);
+    }
+
+let contains_zero i = i.lo <= 0.0 && i.hi >= 0.0
+
+let div_i a b =
+  if contains_zero b then top
+  else
+    let p1 = a.lo /. b.lo and p2 = a.lo /. b.hi and p3 = a.hi /. b.lo and p4 = a.hi /. b.hi in
+    guard
+      {
+        lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
+        hi = Float.max (Float.max p1 p2) (Float.max p3 p4);
+      }
+
+let max_i a b = { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi }
+let min_i a b = { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi }
+let neg_i a = { lo = -.a.hi; hi = -.a.lo }
+
+let abs_i a =
+  if a.lo >= 0.0 then a
+  else if a.hi <= 0.0 then neg_i a
+  else { lo = 0.0; hi = Float.max (-.a.lo) a.hi }
+
+let floor_i a = { lo = Float.floor a.lo; hi = Float.floor a.hi }
+
+let binop_i (op : Op.binop) a b =
+  match op with
+  | Op.Add -> add_i a b
+  | Op.Sub -> sub_i a b
+  | Op.Mul -> mul_i a b
+  | Op.Div -> div_i a b
+  | Op.Max -> max_i a b
+  | Op.Min -> min_i a b
+
+(* ldexp over an interval: 2^round(e) with the exponent clamped to the FP32
+   field the FP2FX unit produces *)
+let shift_exp_i a e =
+  let clamp v = Float.max (-150.0) (Float.min 129.0 v) in
+  let p_lo = Float.ldexp 1.0 (int_of_float (Float.floor (clamp (e.lo -. 0.5)))) in
+  let p_hi = Float.ldexp 1.0 (int_of_float (Float.ceil (clamp (e.hi +. 0.5)))) in
+  mul_i a (make p_lo p_hi)
+
+(* --------------------------------------------------------------- configuration *)
+
+type config = {
+  fmt : Fx.fmt;
+  stream_ranges : (string * (float * float)) list;
+  default_stream : float * float;
+  default_scalar : float * float;
+  trip_max : int;
+}
+
+let default_config =
+  {
+    (* dynamic fixed point with a Q8.8 view of the INT16 lane: 8 integer
+       bits of headroom above the unit-interval activations *)
+    fmt = Fx.fmt ~total_bits:16 ~frac_bits:8;
+    stream_ranges = [];
+    default_stream = (-2.0, 2.0);
+    default_scalar = (-2.0, 2.0);
+    trip_max = 1024;
+  }
+
+let fx_bounds fmt =
+  (Fx.to_float fmt (Fx.min_int_value fmt), Fx.to_float fmt (Fx.max_int_value fmt))
+
+(* --------------------------------------------------------- abstract execution *)
+
+let eval_sexpr scalars e =
+  let rec go = function
+    | Kernel.Svar s -> ( match List.assoc_opt s scalars with Some i -> i | None -> top)
+    | Kernel.Sconst v -> point v
+    | Kernel.Sbin (op, a, b) -> binop_i op (go a) (go b)
+    | Kernel.Sisqrt e ->
+        let i = go e in
+        if i.hi <= 0.0 then top
+        else
+          let hi = if i.lo > 0.0 then 1.0 /. sqrt i.lo else infinity in
+          guard { lo = 1.0 /. sqrt i.hi; hi }
+  in
+  go e
+
+(* The loop-control skeleton (induction phi, its increment, the bound
+   compare, the branch and the trip-count register) lives on the integer
+   control path of the BrT tiles, not the fixed-point data path; exclude it
+   from format checks.  Derived independently of [Transform.find_skeleton]. *)
+let skeleton_ids (body : Instr.t array) =
+  match
+    Array.find_opt (fun (i : Instr.t) -> i.Instr.op = Op.Br) body
+  with
+  | None -> []
+  | Some br -> (
+      match br.Instr.args with
+      | [ cmp_id ] when cmp_id >= 0 && cmp_id < Array.length body -> (
+          let cmp = body.(cmp_id) in
+          match cmp.Instr.args with
+          | [ iv_add_id; bound_id ]
+            when iv_add_id >= 0 && iv_add_id < Array.length body -> (
+              let iv_add = body.(iv_add_id) in
+              match iv_add.Instr.args with
+              | iv_phi_id :: _ ->
+                  [ br.Instr.id; cmp_id; iv_add_id; bound_id; iv_phi_id ]
+              | [] -> [ br.Instr.id; cmp_id; iv_add_id; bound_id ])
+          | _ -> [ br.Instr.id; cmp_id ])
+      | _ -> [ br.Instr.id ])
+
+let lut_i name a =
+  match name with
+  | "phi" ->
+      (* the Gaussian CDF is monotone; evaluate the table at the endpoints *)
+      let t = Lazy.force Lut.gauss_cdf in
+      guard (make (Lut.eval t a.lo) (Lut.eval t a.hi))
+  | _ -> top
+
+(* One abstract iteration of the loop body.  [phi_value] supplies the value
+   a phi observes this iteration. *)
+let eval_body (body : Instr.t array) ~lookup_stream ~lookup_scalar ~phi_value =
+  let count = Array.length body in
+  let values = Array.make count top in
+  Array.iter
+    (fun (i : Instr.t) ->
+      let arg k =
+        match List.nth_opt i.Instr.args k with
+        | Some a when a >= 0 && a < count -> values.(a)
+        | _ -> top
+      in
+      let v =
+        match i.Instr.op with
+        | Op.Const c -> point c
+        | Op.Input s -> lookup_scalar s
+        | Op.Phi -> phi_value i.Instr.id (arg 0)
+        | Op.Bin op -> binop_i op (arg 0) (arg 1)
+        | Op.Un Op.Neg -> neg_i (arg 0)
+        | Op.Un Op.Abs -> abs_i (arg 0)
+        | Op.Un Op.Floor -> floor_i (arg 0)
+        | Op.Cmp _ -> make 0.0 1.0
+        | Op.Select -> join (arg 1) (arg 2)
+        | Op.Load s -> lookup_stream s
+        | Op.Store _ -> arg 1
+        | Op.Fp2fx_int -> floor_i (arg 0)
+        | Op.Fp2fx_frac -> make 0.0 1.0
+        | Op.Shift_exp -> shift_exp_i (arg 0) (arg 1)
+        | Op.Lut name -> lut_i name (arg 0)
+        | Op.Br -> arg 0
+        | Op.Fused _ -> top
+      in
+      values.(i.Instr.id) <- v)
+    body;
+  values
+
+(* Abstract execution of one loop.  The transfer function is iterated with
+   accumulating joins until it stabilizes or [trip_max] rounds have run.
+   Because every concrete execution performs at most [trip_max] iterations
+   (the trip count is bounded by configuration), the joined state after
+   round k soundly covers every concrete run of up to k trips — so stopping
+   at the cap needs no widening heuristics and the result is still a sound
+   invariant.  Monotone accumulators (reduction sums) simply walk to their
+   trip-bounded extreme; multiplicative blowups walk to infinity and get
+   flagged as unbounded. *)
+let analyze_loop cfg ~streams ~scalars (loop : Kernel.loop) =
+  let body = Array.of_list loop.Kernel.body in
+  let count = Array.length body in
+  let scalars = ref scalars in
+  (* the trip-count scalar (the branch bound) is a positive element count *)
+  (match skeleton_ids body with
+  | _ :: _ :: _ :: bound_id :: _ when bound_id >= 0 && bound_id < count -> (
+      match (body.(bound_id)).Instr.op with
+      | Op.Input s -> scalars := (s, make 1.0 (float_of_int cfg.trip_max)) :: !scalars
+      | _ -> ())
+  | _ -> ());
+  List.iter
+    (fun (name, e) -> scalars := (name, eval_sexpr !scalars e) :: !scalars)
+    loop.Kernel.pre;
+  let lookup_stream s =
+    match Hashtbl.find_opt streams s with
+    | Some i -> i
+    | None ->
+        let lo, hi =
+          match List.assoc_opt s cfg.stream_ranges with
+          | Some r -> r
+          | None -> cfg.default_stream
+        in
+        make lo hi
+  in
+  let lookup_scalar s =
+    match List.assoc_opt s !scalars with
+    | Some i -> i
+    | None ->
+        let lo, hi =
+          match List.assoc_opt s cfg.stream_ranges with
+          | Some r -> r
+          | None -> cfg.default_scalar
+        in
+        make lo hi
+  in
+  let prev = ref None in
+  let phi_value id init =
+    match !prev with
+    | None -> init
+    | Some (p : itv array) ->
+        let carried =
+          match (body.(id)).Instr.args with
+          | [ _; next ] when next >= 0 && next < count -> p.(next)
+          | _ -> top
+        in
+        join init (join p.(id) carried)
+  in
+  let state = ref (Array.make count top) in
+  let run_iteration () =
+    let values = eval_body body ~lookup_stream ~lookup_scalar ~phi_value in
+    let joined =
+      match !prev with
+      | None -> values
+      | Some p -> Array.mapi (fun i v -> join p.(i) v) values
+    in
+    let stable = match !prev with Some p -> Array.for_all2 equal p joined | None -> false in
+    prev := Some joined;
+    state := joined;
+    stable
+  in
+  let iters = ref 0 in
+  let stable = ref false in
+  while (not !stable) && !iters <= cfg.trip_max do
+    stable := run_iteration ();
+    incr iters
+  done;
+  let values = !state in
+  (* record stores and exports for downstream loops *)
+  Array.iter
+    (fun (i : Instr.t) ->
+      match i.Instr.op with
+      | Op.Store s ->
+          let v = values.(i.Instr.id) in
+          let v =
+            match Hashtbl.find_opt streams s with Some old -> join old v | None -> v
+          in
+          Hashtbl.replace streams s v
+      | _ -> ())
+    body;
+  let exports =
+    List.map (fun (name, id) -> (name, values.(id))) loop.Kernel.exports
+  in
+  (values, exports @ !scalars)
+
+(* ------------------------------------------------------------------ findings *)
+
+let loop_findings cfg ~kernel (loop : Kernel.loop) (values : itv array) =
+  let body = Array.of_list loop.Kernel.body in
+  let skeleton = skeleton_ids body in
+  let fx_lo, fx_hi = fx_bounds cfg.fmt in
+  let step = Fx.to_float cfg.fmt 1 in
+  let fs = ref [] in
+  let add sev ~node code fmt =
+    Printf.ksprintf
+      (fun m ->
+        fs :=
+          Finding.make ~kernel ~loop:loop.Kernel.label ~node Finding.Range_check sev
+            ~code "%s" m
+          :: !fs)
+      fmt
+  in
+  Array.iter
+    (fun (i : Instr.t) ->
+      let id = i.Instr.id in
+      if not (List.mem id skeleton) then begin
+        let checked =
+          match i.Instr.op with
+          (* constants are configuration registers (wide, saturated at load
+             time); predicates are one bit; scalar inputs are checked where
+             the producing loop exports them *)
+          | Op.Const _ | Op.Input _ | Op.Cmp _ | Op.Br -> false
+          | _ -> true
+        in
+        if checked then begin
+          let v = values.(id) in
+          (match i.Instr.op with
+          | Op.Bin Op.Div ->
+              let denom =
+                match List.nth_opt i.Instr.args 1 with
+                | Some a when a >= 0 && a < Array.length values -> values.(a)
+                | _ -> top
+              in
+              if contains_zero denom then
+                add Finding.Warning ~node:id "div-by-zero"
+                  "divisor interval [%g, %g] contains zero" denom.lo denom.hi
+          | _ -> ());
+          if not (is_finite v) then
+            add Finding.Warning ~node:id "fx-unbounded" "%s value is unbounded: [%g, %g]"
+              (Op.name i.Instr.op) v.lo v.hi
+          else if v.lo < fx_lo || v.hi > fx_hi then
+            add Finding.Warning ~node:id "fx-overflow"
+              "%s range [%g, %g] exceeds Q%d.%d representable [%g, %g]"
+              (Op.name i.Instr.op) v.lo v.hi
+              (cfg.fmt.Fx.total_bits - cfg.fmt.Fx.frac_bits)
+              cfg.fmt.Fx.frac_bits fx_lo fx_hi
+          else if
+            Float.max (Float.abs v.lo) (Float.abs v.hi) < step
+            && not (v.lo = 0.0 && v.hi = 0.0)
+          then
+            add Finding.Info ~node:id "fx-precision"
+              "%s range [%g, %g] is below one quantum (%g): value flushes to zero"
+              (Op.name i.Instr.op) v.lo v.hi step
+        end
+      end)
+    body;
+  List.rev !fs
+
+let analyze ?(config = default_config) (k : Kernel.t) =
+  let streams = Hashtbl.create 8 in
+  let _, findings =
+    List.fold_left
+      (fun (scalars, acc) loop ->
+        let values, scalars' = analyze_loop config ~streams ~scalars loop in
+        let fs = loop_findings config ~kernel:k.Kernel.name loop values in
+        (scalars', acc @ fs))
+      ([], []) k.Kernel.loops
+  in
+  findings
+
+let significant fs =
+  List.filter
+    (fun (f : Finding.t) -> f.Finding.severity <> Finding.Info)
+    fs
+
+let safe ?config k = significant (analyze ?config k) = []

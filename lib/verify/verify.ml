@@ -1,0 +1,445 @@
+module Op = Picachu_ir.Op
+module Instr = Picachu_ir.Instr
+module Kernel = Picachu_ir.Kernel
+module Dfg = Picachu_dfg.Dfg
+module Arch = Picachu_cgra.Arch
+module Mapper = Picachu_cgra.Mapper
+
+let enabled () =
+  match Sys.getenv_opt "PICACHU_VERIFY" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | _ -> false
+
+(* ------------------------------------------------------------- IR linter *)
+
+(* Expected argument count per op.  Deliberately re-derived from the
+   interpreter's consumption pattern rather than shared with
+   [Kernel.validate]: the linter is the independent oracle, so the only
+   common ground with the checked code is the [Op.t] type itself.  [None]
+   means any arity is structurally admissible. *)
+let expected_arity (op : Op.t) =
+  match op with
+  | Op.Const _ | Op.Input _ -> Some 0
+  | Op.Bin _ | Op.Cmp _ | Op.Shift_exp | Op.Phi -> Some 2
+  | Op.Un _ | Op.Br | Op.Fp2fx_int | Op.Fp2fx_frac | Op.Lut _ -> Some 1
+  | Op.Select -> Some 3
+  | Op.Load _ -> Some 1 (* address phi *)
+  | Op.Store _ -> Some 2 (* address phi, value *)
+  | Op.Fused _ -> None
+
+let is_branch (op : Op.t) =
+  match op with Op.Br | Op.Fused Op.Cmp_br -> true | _ -> false
+
+let lint_loop ~kernel ~produced ~scalars (loop : Kernel.loop) =
+  let fs = ref [] in
+  let err ?node code fmt =
+    Printf.ksprintf
+      (fun m ->
+        fs :=
+          Finding.make ~kernel ~loop:loop.Kernel.label ?node Finding.Lint
+            Finding.Error ~code "%s" m
+          :: !fs)
+      fmt
+  in
+  let warn ?node code fmt =
+    Printf.ksprintf
+      (fun m ->
+        fs :=
+          Finding.make ~kernel ~loop:loop.Kernel.label ?node Finding.Lint
+            Finding.Warning ~code "%s" m
+          :: !fs)
+      fmt
+  in
+  let body = Array.of_list loop.Kernel.body in
+  let n = Array.length body in
+  (* dense, ordered ids *)
+  Array.iteri
+    (fun pos (i : Instr.t) ->
+      if i.Instr.id <> pos then
+        err ~node:i.Instr.id "dense-ids" "instruction at position %d has id %d" pos
+          i.Instr.id)
+    body;
+  (* per-instruction checks *)
+  let use_count = Array.make (Stdlib.max n 1) 0 in
+  Array.iteri
+    (fun pos (i : Instr.t) ->
+      let nargs = List.length i.Instr.args in
+      (match expected_arity i.Instr.op with
+      | Some a when a <> nargs ->
+          err ~node:pos "arity" "%s takes %d operands, found %d" (Op.name i.Instr.op) a
+            nargs
+      | _ -> ());
+      (match i.Instr.op with
+      | Op.Fused _ ->
+          warn ~node:pos "fused-in-ir"
+            "fused op %s in kernel IR (fusion is a DFG-level transform)"
+            (Op.name i.Instr.op)
+      | _ -> ());
+      List.iteri
+        (fun k a ->
+          if a < 0 || a >= n then
+            err ~node:pos "bad-arg" "operand %d references missing instruction %%%d" k a
+          else begin
+            use_count.(a) <- use_count.(a) + 1;
+            (* SSA def-before-use; the only legal forward reference is the
+               loop-carried operand of a phi *)
+            if a >= pos && not (i.Instr.op = Op.Phi && k = 1) then
+              err ~node:pos "forward-ref" "operand %%%d used before definition" a
+          end)
+        i.Instr.args;
+      (* memory checks *)
+      (match i.Instr.op with
+      | Op.Load s | Op.Store s ->
+          if i.Instr.offset < 0 || i.Instr.offset >= loop.Kernel.step then
+            err ~node:pos "offset-range" "offset %d outside [0, step=%d)" i.Instr.offset
+              loop.Kernel.step;
+          ignore s
+      | _ ->
+          if i.Instr.offset <> 0 then
+            warn ~node:pos "offset-range" "offset %d on non-memory op" i.Instr.offset);
+      (match i.Instr.op with
+      | Op.Load s ->
+          if not (List.mem s produced) then
+            err ~node:pos "undeclared-stream" "load from stream %s never produced" s
+      | Op.Store _ -> () (* declared-output check is done at kernel level *)
+      | Op.Input s ->
+          if not (List.mem s scalars) then
+            err ~node:pos "unbound-scalar" "scalar %s not live here" s
+      | _ -> ()))
+    body;
+  (* loop-control skeleton *)
+  let branches =
+    Array.to_list body |> List.filter (fun (i : Instr.t) -> is_branch i.Instr.op)
+  in
+  (match branches with
+  | [ _ ] -> ()
+  | l -> err "branch-count" "expected exactly one branch, found %d" (List.length l));
+  if loop.Kernel.step < 1 then err "bad-step" "step %d < 1" loop.Kernel.step;
+  if loop.Kernel.vector_width < 1 then
+    err "bad-step" "vector_width %d < 1" loop.Kernel.vector_width;
+  (* exports *)
+  List.iter
+    (fun (name, id) ->
+      if id < 0 || id >= n then
+        err "bad-export" "export %s references missing instruction %%%d" name id
+      else use_count.(id) <- use_count.(id) + 1)
+    loop.Kernel.exports;
+  (* dead definitions: a value no instruction consumes and no export
+     observes.  Stores and branches are effects, not values. *)
+  Array.iteri
+    (fun pos (i : Instr.t) ->
+      match i.Instr.op with
+      | Op.Store _ | Op.Br | Op.Fused Op.Cmp_br -> ()
+      | _ ->
+          if pos < Array.length use_count && use_count.(pos) = 0 then
+            warn ~node:pos "dead-def" "%s result is never used" (Op.name i.Instr.op))
+    body;
+  (* a loop with no store and no export computes nothing observable *)
+  let has_store =
+    Array.exists
+      (fun (i : Instr.t) -> match i.Instr.op with Op.Store _ -> true | _ -> false)
+      body
+  in
+  if (not has_store) && loop.Kernel.exports = [] then
+    warn "dead-loop" "loop has no stores and no exports";
+  List.rev !fs
+
+let lint_kernel (k : Kernel.t) =
+  let kernel = k.Kernel.name in
+  let fs = ref [] in
+  let kerr sev code fmt =
+    Printf.ksprintf
+      (fun m -> fs := Finding.make ~kernel Finding.Lint sev ~code "%s" m :: !fs)
+      fmt
+  in
+  (* walk loops in program order, tracking which streams have data and which
+     scalars are live — [Kernel.validate] checks only membership, the linter
+     additionally checks ordering (a loop may not read a stream an earlier
+     loop has not yet written). *)
+  let stored = Hashtbl.create 8 and loaded = Hashtbl.create 8 in
+  let _, _, loop_findings =
+    List.fold_left
+      (fun (produced, scalars, acc) (loop : Kernel.loop) ->
+        let scalars =
+          List.fold_left
+            (fun scalars (name, _) -> name :: scalars)
+            scalars loop.Kernel.pre
+        in
+        let lf = lint_loop ~kernel ~produced ~scalars loop in
+        List.iter
+          (fun (i : Instr.t) ->
+            match i.Instr.op with
+            | Op.Store s ->
+                Hashtbl.replace stored s ();
+                if not (List.mem s k.Kernel.outputs) then
+                  fs :=
+                    Finding.make ~kernel ~loop:loop.Kernel.label ~node:i.Instr.id
+                      Finding.Lint Finding.Error ~code:"undeclared-stream"
+                      "store to undeclared output %s" s
+                    :: !fs
+            | Op.Load s -> Hashtbl.replace loaded s ()
+            | _ -> ())
+          loop.Kernel.body;
+        let produced =
+          List.filter_map
+            (fun (i : Instr.t) ->
+              match i.Instr.op with Op.Store s -> Some s | _ -> None)
+            loop.Kernel.body
+          @ produced
+        in
+        let scalars = List.map fst loop.Kernel.exports @ scalars in
+        (produced, scalars, acc @ lf))
+      (k.Kernel.inputs, k.Kernel.scalar_inputs, [])
+      k.Kernel.loops
+  in
+  if k.Kernel.loops = [] then kerr Finding.Error "no-loops" "kernel has no loops";
+  List.iter
+    (fun out ->
+      if not (Hashtbl.mem stored out) then
+        kerr Finding.Warning "unstored-output" "declared output %s is never stored" out)
+    k.Kernel.outputs;
+  List.iter
+    (fun inp ->
+      if not (Hashtbl.mem loaded inp) then
+        kerr Finding.Warning "unused-input" "declared input %s is never loaded" inp)
+    k.Kernel.inputs;
+  loop_findings @ List.rev !fs
+
+(* --------------------------------------------------- DFG invariant checks *)
+
+let member_matches (a : Op.t) (b : Op.t) =
+  match (a, b) with
+  | Op.Cmp _, Op.Cmp _ -> true
+  | Op.Bin x, Op.Bin y -> x = y
+  | _ -> a = b
+
+let check_dfg ?source (g : Dfg.t) =
+  let fs = ref [] in
+  let add sev ?node code fmt =
+    Printf.ksprintf
+      (fun m ->
+        fs := Finding.make ~loop:g.Dfg.label ?node Finding.Dfg_check sev ~code "%s" m :: !fs)
+      fmt
+  in
+  let n = Dfg.node_count g in
+  Array.iteri
+    (fun i (node : Dfg.node) ->
+      if node.Dfg.id <> i then
+        add Finding.Error ~node:i "node-id" "node at index %d has id %d" i node.Dfg.id;
+      (* members must agree with the node's op *)
+      (match node.Dfg.op with
+      | Op.Fused f ->
+          let expect = Op.fused_members f in
+          if List.length node.Dfg.members <> List.length expect then
+            add Finding.Error ~node:i "member-count" "%s carries %d members, expected %d"
+              (Op.name node.Dfg.op)
+              (List.length node.Dfg.members)
+              (List.length expect)
+          else if not (List.for_all2 member_matches expect node.Dfg.members) then
+            add Finding.Error ~node:i "member-kind" "%s member kinds do not match pattern"
+              (Op.name node.Dfg.op)
+      | op ->
+          if node.Dfg.members <> [ op ] then
+            add Finding.Error ~node:i "member-count" "unfused node must carry exactly itself");
+      if List.length node.Dfg.origins <> List.length node.Dfg.members then
+        add Finding.Error ~node:i "origin-count" "%d origins for %d members"
+          (List.length node.Dfg.origins)
+          (List.length node.Dfg.members);
+      if
+        node.Dfg.vector
+        && not (g.Dfg.vector_width > 1 && List.for_all Op.is_vectorizable node.Dfg.members)
+      then
+        add Finding.Error ~node:i "vector-flag" "vector flag set on non-vectorizable node")
+    g.Dfg.nodes;
+  (* edges *)
+  let has_phi_member (node : Dfg.node) = List.mem Op.Phi node.Dfg.members in
+  List.iter
+    (fun (e : Dfg.edge) ->
+      if e.Dfg.src < 0 || e.Dfg.src >= n || e.Dfg.dst < 0 || e.Dfg.dst >= n then
+        add Finding.Error "edge-endpoint" "edge n%d -> n%d out of range" e.Dfg.src e.Dfg.dst
+      else begin
+        if e.Dfg.distance <> 0 && e.Dfg.distance <> 1 then
+          add Finding.Error ~node:e.Dfg.dst "edge-distance" "edge n%d -> n%d has distance %d"
+            e.Dfg.src e.Dfg.dst e.Dfg.distance;
+        if e.Dfg.distance > 0 && not (has_phi_member g.Dfg.nodes.(e.Dfg.dst)) then
+          add Finding.Error ~node:e.Dfg.dst "back-edge-target"
+            "loop-carried edge into non-phi node n%d (%s)" e.Dfg.dst
+            (Op.name g.Dfg.nodes.(e.Dfg.dst).Dfg.op);
+        if e.Dfg.src = e.Dfg.dst && e.Dfg.distance = 0 then
+          add Finding.Error ~node:e.Dfg.src "forward-cycle" "distance-0 self edge on n%d"
+            e.Dfg.src
+      end)
+    g.Dfg.edges;
+  (* acyclicity of the distance-0 subgraph (Kahn, independent of
+     [Dfg.topo_order] which raises instead of reporting) *)
+  let indeg = Array.make (Stdlib.max n 1) 0 in
+  let fwd =
+    List.filter
+      (fun (e : Dfg.edge) ->
+        e.Dfg.distance = 0 && e.Dfg.src >= 0 && e.Dfg.src < n && e.Dfg.dst >= 0
+        && e.Dfg.dst < n && e.Dfg.src <> e.Dfg.dst)
+      g.Dfg.edges
+  in
+  List.iter (fun (e : Dfg.edge) -> indeg.(e.Dfg.dst) <- indeg.(e.Dfg.dst) + 1) fwd;
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    incr seen;
+    List.iter
+      (fun (e : Dfg.edge) ->
+        if e.Dfg.src = u then begin
+          indeg.(e.Dfg.dst) <- indeg.(e.Dfg.dst) - 1;
+          if indeg.(e.Dfg.dst) = 0 then Queue.add e.Dfg.dst queue
+        end)
+      fwd
+  done;
+  if !seen <> n then
+    add Finding.Error "forward-cycle" "distance-0 subgraph is cyclic (%d of %d nodes sorted)"
+      !seen n;
+  (* origins against the source loop: every non-configuration instruction
+     appears exactly once, with the member op it claims *)
+  (match source with
+  | None -> ()
+  | Some (loop : Kernel.loop) ->
+      let body = Array.of_list loop.Kernel.body in
+      let count = Array.length body in
+      let covered = Array.make (Stdlib.max count 1) 0 in
+      Array.iteri
+        (fun i (node : Dfg.node) ->
+          List.iteri
+            (fun k origin ->
+              if origin < 0 || origin >= count then
+                add Finding.Error ~node:i "origin-range" "origin %%%d outside source loop"
+                  origin
+              else begin
+                covered.(origin) <- covered.(origin) + 1;
+                match List.nth_opt node.Dfg.members k with
+                | Some m when not (member_matches m body.(origin).Instr.op) ->
+                    add Finding.Error ~node:i "origin-mismatch"
+                      "member %s does not match source %%%d (%s)" (Op.name m) origin
+                      (Op.name body.(origin).Instr.op)
+                | _ -> ()
+              end)
+            node.Dfg.origins)
+        g.Dfg.nodes;
+      Array.iteri
+        (fun id (i : Instr.t) ->
+          let expected =
+            match i.Instr.op with Op.Const _ | Op.Input _ -> 0 | _ -> 1
+          in
+          if covered.(id) <> expected then
+            add Finding.Error ~node:id "origin-coverage"
+              "source %%%d (%s) claimed by %d nodes, expected %d" id (Op.name i.Instr.op)
+              covered.(id) expected)
+        body);
+  List.rev !fs
+
+(* ------------------------------------- modulo-schedule translation validator *)
+
+(* Re-derives the legality of a [Mapper.mapping] from first principles: the
+   only facts taken from the mapper are the claimed placements, II, and its
+   summary statistics (which are recounted). *)
+let check_mapping (arch : Arch.t) (g : Dfg.t) (m : Mapper.mapping) =
+  let fs = ref [] in
+  let add sev ?node code fmt =
+    Printf.ksprintf
+      (fun msg ->
+        fs :=
+          Finding.make ~loop:g.Dfg.label ?node Finding.Schedule_check sev ~code "%s" msg
+          :: !fs)
+      fmt
+  in
+  let n = Dfg.node_count g in
+  let tiles = Arch.tiles arch in
+  if m.Mapper.ii < 1 then add Finding.Error "ii-range" "II = %d" m.Mapper.ii;
+  if Array.length m.Mapper.schedule <> n then
+    add Finding.Error "schedule-size" "schedule covers %d nodes, DFG has %d"
+      (Array.length m.Mapper.schedule) n;
+  let bound = Stdlib.min n (Array.length m.Mapper.schedule) in
+  let placed u = u < bound in
+  let ii = Stdlib.max 1 m.Mapper.ii in
+  (* placements, capabilities, slot exclusivity: one issue per (tile, cycle
+     mod II) slot *)
+  let slots = Hashtbl.create 64 in
+  for u = 0 to bound - 1 do
+    let p = m.Mapper.schedule.(u) in
+    let op = g.Dfg.nodes.(u).Dfg.op in
+    if p.Mapper.time < 0 || p.Mapper.tile < 0 || p.Mapper.tile >= tiles then
+      add Finding.Error ~node:u "unplaced" "node n%d at (t=%d, tile=%d)" u p.Mapper.time
+        p.Mapper.tile
+    else begin
+      if not (Arch.supports arch ~tile:p.Mapper.tile op) then
+        if Op.is_memory op && not (Arch.has_mem_port arch p.Mapper.tile) then
+          add Finding.Error ~node:u "mem-port" "%s on tile %d: no Shared Buffer port"
+            (Op.name op) p.Mapper.tile
+        else
+          add Finding.Error ~node:u "capability" "%s not executable on tile %d (%s)"
+            (Op.name op) p.Mapper.tile
+            (Picachu_cgra.Fu.kind_name (Arch.tile_kind arch p.Mapper.tile));
+      let key = (p.Mapper.tile, p.Mapper.time mod ii) in
+      (match Hashtbl.find_opt slots key with
+      | Some other ->
+          add Finding.Error ~node:u "slot-collision"
+            "nodes n%d and n%d share tile %d slot %d (II=%d)" other u p.Mapper.tile
+            (p.Mapper.time mod ii) ii
+      | None -> Hashtbl.add slots key u)
+    end
+  done;
+  (* dependence inequality t(dst) >= t(src) + lat + hops - II*distance for
+     every edge; loop-carried self edges need lat <= II*distance *)
+  List.iter
+    (fun (e : Dfg.edge) ->
+      if placed e.Dfg.src && placed e.Dfg.dst then begin
+        let ps = m.Mapper.schedule.(e.Dfg.src) and pd = m.Mapper.schedule.(e.Dfg.dst) in
+        let lat = Arch.latency arch g.Dfg.nodes.(e.Dfg.src).Dfg.op in
+        if e.Dfg.src = e.Dfg.dst then begin
+          if lat > e.Dfg.distance * ii then
+            add Finding.Error ~node:e.Dfg.src "timing"
+              "self recurrence n%d: latency %d > II*distance = %d" e.Dfg.src lat
+              (e.Dfg.distance * ii)
+        end
+        else
+          let hops = Arch.distance arch ps.Mapper.tile pd.Mapper.tile in
+          let earliest = ps.Mapper.time + lat + hops - (e.Dfg.distance * ii) in
+          if pd.Mapper.time < earliest then
+            add Finding.Error ~node:e.Dfg.dst "timing"
+              "edge n%d@(t%d,tile%d) -> n%d@(t%d,tile%d): needs t >= %d (lat %d, hops \
+               %d, dist %d)"
+              e.Dfg.src ps.Mapper.time ps.Mapper.tile e.Dfg.dst pd.Mapper.time
+              pd.Mapper.tile earliest lat hops e.Dfg.distance
+      end)
+    g.Dfg.edges;
+  (* independent recount of the mapper's summary statistics *)
+  if Array.length m.Mapper.schedule = n then begin
+    let makespan =
+      let acc = ref 0 in
+      for u = 0 to n - 1 do
+        let p = m.Mapper.schedule.(u) in
+        acc :=
+          Stdlib.max !acc (p.Mapper.time + Arch.latency arch g.Dfg.nodes.(u).Dfg.op)
+      done;
+      !acc
+    in
+    if makespan <> m.Mapper.makespan then
+      add Finding.Error "makespan-mismatch" "recounted makespan %d, mapping claims %d"
+        makespan m.Mapper.makespan;
+    let hops =
+      List.fold_left
+        (fun acc (e : Dfg.edge) ->
+          acc
+          + Arch.distance arch
+              m.Mapper.schedule.(e.Dfg.src).Mapper.tile
+              m.Mapper.schedule.(e.Dfg.dst).Mapper.tile)
+        0 g.Dfg.edges
+    in
+    if hops <> m.Mapper.routed_hops then
+      add Finding.Error "hops-mismatch" "recounted %d routed hops, mapping claims %d" hops
+        m.Mapper.routed_hops
+  end;
+  List.rev !fs
+
+let check_loop ~arch ?source g m = check_dfg ?source g @ check_mapping arch g m

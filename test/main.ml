@@ -1,6 +1,12 @@
+(* The static-verification gate is on for the whole suite: every compile any
+   test performs is re-checked by the independent validator (lib/verify),
+   and an Error-severity finding fails the compile.  Hot paths keep the
+   knob off; tests are exactly where the check should always run. *)
+let () = Unix.putenv "PICACHU_VERIFY" "1"
+
 let () =
   Alcotest.run "picachu"
     (Test_tensor.suite @ Test_numerics.suite @ Test_ir.suite @ Test_dfg.suite
    @ Test_cgra.suite @ Test_memory.suite @ Test_nonlinear.suite
    @ Test_llm.suite @ Test_picachu.suite @ Test_hw.suite @ Test_explore.suite @ Test_frontend.suite @ Test_fuzz.suite @ Test_text.suite @ Test_props.suite @ Test_golden.suite @ Test_misc.suite @ Test_parallel.suite
-   @ Test_resilience.suite)
+   @ Test_resilience.suite @ Test_verify.suite)

@@ -178,6 +178,40 @@ let prop_executor_bit_identical =
         (outputs_sorted hw.Hw_sim.result)
         (outputs_sorted reference))
 
+(* The independent verifier as oracle: whatever the generator produces must
+   lint clean of Errors, and whatever the compiler emits for it must pass
+   the DFG invariant checker and the schedule translation validator.  This
+   replaces the hand-rolled [mapping_valid] predicate above with the full
+   production checker (both stay: one mirrors the mapper's own invariants,
+   the other is the shipping oracle). *)
+let prop_verifier_oracle =
+  QCheck.Test.make ~name:"verifier oracle on random kernels" ~count:60
+    QCheck.small_nat (fun seed ->
+      let module Verify = Picachu_verify.Verify in
+      let module Finding = Picachu_verify.Finding in
+      let k = random_kernel seed in
+      (match Finding.errors (Verify.lint_kernel k) with
+      | [] -> ()
+      | f :: _ -> QCheck.Test.fail_reportf "lint: %s" (Finding.to_string f));
+      let opts = Compiler.picachu_options () in
+      match Compiler.compile_result opts k with
+      | Error e -> QCheck.Test.fail_reportf "compile: %s" (Picachu_error.to_string e)
+      | Ok c ->
+          List.iter
+            (fun (cl : Compiler.compiled_loop) ->
+              match
+                Finding.errors
+                  (Verify.check_loop ~arch:opts.Compiler.arch
+                     ~source:cl.Compiler.source cl.Compiler.dfg cl.Compiler.mapping)
+              with
+              | [] -> ()
+              | f :: _ -> QCheck.Test.fail_reportf "verify: %s" (Finding.to_string f))
+            c.Compiler.loops;
+          (* the range analysis must terminate and never crash, whatever the
+             generator dreamt up *)
+          ignore (Picachu_verify.Range.analyze k : Finding.t list);
+          true)
+
 let prop_fusion_structural_on_random =
   QCheck.Test.make ~name:"fusion preserves member accounting (random kernels)"
     ~count:100 QCheck.small_nat (fun seed ->
@@ -201,6 +235,7 @@ let suite =
         qtest prop_random_kernels_validate;
         qtest prop_unroll_preserves_semantics;
         qtest prop_mapper_valid_on_random_kernels;
+        qtest prop_verifier_oracle;
         qtest prop_executor_bit_identical;
         qtest prop_fusion_structural_on_random;
       ] );
