@@ -113,6 +113,18 @@ let bench_tests =
     Test.make ~name:"dse:evaluate-3x3"
       (Staged.stage (fun () ->
            ignore (Explore.evaluate ~rows:3 ~cols:3 ~cot_share:0.5)));
+    (* compile: one cold pipeline run (auto-tuned softmax), no memoization *)
+    Test.make ~name:"compile:pipeline-softmax"
+      (Staged.stage (fun () ->
+           ignore
+             (Compiler.compile_result (Compiler.picachu_options ())
+                (Kernels.softmax Kernels.Picachu))));
+    (* compile: a content-addressed cache hit (digest + table lookup) *)
+    Test.make ~name:"compile:cache-hit"
+      (Staged.stage
+         (let opts = Compiler.picachu_options () in
+          ignore (Compiler.cached_result opts Kernels.Picachu "softmax");
+          fun () -> ignore (Compiler.cached_result opts Kernels.Picachu "softmax")));
   ]
 
 (* machine-readable perf trajectory: name -> ns/run, diffable across PRs *)

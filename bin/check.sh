@@ -13,6 +13,13 @@ dune build
 echo "== tier-1 tests =="
 dune runtest
 
+echo "== compilation pipeline smoke =="
+# per-pass instrumentation visible from the CLI ...
+dune exec bin/picachu_cli.exe -- compile softmax --timings
+# ... and the content-addressed cache effective: `stats` compiles the whole
+# library twice and exits non-zero if the second sweep misses the cache
+dune exec bin/picachu_cli.exe -- stats
+
 echo "== static verification sweep =="
 # whole kernel library through the independent verifier (IR lint, DFG
 # invariants, schedule validation, range analysis); non-zero exit on any

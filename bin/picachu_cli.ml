@@ -3,6 +3,7 @@
    Subcommands:
      experiments [ID...]   reproduce the paper's tables/figures (default all)
      compile KERNEL        compile a library kernel and show IR/DFG/mapping
+     stats                 per-pass pipeline stats + cache effectiveness check
      lint [KERNEL...]      static verification sweep (default: whole library)
      arch                  print the architecture instances and cost model
      models [--seq N]      print the workload inventory of the LLM zoo
@@ -64,7 +65,17 @@ let compile_cmd =
            ~doc:"Vector lanes (1 = FP path, 4 = INT16 path).")
   in
   let show_ir = Arg.(value & flag & info [ "ir" ] ~doc:"Print the kernel IR.") in
-  let run name baseline unroll vector show_ir =
+  let timings =
+    Arg.(value & flag & info [ "timings" ]
+           ~doc:"Print the per-pass pipeline instrumentation (runs, wall \
+                 time, counters) for this compile.")
+  in
+  let dump_after =
+    Arg.(value & opt (some string) None & info [ "dump-after" ] ~docv:"PASS"
+           ~doc:"Dump the intermediate artifact after the named pass \
+                 (vectorize, unroll, extract, fuse) each time it runs.")
+  in
+  let run name baseline unroll vector show_ir timings dump_after =
     let variant = if baseline then Kernels.Baseline else Kernels.Picachu in
     let opts =
       if baseline then Compiler.baseline_options ()
@@ -77,11 +88,25 @@ let compile_cmd =
         exit 1
     in
     if show_ir then Format.printf "%a@." Kernel.pp kernel;
+    (match dump_after with
+    | None -> ()
+    | Some pass when List.mem pass Compiler.pass_names ->
+        Pipeline.set_dump_after
+          ~sink:(fun ~pass s ->
+            Printf.printf "; dump after %s\n%s" pass s;
+            if s = "" || s.[String.length s - 1] <> '\n' then print_newline ())
+          (Some pass)
+    | Some pass ->
+        Printf.eprintf "unknown pass %s (known: %s)\n" pass
+          (String.concat ", " Compiler.pass_names);
+        exit 1);
+    if timings then Compiler.reset_stats ();
     let compiled =
       match unroll with
       | Some uf -> Compiler.compile_with_unroll opts uf kernel
       | None -> Compiler.compile opts kernel
     in
+    Pipeline.set_dump_after None;
     Printf.printf "%s on %s (UF=%d, lanes=%d)\n" name compiled.Compiler.arch_name
       compiled.Compiler.unroll compiled.Compiler.vector;
     List.iter
@@ -99,11 +124,52 @@ let compile_cmd =
     let n = 1024 in
     Printf.printf "pass over %d elements: %d cycles (%.2f cycles/element)\n" n
       (Compiler.pass_cycles compiled ~n)
-      (float_of_int (Compiler.pass_cycles compiled ~n) /. float_of_int n)
+      (float_of_int (Compiler.pass_cycles compiled ~n) /. float_of_int n);
+    if timings then Report.pass_table (Compiler.compile_stats ())
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a nonlinear kernel onto the CGRA.")
-    Term.(const run $ kernel_arg $ baseline $ unroll $ vector $ show_ir)
+    Term.(const run $ kernel_arg $ baseline $ unroll $ vector $ show_ir
+          $ timings $ dump_after)
+
+(* ------------------------------------------------------------------ stats *)
+
+let stats_cmd =
+  let run () =
+    Compiler.reset_stats ();
+    let library variant = Kernels.all variant @ Kernels.extras variant in
+    let compile_roster () =
+      List.iter
+        (fun (variant, opts) ->
+          List.iter
+            (fun (k : Kernel.t) ->
+              ignore (Compiler.cached_result opts variant k.Kernel.name))
+            (library variant))
+        [
+          (Kernels.Picachu, Compiler.picachu_options ());
+          (Kernels.Baseline, Compiler.baseline_options ());
+        ]
+    in
+    compile_roster ();
+    let mid = Compiler.cache_stats () in
+    compile_roster ();
+    let fin = Compiler.cache_stats () in
+    Report.pass_table (Compiler.compile_stats ());
+    Printf.printf "cache: hits=%d misses=%d entries=%d\n" fin.Compiler.hits
+      fin.Compiler.misses fin.Compiler.entries;
+    if fin.Compiler.misses <> mid.Compiler.misses then begin
+      Printf.eprintf
+        "cache ineffective: %d misses on an already-compiled roster\n"
+        (fin.Compiler.misses - mid.Compiler.misses);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Compile the whole kernel library twice and print per-pass \
+             pipeline stats; fails if the second sweep misses the \
+             content-addressed cache.")
+    Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ lint *)
 
@@ -373,4 +439,4 @@ let simulate_cmd =
 let () =
   let doc = "PICACHU: plug-in CGRA for nonlinear operations in LLMs (ASPLOS'25 reproduction)" in
   let info = Cmd.info "picachu" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; lint_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; stats_cmd; lint_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd ]))

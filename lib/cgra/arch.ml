@@ -156,6 +156,20 @@ let count_supporting a op =
   done;
   !c
 
+(* Canonical serialization for content addressing: everything the mapper and
+   cost model can observe, with [name] deliberately omitted — two instances
+   with the same grid, tile kinds, ports and lanes behave identically no
+   matter how they were constructed or labeled. *)
+let canonical_string a =
+  Printf.sprintf "%dx%d;%s;%s;lanes=%d;mem=%s;route=%d" a.rows a.cols
+    (match a.flavor with Heterogeneous -> "het" | Homogeneous -> "hom")
+    (String.concat "" (Array.to_list (Array.map Fu.kind_name a.kinds)))
+    a.lanes
+    (String.concat "," (List.map string_of_int a.mem_cols))
+    a.route_slots
+
+let structural_digest a = Digest.to_hex (Digest.string (canonical_string a))
+
 let pp fmt a =
   Format.fprintf fmt "%s (%dx%d, %d lanes)@." a.name a.rows a.cols a.lanes;
   for r = 0 to a.rows - 1 do

@@ -59,4 +59,13 @@ val latency : t -> Op.t -> int
 val count_supporting : t -> Op.t -> int
 (** Number of tiles that could execute the op. *)
 
+val canonical_string : t -> string
+(** Canonical serialization of everything the mapper and cost model can
+    observe ([name] omitted): two structurally identical instances
+    serialize identically regardless of how they were constructed. *)
+
+val structural_digest : t -> string
+(** MD5 hex digest of {!canonical_string} — the architecture component of
+    the compiler's content-addressed cache key. *)
+
 val pp : Format.formatter -> t -> unit

@@ -15,6 +15,25 @@ type mapping = {
 
 exception Unmappable of string
 
+(* Observability hooks for the compilation pipeline: how hard did the II
+   search work?  Plain process-global atomics — attribution to a particular
+   compile is the caller's business (the pipeline snapshots totals), so
+   concurrent mapping on the domain pool stays exact. *)
+type counters = { ii_attempts : int; backtracks : int }
+
+let stat_ii_attempts = Atomic.make 0
+let stat_backtracks = Atomic.make 0
+
+let counters () =
+  {
+    ii_attempts = Atomic.get stat_ii_attempts;
+    backtracks = Atomic.get stat_backtracks;
+  }
+
+let reset_counters () =
+  Atomic.set stat_ii_attempts 0;
+  Atomic.set stat_backtracks 0
+
 let res_mii arch (g : Dfg.t) =
   (* group nodes by the exact set of tiles able to execute them *)
   let tbl = Hashtbl.create 8 in
@@ -62,6 +81,7 @@ let rotate k l =
       split k [] l
 
 let try_map ?(salt = 0) arch (g : Dfg.t) ii =
+  Atomic.incr stat_ii_attempts;
   let n = Dfg.node_count g in
   let tiles = Arch.tiles arch in
   let lat u = Arch.latency arch g.nodes.(u).op in
@@ -115,6 +135,7 @@ let try_map ?(salt = 0) arch (g : Dfg.t) ii =
     match sched.(u) with
     | None -> ()
     | Some { time; tile } ->
+        Atomic.incr stat_backtracks;
         occupant.(tile).(time mod ii) <- -1;
         sched.(u) <- None
   in

@@ -32,6 +32,15 @@ type mapping = {
 
 exception Unmappable of string
 
+type counters = { ii_attempts : int; backtracks : int }
+(** Process-global search-effort totals: [ii_attempts] counts scheduling
+    attempts (one per (II, salt) pair tried), [backtracks] counts node
+    ejections inside those attempts.  Atomics — exact under the domain
+    pool; the compilation pipeline snapshots them for its per-pass stats. *)
+
+val counters : unit -> counters
+val reset_counters : unit -> unit
+
 val res_mii : Arch.t -> Dfg.t -> int
 (** Resource-constrained lower bound on II (capability-class aware). *)
 

@@ -98,6 +98,92 @@ let validate k =
   in
   all k.loops
 
+(* ---------------------------------------------------- canonical hashing *)
+
+(* A canonical serialization for content addressing: every semantically
+   meaningful field, in a fixed order, with the kernel name and the loop
+   labels deliberately omitted — two kernels that differ only in naming are
+   the same compilation problem and must share a cache entry.  Floats are
+   rendered with %h (exact hex) so the serialization never loses bits. *)
+
+let canonical_op buf (op : Op.t) =
+  let add = Buffer.add_string buf in
+  match op with
+  | Op.Const v -> add (Printf.sprintf "const:%h" v)
+  | Op.Bin b -> add ("bin:" ^ Op.name (Op.Bin b))
+  | Op.Un u -> add (Op.name (Op.Un u))
+  | Op.Cmp c ->
+      add
+        ("cmp:"
+        ^
+        match c with
+        | Op.Lt -> "lt"
+        | Op.Le -> "le"
+        | Op.Gt -> "gt"
+        | Op.Ge -> "ge"
+        | Op.Eq -> "eq"
+        | Op.Ne -> "ne")
+  | Op.Select -> add "select"
+  | Op.Phi -> add "phi"
+  | Op.Load s -> add ("load:" ^ s)
+  | Op.Store s -> add ("store:" ^ s)
+  | Op.Input s -> add ("input:" ^ s)
+  | Op.Fp2fx_int -> add "fp2fx.i"
+  | Op.Fp2fx_frac -> add "fp2fx.f"
+  | Op.Shift_exp -> add "shexp"
+  | Op.Lut s -> add ("lut:" ^ s)
+  | Op.Br -> add "br"
+  | Op.Fused f -> add ("fused:" ^ Op.name (Op.Fused f))
+
+let rec canonical_sexpr buf = function
+  | Svar v -> Buffer.add_string buf ("v:" ^ v)
+  | Sconst c -> Buffer.add_string buf (Printf.sprintf "c:%h" c)
+  | Sbin (op, a, b) ->
+      Buffer.add_string buf ("(" ^ Op.name (Op.Bin op) ^ " ");
+      canonical_sexpr buf a;
+      Buffer.add_char buf ' ';
+      canonical_sexpr buf b;
+      Buffer.add_char buf ')'
+  | Sisqrt e ->
+      Buffer.add_string buf "(isqrt ";
+      canonical_sexpr buf e;
+      Buffer.add_char buf ')'
+
+let canonical_string (k : t) =
+  let buf = Buffer.create 512 in
+  let add = Buffer.add_string buf in
+  add (match k.klass with EO -> "EO" | RE -> "RE");
+  add ";in=";
+  add (String.concat "," k.inputs);
+  add ";out=";
+  add (String.concat "," k.outputs);
+  add ";scal=";
+  add (String.concat "," k.scalar_inputs);
+  List.iter
+    (fun l ->
+      add
+        (Printf.sprintf ";loop[red=%b,step=%d,vw=%d]" l.reduction l.step
+           l.vector_width);
+      List.iter
+        (fun (name, e) ->
+          add (";pre " ^ name ^ "=");
+          canonical_sexpr buf e)
+        l.pre;
+      List.iter
+        (fun (name, id) -> add (Printf.sprintf ";exp %s=%d" name id))
+        l.exports;
+      List.iter
+        (fun (i : Instr.t) ->
+          add (Printf.sprintf ";%d=" i.id);
+          canonical_op buf i.op;
+          List.iter (fun a -> add (Printf.sprintf " %d" a)) i.args;
+          if i.offset <> 0 then add (Printf.sprintf " +%d" i.offset))
+        l.body)
+    k.loops;
+  Buffer.contents buf
+
+let structural_digest k = Digest.to_hex (Digest.string (canonical_string k))
+
 let pp fmt k =
   Format.fprintf fmt "kernel %s (%s)@." k.name
     (match k.klass with EO -> "EO" | RE -> "RE");

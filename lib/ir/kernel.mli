@@ -49,4 +49,14 @@ val validate : t -> (unit, string) result
     references are phi back edges, exactly one [Br], stores name declared
     outputs, loads name declared inputs. *)
 
+val canonical_string : t -> string
+(** Canonical serialization for content addressing: every semantically
+    meaningful field in a fixed order, with the kernel name and the loop
+    labels omitted — two kernels that differ only in naming describe the
+    same compilation problem.  Floats are serialized exactly (hex). *)
+
+val structural_digest : t -> string
+(** MD5 hex digest of {!canonical_string} — the kernel component of the
+    compiler's content-addressed cache key. *)
+
 val pp : Format.formatter -> t -> unit

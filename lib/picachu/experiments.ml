@@ -1113,6 +1113,34 @@ let print_resilience () =
          :: List.map (fun (_, c) -> string_of_int c) counts)
        (resilience_serving ()))
 
+(* --------------------------------------- supplementary: pipeline stats *)
+
+(* Compile the whole kernel library under both option sets and report the
+   per-pass instrumentation plus cache effectiveness.  Wall times are
+   nondeterministic, which is why this id is opt-in rather than part of the
+   golden transcript. *)
+let print_pipeline () =
+  Compiler.reset_stats ();
+  let roster variant = Kernels.all variant @ Kernels.extras variant in
+  let compile_roster () =
+    List.iter
+      (fun (variant, opts) ->
+        List.iter
+          (fun (k : Kernel.t) ->
+            ignore (Compiler.cached_result opts variant k.Kernel.name))
+          (roster variant))
+      [
+        (Kernels.Picachu, Compiler.picachu_options ());
+        (Kernels.Baseline, Compiler.baseline_options ());
+      ]
+  in
+  compile_roster ();
+  Report.section "Supplementary: compilation pipeline (per-pass stats)";
+  Report.pass_table (Compiler.compile_stats ());
+  let s = Compiler.cache_stats () in
+  Printf.printf "cache: hits=%d misses=%d entries=%d\n" s.Compiler.hits
+    s.Compiler.misses s.Compiler.entries
+
 let printers =
   [
     ("fig1", print_fig1);
@@ -1146,7 +1174,8 @@ let printers =
 
 (* opt-in ids, kept out of [print_all]: the default experiments transcript
    (EXPERIMENTS.md) predates fault support and must stay byte-identical *)
-let extra_printers = [ ("resilience", print_resilience) ]
+let extra_printers =
+  [ ("resilience", print_resilience); ("pipeline", print_pipeline) ]
 
 let ids = List.map fst printers @ List.map fst extra_printers
 

@@ -195,10 +195,11 @@ val ablation_order : unit -> (int * float * int) list
 
 val print : string -> unit
 (** Print one experiment by id ("fig1", "tab2", ..., "ablations",
-    "resilience"). Raises [Invalid_argument] on unknown ids. *)
+    "resilience", "pipeline"). Raises [Invalid_argument] on unknown ids. *)
 
 val ids : string list
 
 val print_all : unit -> unit
-(** Every paper reproduction entry.  Opt-in extras ("resilience") are only
+(** Every paper reproduction entry.  Opt-in extras ("resilience",
+    "pipeline" — the latter has nondeterministic wall times) are only
     reachable through {!print} so this transcript stays stable. *)

@@ -1,0 +1,133 @@
+module Verify = Picachu_verify.Verify
+module Finding = Picachu_verify.Finding
+
+type pass_stats = {
+  pass : string;
+  runs : int;
+  wall_s : float;
+  counters : (string * int) list;
+}
+
+exception Pass_failed of { pass : string; findings : string list }
+
+(* ------------------------------------------------------- stats registry *)
+
+type entry = {
+  mutable runs : int;
+  mutable wall_s : float;
+  tallies : (string, int) Hashtbl.t;
+}
+
+let lock = Mutex.create ()
+let entries : (string, entry) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref []
+
+(* external counter sources (e.g. the mapper's search-effort atomics),
+   snapshotted at [stats] time so concurrent compiles never double-count *)
+let sources : (string * (unit -> (string * int) list)) list ref = ref []
+let resetters : (unit -> unit) list ref = ref []
+
+let entry_of name =
+  (* callers hold [lock] *)
+  match Hashtbl.find_opt entries name with
+  | Some e -> e
+  | None ->
+      let e = { runs = 0; wall_s = 0.0; tallies = Hashtbl.create 4 } in
+      Hashtbl.add entries name e;
+      order := name :: !order;
+      e
+
+let declare name = Mutex.protect lock (fun () -> ignore (entry_of name))
+
+let record name dt =
+  Mutex.protect lock (fun () ->
+      let e = entry_of name in
+      e.runs <- e.runs + 1;
+      e.wall_s <- e.wall_s +. dt)
+
+let bump ~pass name n =
+  Mutex.protect lock (fun () ->
+      let e = entry_of pass in
+      Hashtbl.replace e.tallies name
+        (n + Option.value ~default:0 (Hashtbl.find_opt e.tallies name)))
+
+let register_counter_source ~pass ?reset f =
+  Mutex.protect lock (fun () ->
+      ignore (entry_of pass);
+      sources := (pass, f) :: !sources;
+      match reset with None -> () | Some r -> resetters := r :: !resetters)
+
+let stats () =
+  Mutex.protect lock (fun () ->
+      List.rev_map
+        (fun name ->
+          let e = Hashtbl.find entries name in
+          let own =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) e.tallies []
+          in
+          let sourced =
+            List.concat_map
+              (fun (p, f) -> if p = name then f () else [])
+              !sources
+          in
+          {
+            pass = name;
+            runs = e.runs;
+            wall_s = e.wall_s;
+            counters =
+              List.sort (fun (a, _) (b, _) -> compare a b) (own @ sourced);
+          })
+        !order)
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter
+        (fun _ e ->
+          e.runs <- 0;
+          e.wall_s <- 0.0;
+          Hashtbl.reset e.tallies)
+        entries;
+      List.iter (fun r -> r ()) !resetters)
+
+(* ------------------------------------------------------------- dumping *)
+
+let dump_after : string option ref = ref None
+let dump_sink : (pass:string -> string -> unit) ref =
+  ref (fun ~pass:_ s -> print_string s)
+
+let set_dump_after ?sink name =
+  dump_after := name;
+  match sink with None -> () | Some s -> dump_sink := s
+
+(* -------------------------------------------------------------- passes *)
+
+type ('a, 'b) t = 'a -> 'b
+
+let v ~name ?post ?dump f : ('a, 'b) t =
+ fun x ->
+  let t0 = Unix.gettimeofday () in
+  let y =
+    match f x with
+    | y -> y
+    | exception e ->
+        record name (Unix.gettimeofday () -. t0);
+        raise e
+  in
+  record name (Unix.gettimeofday () -. t0);
+  (match (!dump_after, dump) with
+  | Some want, Some d when want = name -> !dump_sink ~pass:name (d y)
+  | _ -> ());
+  (match post with
+  | Some check when Verify.enabled () -> (
+      match Finding.errors (check y) with
+      | [] -> ()
+      | errs ->
+          raise
+            (Pass_failed
+               { pass = name; findings = List.map Finding.to_string errs }))
+  | _ -> ());
+  y
+
+let skip : ('a, 'a) t = Fun.id
+let ( >>> ) (a : ('a, 'b) t) (b : ('b, 'c) t) : ('a, 'c) t = fun x -> b (a x)
+let run (p : ('a, 'b) t) x = p x

@@ -33,3 +33,23 @@ let fmt_delta v =
   if Float.abs v < 0.005 then "0.00"
   else if v > 0.0 then Printf.sprintf "+%.2f" v
   else Printf.sprintf "%.2f" v
+
+(* Per-pass pipeline instrumentation, one row per pass in pipeline order.
+   Counters render inline ("ii-attempts=147 backtracks=9") so the table
+   keeps a fixed arity whatever each pass tallies. *)
+let pass_table (stats : Pipeline.pass_stats list) =
+  table
+    ~header:[ "pass"; "runs"; "wall-ms"; "counters" ]
+    (List.map
+       (fun (s : Pipeline.pass_stats) ->
+         [
+           s.Pipeline.pass;
+           string_of_int s.Pipeline.runs;
+           Printf.sprintf "%.2f" (1000.0 *. s.Pipeline.wall_s);
+           (match s.Pipeline.counters with
+           | [] -> "-"
+           | cs ->
+               String.concat " "
+                 (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) cs));
+         ])
+       stats)
