@@ -125,6 +125,29 @@ let bench_tests =
          (let opts = Compiler.picachu_options () in
           ignore (Compiler.cached_result opts Kernels.Picachu "softmax");
           fun () -> ignore (Compiler.cached_result opts Kernels.Picachu "softmax")));
+    (* serve: one full traffic trace through the discrete-event scheduler
+       (cost source built once — the per-bucket memo and the compile cache
+       leave the scheduler's own event loop as the measured work) *)
+    Test.make ~name:"serve:continuous-llama7b"
+      (Staged.stage
+         (let cost =
+            Scheduler.robust_source (Simulator.default_config ()) Mz.llama2_7b
+          in
+          let trace =
+            Scheduler.trace (Scheduler.default_trace ~seed:3 ~rps:8.0 ~requests:24 ())
+          in
+          fun () ->
+            ignore (Scheduler.run ~slots:4 ~policy:Scheduler.Continuous ~cost trace)));
+    Test.make ~name:"serve:static-llama7b"
+      (Staged.stage
+         (let cost =
+            Scheduler.robust_source (Simulator.default_config ()) Mz.llama2_7b
+          in
+          let trace =
+            Scheduler.trace (Scheduler.default_trace ~seed:3 ~rps:8.0 ~requests:24 ())
+          in
+          fun () ->
+            ignore (Scheduler.run ~slots:4 ~policy:(Scheduler.Static 4) ~cost trace)));
   ]
 
 (* machine-readable perf trajectory: name -> ns/run, diffable across PRs *)

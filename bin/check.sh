@@ -29,4 +29,12 @@ dune exec bin/picachu_cli.exe -- lint
 echo "== fault campaign smoke =="
 dune exec examples/fault_campaign.exe -- 0.002 7
 
+echo "== serving smoke =="
+# a small fixed-seed traffic trace through the discrete-event scheduler;
+# the run must exit 0 and emit a non-empty percentile table
+serve_out="$(dune exec bin/picachu_cli.exe -- serve llama2-7b --rps 8 --requests 12 --policy continuous --seed 7)"
+echo "$serve_out"
+echo "$serve_out" | grep -q "ttft (ms)" || {
+  echo "serve smoke: percentile table missing"; exit 1; }
+
 echo "== check.sh: all green =="

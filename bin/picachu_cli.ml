@@ -7,7 +7,9 @@
      lint [KERNEL...]      static verification sweep (default: whole library)
      arch                  print the architecture instances and cost model
      models [--seq N]      print the workload inventory of the LLM zoo
-     simulate MODEL        end-to-end PICACHU simulation of one model *)
+     simulate MODEL        end-to-end PICACHU simulation of one model
+     serve MODEL           multi-request traffic simulation with latency
+                           percentiles (continuous vs static batching) *)
 
 open Cmdliner
 module Kernels = Picachu_ir.Kernels
@@ -388,6 +390,74 @@ let models_cmd =
   Cmd.v (Cmd.info "models" ~doc:"Print the LLM workload inventory.")
     Term.(const run $ seq)
 
+(* ------------------------------------------------------------------ serve *)
+
+let serve_cmd =
+  let model_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL"
+           ~doc:"Model to serve (e.g. llama2-7b).")
+  in
+  let rps =
+    Arg.(value & opt float 4.0 & info [ "rps" ] ~docv:"R"
+           ~doc:"Mean request arrival rate (Poisson).")
+  in
+  let requests =
+    Arg.(value & opt int 32 & info [ "requests"; "n" ] ~docv:"N"
+           ~doc:"Number of requests in the trace.")
+  in
+  let policy_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "continuous" -> Ok Scheduler.Continuous
+      | "static" -> Ok (Scheduler.Static 4)
+      | s when String.length s > 7 && String.sub s 0 7 = "static=" -> (
+          match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+          | Some b when b >= 1 -> Ok (Scheduler.Static b)
+          | _ -> Error (`Msg "static=B needs a positive integer B"))
+      | _ -> Error (`Msg "policy is 'continuous', 'static' or 'static=B'")
+    in
+    Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Scheduler.policy_name p))
+  in
+  let policy =
+    Arg.(value & opt policy_conv Scheduler.Continuous & info [ "policy"; "p" ]
+           ~docv:"P" ~doc:"Batching policy: continuous (default), static, static=B.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Trace seed.") in
+  let slots =
+    Arg.(value & opt int 8 & info [ "slots" ] ~docv:"K"
+           ~doc:"Decode batch capacity under the continuous policy.")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"Q"
+           ~doc:"Admission queue capacity; arrivals beyond it are dropped.")
+  in
+  let run name rps requests policy seed slots queue =
+    let m =
+      try Mz.by_name name
+      with Not_found ->
+        Printf.eprintf "unknown model %s\n" name;
+        exit 1
+    in
+    let spec = Scheduler.default_trace ~seed ~rps ~requests () in
+    let fleet =
+      try
+        Scheduler.serve ~slots ~queue_capacity:queue ~policy
+          (Simulator.default_config ()) m spec
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    Printf.printf "%s  rps=%g requests=%d policy=%s slots=%d queue=%d seed=%d\n" name
+      rps requests (Scheduler.policy_name policy) slots queue seed;
+    Report.serve_table fleet
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Simulate a multi-request traffic trace through the admission \
+             queue and batching policy; prints per-request TTFT/latency \
+             percentiles, throughput, and the serving-tier tally.")
+    Term.(const run $ model_arg $ rps $ requests $ policy $ seed $ slots $ queue)
+
 (* --------------------------------------------------------------- simulate *)
 
 let simulate_cmd =
@@ -439,4 +509,4 @@ let simulate_cmd =
 let () =
   let doc = "PICACHU: plug-in CGRA for nonlinear operations in LLMs (ASPLOS'25 reproduction)" in
   let info = Cmd.info "picachu" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; stats_cmd; lint_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; stats_cmd; lint_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd; serve_cmd ]))

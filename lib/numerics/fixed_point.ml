@@ -18,7 +18,14 @@ let saturate f v =
 let of_float f x =
   let scaled = x *. float_of_int (1 lsl f.frac_bits) in
   if Float.is_nan scaled then 0
-  else saturate f (int_of_float (Float.round scaled))
+  else
+    (* clamp the float before int_of_float: the conversion is unspecified
+       outside [min_int, max_int] (inf and 1e30 both came back as 0,
+       flipping an overflow into a silent zero instead of saturating) *)
+    let rounded = Float.round scaled in
+    if rounded >= float_of_int (max_int_value f) then max_int_value f
+    else if rounded <= float_of_int (min_int_value f) then min_int_value f
+    else saturate f (int_of_float rounded)
 
 let to_float f v = float_of_int v /. float_of_int (1 lsl f.frac_bits)
 let round f x = to_float f (of_float f x)
@@ -26,15 +33,23 @@ let add f a b = saturate f (a + b)
 let sub f a b = saturate f (a - b)
 
 let mul f a b =
-  (* 62-bit headroom is enough for two <=32-bit operands *)
-  let prod = a * b in
-  let half = 1 lsl (f.frac_bits - 1) in
+  (* the product is formed in Int64: two 32-bit operands can produce a
+     2^62 magnitude (q31 min x min), which overflows OCaml's 63-bit
+     native int.  Int64 is exact for every format up to 32 total bits. *)
+  let prod = Int64.mul (Int64.of_int a) (Int64.of_int b) in
   let rounded =
     if f.frac_bits = 0 then prod
-    else if prod >= 0 then (prod + half) asr f.frac_bits
-    else -((-prod + half) asr f.frac_bits)
+    else
+      let half = Int64.shift_left 1L (f.frac_bits - 1) in
+      if Int64.compare prod 0L >= 0 then
+        Int64.shift_right (Int64.add prod half) f.frac_bits
+      else Int64.neg (Int64.shift_right (Int64.add (Int64.neg prod) half) f.frac_bits)
   in
-  saturate f rounded
+  let hi = Int64.of_int (max_int_value f) and lo = Int64.of_int (min_int_value f) in
+  Int64.to_int
+    (if Int64.compare rounded hi > 0 then hi
+     else if Int64.compare rounded lo < 0 then lo
+     else rounded)
 
 let split x =
   let i = Float.floor x in

@@ -23,7 +23,9 @@ val max_int_value : fmt -> int
 val min_int_value : fmt -> int
 
 val of_float : fmt -> float -> int
-(** Round-to-nearest, saturating. *)
+(** Round-to-nearest, saturating: values whose scaled magnitude exceeds the
+    format (including [±infinity]) clamp to the format bounds; NaN maps
+    to 0. *)
 
 val to_float : fmt -> int -> float
 val round : fmt -> float -> float
@@ -32,7 +34,9 @@ val round : fmt -> float -> float
 val add : fmt -> int -> int -> int
 val sub : fmt -> int -> int -> int
 val mul : fmt -> int -> int -> int
-(** Full-precision product, then round and saturate back to [fmt]. *)
+(** Full-precision product (formed in 64 bits — exact for formats up to 32
+    total bits, so the q31 [min x min] corner saturates instead of
+    wrapping), then round and saturate back to [fmt]. *)
 
 val saturate : fmt -> int -> int
 

@@ -34,6 +34,28 @@ let fmt_delta v =
   else if v > 0.0 then Printf.sprintf "+%.2f" v
   else Printf.sprintf "%.2f" v
 
+(* Fleet-level serving metrics: the percentile table plus one summary line.
+   Milliseconds for the per-request rows — tail latencies are the headline
+   number, and sub-second values render illegibly in seconds. *)
+let serve_table (f : Scheduler.fleet) =
+  let ms v = Printf.sprintf "%.2f" (1000.0 *. v) in
+  table
+    ~header:[ "metric"; "p50"; "p95"; "p99" ]
+    [
+      [ "ttft (ms)"; ms f.Scheduler.ttft.Scheduler.p50; ms f.Scheduler.ttft.Scheduler.p95;
+        ms f.Scheduler.ttft.Scheduler.p99 ];
+      [ "latency (ms)"; ms f.Scheduler.latency.Scheduler.p50;
+        ms f.Scheduler.latency.Scheduler.p95; ms f.Scheduler.latency.Scheduler.p99 ];
+    ];
+  Printf.printf "completed %d  dropped %d  makespan %.3f s  throughput %.1f tok/s\n"
+    (List.length f.Scheduler.completions)
+    f.Scheduler.dropped f.Scheduler.makespan_s f.Scheduler.throughput_tps;
+  Printf.printf "tiers: %s\n"
+    (String.concat "  "
+       (List.map
+          (fun (t, k) -> Printf.sprintf "%s=%d" (Serving.tier_name t) k)
+          f.Scheduler.tiers))
+
 (* Per-pass pipeline instrumentation, one row per pass in pipeline order.
    Counters render inline ("ii-attempts=147 backtracks=9") so the table
    keeps a fixed arity whatever each pass tallies. *)

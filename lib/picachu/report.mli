@@ -18,6 +18,11 @@ val fmt_pct : float -> string
 val fmt_delta : float -> string
 (** Signed small delta, paper Table 5/6 style: ["+0.05" / "-0.21" / "0.00"]. *)
 
+val serve_table : Scheduler.fleet -> unit
+(** Render a {!Scheduler.fleet}: the TTFT/latency percentile table (ms) and
+    a completed/dropped/makespan/throughput summary line plus the per-tier
+    tally. *)
+
 val pass_table : Pipeline.pass_stats list -> unit
 (** Render [Compiler.compile_stats ()]: pass, runs, total wall-ms, and the
     pass's counters inline.  Wall times are nondeterministic — keep this

@@ -1,0 +1,123 @@
+(** Deterministic discrete-event multi-request serving simulator.
+
+    {!Serving} answers one request at a time; production traffic is many
+    requests contending for the same accelerator.  This module simulates a
+    seeded Poisson arrival stream of requests through an admission queue
+    and a batching policy, charging each simulated decode step with the
+    {!Serving} phase-cost machinery (whose kernel compiles are memoized in
+    the content-addressed compile cache), and reports per-request TTFT and
+    TPOT plus fleet-level throughput and p50/p95/p99 tail latency.
+
+    {2 The step model}
+
+    Batches execute in lockstep: one decode step emits one token for every
+    active request, and the slowest active member gates the step.  Under
+    {!policy.Continuous}, decode slots refill at every step boundary as
+    requests complete, and an admitted request's prefill overlaps the step
+    it joins.  Under [Static b], a batch of [b] requests is formed (waiting
+    for arrivals if needed), prefilled together, and decoded until {e every}
+    member finishes before the next batch forms — the classic static-batch
+    TTFT penalty the continuous policy exists to remove.
+
+    {2 Determinism}
+
+    The arrival stream is a pure function of the seed, and the simulation is
+    sequential float arithmetic over costs that are themselves bit-identical
+    across domain-pool sizes — a trace replays exactly for any
+    [PICACHU_DOMAINS] and for repeated runs with the same seed. *)
+
+module Mz = Picachu_llm.Model_zoo
+
+type policy =
+  | Static of int  (** fixed batch of the given size, run to completion *)
+  | Continuous  (** slots refill per step; prefills join the running batch *)
+
+val policy_name : policy -> string
+(** ["static=4"] / ["continuous"] — also the CLI spelling. *)
+
+(** {2 Arrival streams} *)
+
+type trace_spec = {
+  rps : float;  (** mean arrival rate (Poisson) *)
+  requests : int;  (** total requests in the trace *)
+  prompt_buckets : int array;  (** prompt lengths, sampled uniformly *)
+  generate_buckets : int array;  (** generation lengths, sampled uniformly *)
+  seed : int;
+}
+
+val default_trace : ?seed:int -> rps:float -> requests:int -> unit -> trace_spec
+(** Prompt buckets {64, 128, 256, 512}, generate buckets {16, 32, 64},
+    seed 1. *)
+
+type arrival = { id : int; at : float; request : Serving.request }
+
+val trace : trace_spec -> arrival list
+(** The seeded stream, in arrival order: exponential inter-arrival times at
+    rate [rps], prompt/generate drawn uniformly from the buckets.  Raises
+    [Invalid_argument] on a non-positive rate, request count, or bucket. *)
+
+(** {2 Cost sources} *)
+
+type cost_source = Serving.request -> Serving.phase_costs * Serving.tier
+(** What one request costs and which serving tier answered it. *)
+
+val robust_source :
+  ?budget:int ->
+  ?gpu:Picachu_llm.Gpu_model.t ->
+  Simulator.config ->
+  Mz.t ->
+  cost_source
+(** {!Serving.robust_costs} as a cost source — degraded tiers show up in the
+    latency distribution — memoized per distinct (prompt, generate) bucket
+    (the underlying kernel compiles are already shared through the
+    content-addressed compile cache). *)
+
+(** {2 Results} *)
+
+type completion = {
+  c_id : int;
+  c_request : Serving.request;
+  c_arrival_s : float;  (** absolute arrival time *)
+  c_ttft_s : float;  (** first token minus arrival: queueing + prefill *)
+  c_latency_s : float;  (** completion minus arrival *)
+  c_tpot_s : float;  (** mean seconds per generated token after the first *)
+  c_tier : Serving.tier;
+}
+
+type pct = { p50 : float; p95 : float; p99 : float }
+
+type fleet = {
+  completions : completion list;  (** in completion order *)
+  dropped : int;  (** arrivals rejected by a full admission queue *)
+  makespan_s : float;  (** last completion time *)
+  throughput_tps : float;  (** generated tokens per second over the makespan *)
+  ttft : pct;  (** TTFT percentiles, seconds *)
+  latency : pct;  (** end-to-end latency percentiles, seconds *)
+  tiers : (Serving.tier * int) list;  (** completions per serving tier *)
+}
+
+val run :
+  ?slots:int ->
+  ?queue_capacity:int ->
+  policy:policy ->
+  cost:cost_source ->
+  arrival list ->
+  fleet
+(** Simulate a trace.  [slots] (default 8) bounds the continuous decode
+    batch; [queue_capacity] (default 64) bounds the admission queue —
+    arrivals beyond it are dropped and counted.  Raises [Invalid_argument]
+    on non-positive knobs, a malformed request, or a trace with no
+    completions. *)
+
+val serve :
+  ?slots:int ->
+  ?queue_capacity:int ->
+  ?budget:int ->
+  ?gpu:Picachu_llm.Gpu_model.t ->
+  policy:policy ->
+  Simulator.config ->
+  Mz.t ->
+  trace_spec ->
+  fleet
+(** [run] over [trace spec] with {!robust_source} costs — the end-to-end
+    entry the CLI and benchmarks use. *)

@@ -31,6 +31,28 @@ let gpu_costs gpu m (r : request) =
   let decode_at ctx = (Gpu.run gpu (Workload.decode_of_model m ~context:ctx)).Gpu.total_s in
   { prefill_s = prefill; decode_s_at = List.map (fun c -> (c, decode_at c)) (anchor_lengths r) }
 
+let decode_cost costs ctx =
+  (* the cursor-free form of [summarize]'s interpolation, for callers whose
+     context queries are not monotone (the batched scheduler interleaves
+     requests); same clamping and the same arithmetic expression, so the
+     two agree bit-for-bit on every anchor segment *)
+  match costs.decode_s_at with
+  | [] -> invalid_arg "Serving: no decode anchors"
+  | ((c0, s0) :: _) as anchors ->
+      if ctx <= c0 then s0
+      else
+        let rec go = function
+          | [ (_, s) ] -> s
+          | (c1, s1) :: ((c2, s2) :: _ as rest) ->
+              if ctx <= c2 then
+                s1
+                +. ((s2 -. s1) *. float_of_int (ctx - c1)
+                    /. float_of_int (Stdlib.max 1 (c2 - c1)))
+              else go rest
+          | [] -> assert false
+        in
+        go anchors
+
 let summarize costs (r : request) =
   if r.prompt < 1 || r.generate < 1 then invalid_arg "Serving.summarize: request";
   (* decode contexts grow monotonically, so a cursor over the precomputed

@@ -26,6 +26,14 @@ type summary = {
 
 val picachu_costs : Simulator.config -> Mz.t -> request -> phase_costs
 val gpu_costs : Picachu_llm.Gpu_model.t -> Mz.t -> request -> phase_costs
+val decode_cost : phase_costs -> int -> float
+(** [decode_cost costs ctx] is the per-step decode seconds at KV-cache
+    length [ctx]: linear interpolation between the anchors, clamped outside
+    their range.  Agrees bit-for-bit with the interpolation [summarize]
+    charges per step, but needs no monotone-query cursor — the batched
+    scheduler ({!Scheduler}) interleaves many requests' contexts.  Raises
+    [Invalid_argument] when [costs] has no anchors. *)
+
 val summarize : phase_costs -> request -> summary
 (** Raises [Invalid_argument] on non-positive prompt/generate. *)
 

@@ -58,7 +58,7 @@ let percentile a p =
   if n = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let pos = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in
   let hi = Stdlib.min (n - 1) (lo + 1) in

@@ -25,4 +25,5 @@ val geomean : float list -> float
 
 val percentile : float array -> float -> float
 (** [percentile a p] for [p] in [0, 100]; linear interpolation, copies and
-    sorts. *)
+    sorts with [Float.compare] (total order: NaNs sort below every other
+    value, and no polymorphic-compare cost on hot metric paths). *)

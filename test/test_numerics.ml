@@ -73,10 +73,53 @@ let test_fx_saturation () =
   Alcotest.(check int) "negative saturate" (Fixed_point.min_int_value f)
     (Fixed_point.of_float f (-2.0))
 
+let test_fx_overflow_saturates () =
+  (* int_of_float is unspecified out of range (1e30 came back as 0): an
+     overflowed exp intermediate must clamp to the format max, not zero *)
+  let f = Fixed_point.q15 in
+  Alcotest.(check int) "+inf" 32767 (Fixed_point.of_float f infinity);
+  Alcotest.(check int) "-inf" (-32768) (Fixed_point.of_float f neg_infinity);
+  Alcotest.(check int) "1e30" 32767 (Fixed_point.of_float f 1e30);
+  Alcotest.(check int) "-1e30" (-32768) (Fixed_point.of_float f (-1e30));
+  Alcotest.(check int) "nan still 0" 0 (Fixed_point.of_float f nan);
+  let g = Fixed_point.q31 in
+  Alcotest.(check int) "q31 +inf" (Fixed_point.max_int_value g)
+    (Fixed_point.of_float g infinity);
+  Alcotest.(check int) "q31 -inf" (Fixed_point.min_int_value g)
+    (Fixed_point.of_float g neg_infinity);
+  Alcotest.(check int) "q31 1e30" (Fixed_point.max_int_value g)
+    (Fixed_point.of_float g 1e30)
+
+let prop_fx_of_float_saturating_roundtrip =
+  QCheck.Test.make ~name:"to_float (of_float f x) within one LSB of the clamp"
+    ~count:1000
+    (QCheck.float_range (-1e12) 1e12)
+    (fun x ->
+      let f = Fixed_point.q15 in
+      let lsb = 1.0 /. 32768.0 in
+      let lo = Fixed_point.to_float f (Fixed_point.min_int_value f) in
+      let hi = Fixed_point.to_float f (Fixed_point.max_int_value f) in
+      let clamped = Float.min (Float.max x lo) hi in
+      Float.abs (Fixed_point.to_float f (Fixed_point.of_float f x) -. clamped)
+      <= lsb +. 1e-15)
+
 let test_fx_mul () =
   let f = Fixed_point.fmt ~total_bits:32 ~frac_bits:16 in
   let a = Fixed_point.of_float f 1.5 and b = Fixed_point.of_float f 2.25 in
   check_close 1e-4 "product" 3.375 (Fixed_point.to_float f (Fixed_point.mul f a b))
+
+let test_fx_mul_corners () =
+  (* q31 min x min is 2^62, which wraps OCaml's native int; the Int64
+     product must saturate to the format max instead *)
+  let q31 = Fixed_point.q31 in
+  let mn = Fixed_point.min_int_value q31 and mx = Fixed_point.max_int_value q31 in
+  Alcotest.(check int) "q31 min*min saturates" mx (Fixed_point.mul q31 mn mn);
+  Alcotest.(check int) "q31 min*max" (-mx) (Fixed_point.mul q31 mn mx);
+  Alcotest.(check int) "q31 max*max" (mx - 1) (Fixed_point.mul q31 mx mx);
+  let q15 = Fixed_point.q15 in
+  Alcotest.(check int) "q15 min*min saturates" (Fixed_point.max_int_value q15)
+    (Fixed_point.mul q15 (Fixed_point.min_int_value q15)
+       (Fixed_point.min_int_value q15))
 
 let test_fx_split () =
   let i, fr = Fixed_point.split 3.75 in
@@ -457,10 +500,13 @@ let suite =
         Alcotest.test_case "format validation" `Quick test_fx_fmt_validation;
         Alcotest.test_case "roundtrip" `Quick test_fx_roundtrip;
         Alcotest.test_case "saturation" `Quick test_fx_saturation;
+        Alcotest.test_case "overflow saturates" `Quick test_fx_overflow_saturates;
         Alcotest.test_case "multiplication" `Quick test_fx_mul;
+        Alcotest.test_case "multiplication corners" `Quick test_fx_mul_corners;
         Alcotest.test_case "fp2fx split" `Quick test_fx_split;
         qtest prop_fx_split_reconstructs;
         qtest prop_fx_roundtrip_error;
+        qtest prop_fx_of_float_saturating_roundtrip;
       ] );
     ( "quant",
       [

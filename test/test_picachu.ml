@@ -179,6 +179,69 @@ let test_serving_summary_pinned () =
   Alcotest.(check (float 1e-12)) "total" 0.835 s.Serving.total_s;
   Alcotest.(check (float 1e-9)) "tokens/s" (24.0 /. 0.585) s.Serving.tokens_per_s
 
+let test_serving_anchor_boundaries () =
+  (* pinned values exactly at the anchor contexts, clamped outside them *)
+  let costs =
+    { Serving.prefill_s = 0.5; decode_s_at = [ (8, 0.01); (16, 0.02); (32, 0.04) ] }
+  in
+  Alcotest.(check (float 1e-12)) "first anchor" 0.01 (Serving.decode_cost costs 8);
+  Alcotest.(check (float 1e-12)) "middle anchor" 0.02 (Serving.decode_cost costs 16);
+  Alcotest.(check (float 1e-12)) "last anchor" 0.04 (Serving.decode_cost costs 32);
+  Alcotest.(check (float 1e-12)) "clamps below" 0.01 (Serving.decode_cost costs 1);
+  Alcotest.(check (float 1e-12)) "clamps above" 0.04 (Serving.decode_cost costs 100);
+  Alcotest.(check (float 1e-12)) "segment midpoint" 0.015 (Serving.decode_cost costs 12);
+  (* summarize's cursor charges the same boundary value: one decode step at
+     exactly the middle anchor *)
+  let s = Serving.summarize costs { Serving.prompt = 16; generate = 1 } in
+  Alcotest.(check (float 1e-12)) "cursor at boundary" (0.5 +. 0.02) s.Serving.total_s
+
+let test_serving_single_anchor_clamps () =
+  let costs = { Serving.prefill_s = 0.1; decode_s_at = [ (10, 0.01) ] } in
+  Alcotest.(check (float 1e-12)) "below" 0.01 (Serving.decode_cost costs 3);
+  Alcotest.(check (float 1e-12)) "above" 0.01 (Serving.decode_cost costs 99);
+  (* every step of a request far outside the anchor pays the single cost *)
+  let s = Serving.summarize costs { Serving.prompt = 50; generate = 7 } in
+  Alcotest.(check (float 1e-12)) "total" (0.1 +. (7.0 *. 0.01)) s.Serving.total_s
+
+let prop_summarize_matches_naive_oracle =
+  (* the anchor-cursor total must equal a naive per-step linear
+     interpolation written from scratch (no cursor, no shared code) *)
+  let oracle_cost anchors ctx =
+    let arr = Array.of_list anchors in
+    let n = Array.length arr in
+    if ctx <= fst arr.(0) then snd arr.(0)
+    else if ctx >= fst arr.(n - 1) then snd arr.(n - 1)
+    else begin
+      let i = ref 0 in
+      while not (fst arr.(!i) < ctx && ctx <= fst arr.(!i + 1)) do
+        incr i
+      done;
+      let c1, s1 = arr.(!i) and c2, s2 = arr.(!i + 1) in
+      s1 +. ((s2 -. s1) *. float_of_int (ctx - c1) /. float_of_int (c2 - c1))
+    end
+  in
+  QCheck.Test.make ~name:"summarize equals the per-step interpolation oracle"
+    ~count:300
+    (QCheck.quad (QCheck.int_range 1 100) (QCheck.int_range 1 50)
+       (QCheck.pair (QCheck.float_range 0.001 0.1) (QCheck.float_range 0.001 0.1))
+       (QCheck.pair (QCheck.float_range 0.001 0.1) (QCheck.float_range 0.05 2.0)))
+    (fun (p, g, (c1, c2), (c3, prefill)) ->
+      let rec dedupe = function
+        | (x1, s1) :: (x2, _) :: rest when x1 = x2 -> dedupe ((x1, s1) :: rest)
+        | x :: rest -> x :: dedupe rest
+        | [] -> []
+      in
+      let anchors =
+        dedupe [ (p, c1); (p + Stdlib.max 1 (g / 2), c2); (p + g, c3) ]
+      in
+      let costs = { Serving.prefill_s = prefill; decode_s_at = anchors } in
+      let s = Serving.summarize costs { Serving.prompt = p; generate = g } in
+      let naive = ref prefill in
+      for step = 0 to g - 1 do
+        naive := !naive +. oracle_cost anchors (p + step)
+      done;
+      Float.abs (s.Serving.total_s -. !naive) <= 1e-9 *. float_of_int g)
+
 let test_serving_validation () =
   let costs = { Serving.prefill_s = 0.1; decode_s_at = [ (10, 0.01) ] } in
   Alcotest.check_raises "bad request" (Invalid_argument "Serving.summarize: request")
@@ -406,6 +469,9 @@ let suite =
       [
         Alcotest.test_case "summary math" `Quick test_serving_summary_math;
         Alcotest.test_case "summary pinned numbers" `Quick test_serving_summary_pinned;
+        Alcotest.test_case "anchor boundaries" `Quick test_serving_anchor_boundaries;
+        Alcotest.test_case "single anchor clamps" `Quick test_serving_single_anchor_clamps;
+        QCheck_alcotest.to_alcotest prop_summarize_matches_naive_oracle;
         Alcotest.test_case "validation" `Quick test_serving_validation;
         Alcotest.test_case "end-to-end sane" `Quick test_serving_end_to_end_sane;
       ] );

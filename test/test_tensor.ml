@@ -240,7 +240,19 @@ let test_percentile () =
   let a = [| 4.0; 1.0; 3.0; 2.0 |] in
   check_float "median" 2.5 (Stats.percentile a 50.0);
   check_float "min" 1.0 (Stats.percentile a 0.0);
-  check_float "max" 4.0 (Stats.percentile a 100.0)
+  check_float "max" 4.0 (Stats.percentile a 100.0);
+  (* interpolated positions: p sits fractionally between two sorted ranks *)
+  check_float "p25" 1.75 (Stats.percentile a 25.0);
+  check_float "p95" 3.85 (Stats.percentile a 95.0);
+  let b = Array.init 100 (fun i -> float_of_int (99 - i)) in
+  check_float "p99 of 0..99" 98.01 (Stats.percentile b 99.0);
+  check_float "p1 of 0..99" 0.99 (Stats.percentile b 1.0);
+  (* Float.compare gives a total order: NaNs sort below every real value
+     instead of scrambling the sort like polymorphic compare could *)
+  let withnan = [| 2.0; Float.nan; 1.0 |] in
+  Alcotest.(check bool) "nan sorts first" true
+    (Float.is_nan (Stats.percentile withnan 0.0));
+  check_float "reals keep order above nan" 2.0 (Stats.percentile withnan 100.0)
 
 let prop_percentile_monotone =
   QCheck.Test.make ~name:"percentile monotone in p" ~count:200
