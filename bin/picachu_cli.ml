@@ -137,41 +137,68 @@ let compile_cmd =
 (* ------------------------------------------------------------------ stats *)
 
 let stats_cmd =
-  let run () =
-    Compiler.reset_stats ();
-    let library variant = Kernels.all variant @ Kernels.extras variant in
-    let compile_roster () =
-      List.iter
-        (fun (variant, opts) ->
+  let sweep_effort =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sweep-effort" ] ~docv:"CEILING"
+          ~doc:
+            "Run the full-roster 16-point warm DSE sweep from a cold cache \
+             and fail if the mapper spends more than $(docv) II attempts — \
+             the search-cost analogue of a QoR golden.")
+  in
+  let run sweep_effort =
+    match sweep_effort with
+    | Some ceiling ->
+        Compiler.cache_clear ();
+        Compiler.reset_stats ();
+        let pts = Explore.sweep ~warm:true () in
+        let c = Mapper.counters () in
+        Printf.printf "sweep: %d design points\n" (List.length pts);
+        Report.search_effort_line c;
+        if c.Mapper.ii_attempts > ceiling then begin
+          Printf.eprintf
+            "search effort regression: %d ii-attempts exceeds ceiling %d\n"
+            c.Mapper.ii_attempts ceiling;
+          exit 1
+        end
+    | None ->
+        Compiler.reset_stats ();
+        let library variant = Kernels.all variant @ Kernels.extras variant in
+        let compile_roster () =
           List.iter
-            (fun (k : Kernel.t) ->
-              ignore (Compiler.cached_result opts variant k.Kernel.name))
-            (library variant))
-        [
-          (Kernels.Picachu, Compiler.picachu_options ());
-          (Kernels.Baseline, Compiler.baseline_options ());
-        ]
-    in
-    compile_roster ();
-    let mid = Compiler.cache_stats () in
-    compile_roster ();
-    let fin = Compiler.cache_stats () in
-    Report.pass_table (Compiler.compile_stats ());
-    Printf.printf "cache: hits=%d misses=%d entries=%d\n" fin.Compiler.hits
-      fin.Compiler.misses fin.Compiler.entries;
-    if fin.Compiler.misses <> mid.Compiler.misses then begin
-      Printf.eprintf
-        "cache ineffective: %d misses on an already-compiled roster\n"
-        (fin.Compiler.misses - mid.Compiler.misses);
-      exit 1
-    end
+            (fun (variant, opts) ->
+              List.iter
+                (fun (k : Kernel.t) ->
+                  ignore (Compiler.cached_result opts variant k.Kernel.name))
+                (library variant))
+            [
+              (Kernels.Picachu, Compiler.picachu_options ());
+              (Kernels.Baseline, Compiler.baseline_options ());
+            ]
+        in
+        compile_roster ();
+        let mid = Compiler.cache_stats () in
+        compile_roster ();
+        let fin = Compiler.cache_stats () in
+        Report.pass_table (Compiler.compile_stats ());
+        Report.search_effort_line (Mapper.counters ());
+        Printf.printf "cache: hits=%d misses=%d entries=%d\n" fin.Compiler.hits
+          fin.Compiler.misses fin.Compiler.entries;
+        if fin.Compiler.misses <> mid.Compiler.misses then begin
+          Printf.eprintf
+            "cache ineffective: %d misses on an already-compiled roster\n"
+            (fin.Compiler.misses - mid.Compiler.misses);
+          exit 1
+        end
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Compile the whole kernel library twice and print per-pass \
              pipeline stats; fails if the second sweep misses the \
-             content-addressed cache.")
-    Term.(const run $ const ())
+             content-addressed cache.  With $(b,--sweep-effort) instead runs \
+             the warm DSE sweep under an II-attempt budget gate.")
+    Term.(const run $ sweep_effort)
 
 (* ------------------------------------------------------------------ lint *)
 

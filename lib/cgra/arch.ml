@@ -113,6 +113,10 @@ let distance a i j =
   let ri, ci = coords a i and rj, cj = coords a j in
   abs (ri - rj) + abs (ci - cj)
 
+let distance_matrix a =
+  let t = tiles a in
+  Array.init (t * t) (fun idx -> distance a (idx / t) (idx mod t))
+
 let xy_path a src dst =
   (* every tile visited after src — horizontal leg first, then vertical,
      including the turning tile — with the destination dropped *)

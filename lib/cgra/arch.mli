@@ -47,6 +47,11 @@ val coords : t -> int -> int * int
 val distance : t -> int -> int -> int
 (** Manhattan distance between tiles (mesh hop count). *)
 
+val distance_matrix : t -> int array
+(** Flattened [tiles x tiles] row-major matrix of {!distance} — precomputed
+    once per mapping search so the placement inner loop indexes instead of
+    recomputing coordinates. *)
+
 val xy_path : t -> int -> int -> int list
 (** Intermediate tiles of the X-then-Y route between two tiles, excluding
     both endpoints. *)

@@ -32,11 +32,18 @@ type mapping = {
 
 exception Unmappable of string
 
-type counters = { ii_attempts : int; backtracks : int }
+type counters = {
+  ii_attempts : int;
+  backtracks : int;
+  warm_hits : int;
+  warm_rejects : int;
+}
 (** Process-global search-effort totals: [ii_attempts] counts scheduling
     attempts (one per (II, salt) pair tried), [backtracks] counts node
-    ejections inside those attempts.  Atomics — exact under the domain
-    pool; the compilation pipeline snapshots them for its per-pass stats. *)
+    ejections inside those attempts, and [warm_hits] / [warm_rejects] count
+    warm-start hints accepted and discarded.  Atomics — exact under the
+    domain pool; the compilation pipeline snapshots them for its per-pass
+    stats. *)
 
 val counters : unit -> counters
 val reset_counters : unit -> unit
@@ -44,12 +51,39 @@ val reset_counters : unit -> unit
 val res_mii : Arch.t -> Dfg.t -> int
 (** Resource-constrained lower bound on II (capability-class aware). *)
 
-val min_ii : Arch.t -> Dfg.t -> int
-(** [max (res_mii, rec_mii)]. *)
+val transport_mii : Arch.t -> Dfg.t -> int
+(** Transport-aware recurrence lower bound.  Around any loop-carried cycle
+    the mapper enforces [sum (lat + hops) <= II * distance]; when the back
+    edge's endpoints have disjoint capability classes the operand must pay
+    at least the minimum inter-class mesh distance, so
+    [ceil((cycle_latency + min_hop) / distance)] is a true lower bound on
+    the II of every schedule the mapper could accept. *)
 
-val map_dfg : ?max_ii:int -> Arch.t -> Dfg.t -> mapping
+val min_ii : Arch.t -> Dfg.t -> int
+(** [max (res_mii, rec_mii, transport_mii)]. *)
+
+val map_dfg :
+  ?max_ii:int ->
+  ?hint:mapping ->
+  ?validate:(mapping -> bool) ->
+  Arch.t ->
+  Dfg.t ->
+  mapping
 (** Raises [Unmappable] if no II up to [max_ii] (default 128) works — e.g. a
-    node's op is supported by no tile. *)
+    node's op is supported by no tile.  The II search escalates
+    geometrically from {!min_ii} with binary refinement between the last
+    failure and the first success, so hard kernels stop paying one full
+    failed Rau search per skipped II level.
+
+    [hint] warm-starts the search from a sibling design point's mapping
+    (typically the same kernel on an architecture one knob away).  The hint
+    is accepted only when (a) its II equals this point's {!min_ii}, so no
+    cold search could find a lower II, (b) its schedule re-validates from
+    first principles on this architecture — capability, slot exclusivity
+    modulo II, and every dependence inequality under this mesh's distances —
+    and (c) the caller's [validate] (e.g. the independent verifier's
+    [check_mapping]) finds nothing wrong.  Any failure falls back silently
+    to the cold search; [validate] is never consulted for cold results. *)
 
 val loop_cycles : mapping -> trips:int -> int
 (** Steady-state execution time of [trips] iterations:

@@ -12,23 +12,40 @@ let search arch (g : Dfg.t) ii ~window ~budget =
   let n = Dfg.node_count g in
   let tiles = Arch.tiles arch in
   let order = Array.of_list (Dfg.topo_order g) in
-  let lat u = Arch.latency arch g.Dfg.nodes.(u).Dfg.op in
+  let lat = Array.init n (fun u -> Arch.latency arch g.Dfg.nodes.(u).Dfg.op) in
+  let dist = Arch.distance_matrix arch in
+  (* per-node incident edges and forward predecessors, computed once: the
+     inner search consults both per candidate slot, and filtering the full
+     edge list there rebuilds the same lists millions of times per probe *)
+  let incident = Array.make n [] in
+  let fwd_preds = Array.make n [] in
+  List.iter
+    (fun (e : Dfg.edge) ->
+      incident.(e.src) <- e :: incident.(e.src);
+      if e.dst <> e.src then incident.(e.dst) <- e :: incident.(e.dst);
+      if e.distance = 0 && e.dst <> e.src then
+        fwd_preds.(e.dst) <- e.src :: fwd_preds.(e.dst))
+    g.Dfg.edges;
+  let supports =
+    Array.init n (fun u ->
+        Array.init tiles (fun tl ->
+            Arch.supports arch ~tile:tl g.Dfg.nodes.(u).Dfg.op))
+  in
   let time = Array.make n (-1) and tile = Array.make n (-1) in
   let busy = Array.make_matrix tiles ii false in
   let steps = ref 0 in
+  (* the window must cover mesh transport on top of the II periods *)
+  let diameter = arch.Arch.rows + arch.Arch.cols - 2 in
   (* dependence check between u (being placed at t,tl) and a placed v *)
   let edge_ok (e : Dfg.edge) =
     let ts = time.(e.src) and td = time.(e.dst) in
     if ts < 0 || td < 0 then true
-    else if e.src = e.dst then lat e.src <= e.distance * ii
+    else if e.src = e.dst then lat.(e.src) <= e.distance * ii
     else
       td
-      >= ts + lat e.src
-         + Arch.distance arch tile.(e.src) tile.(e.dst)
+      >= ts + lat.(e.src)
+         + dist.((tile.(e.src) * tiles) + tile.(e.dst))
          - (e.distance * ii)
-  in
-  let edges_of u =
-    List.filter (fun (e : Dfg.edge) -> e.src = u || e.dst = u) g.Dfg.edges
   in
   let rec place idx =
     incr steps;
@@ -39,26 +56,19 @@ let search arch (g : Dfg.t) ii ~window ~budget =
       (* earliest from placed forward predecessors, ignoring distances *)
       let earliest =
         List.fold_left
-          (fun acc (e : Dfg.edge) ->
-            if e.dst = u && e.distance = 0 && time.(e.src) >= 0 then
-              Stdlib.max acc (time.(e.src) + lat e.src)
-            else acc)
-          0 g.Dfg.edges
+          (fun acc v ->
+            if time.(v) >= 0 then Stdlib.max acc (time.(v) + lat.(v)) else acc)
+          0 fwd_preds.(u)
       in
       let found = ref false in
       let t = ref earliest in
-      (* the window must cover mesh transport on top of the II periods *)
-      let diameter = arch.Arch.rows + arch.Arch.cols - 2 in
       while (not !found) && !t < earliest + (window * ii) + diameter do
         for tl = 0 to tiles - 1 do
-          if
-            (not !found)
-            && Arch.supports arch ~tile:tl g.Dfg.nodes.(u).Dfg.op
-            && not busy.(tl).(!t mod ii)
+          if (not !found) && supports.(u).(tl) && not busy.(tl).(!t mod ii)
           then begin
             time.(u) <- !t;
             tile.(u) <- tl;
-            if List.for_all edge_ok (edges_of u) then begin
+            if List.for_all edge_ok incident.(u) then begin
               busy.(tl).(!t mod ii) <- true;
               if place (idx + 1) then found := true
               else busy.(tl).(!t mod ii) <- false

@@ -19,15 +19,42 @@ type point = {
   perf_per_area : float;
 }
 
-val evaluate : rows:int -> cols:int -> cot_share:float -> point
+val evaluate :
+  ?cold:bool ->
+  ?hints:Compiler.hints ->
+  rows:int ->
+  cols:int ->
+  cot_share:float ->
+  unit ->
+  point
 (** Compile the kernel library onto the mix and measure. Raises
     {!Picachu_cgra.Mapper.Unmappable} only if some kernel cannot map at any
     candidate unroll factor (kernels that fail are skipped; a point where
-    *no* kernel maps raises). *)
+    *no* kernel maps raises).  The roster is deduplicated by
+    {!Picachu_ir.Kernel.structural_digest} before fan-out, so structurally
+    shared kernels compile once per point.  [cold] (default false) bypasses
+    the content-addressed cache — benchmarks and the search-effort gate use
+    it to measure genuine compiles.  [hints] warm-starts each kernel's
+    mapper from the store and harvests this point's accepted schedules back
+    into it. *)
 
 val sweep :
-  ?sizes:(int * int) list -> ?cot_shares:float list -> unit -> point list
-(** Default: sizes {3x3, 4x4, 4x8, 5x5} x CoT shares {1/3, 1/2, 2/3, 5/6}. *)
+  ?sizes:(int * int) list ->
+  ?cot_shares:float list ->
+  ?warm:bool ->
+  unit ->
+  point list
+(** Default: sizes {3x3, 4x4, 4x8, 5x5} x CoT shares {1/3, 1/2, 2/3, 5/6}.
+    Design points that share an architecture digest (CoT shares rounding to
+    the same tile mix) evaluate once and are relabeled per share.
+
+    [warm] (default false) evaluates each grid size's shares sequentially,
+    threading a per-size {!Compiler.hints} store along the CoT-share axis so
+    every point after the first seeds its mapper from a sibling one knob
+    away; sizes still run in parallel, and hint stores never cross sizes, so
+    results are pool-size independent.  Off by default: the flat cold path
+    is the reference the transcript golden pins, warm mode is the DSE
+    fast path. *)
 
 val pareto : point list -> point list
 (** Points not dominated in (throughput up, area down), in area order. *)

@@ -114,8 +114,10 @@ let v ~name ?post ?dump f : ('a, 'b) t =
         raise e
   in
   record name (Unix.gettimeofday () -. t0);
-  (match (!dump_after, dump) with
-  | Some want, Some d when want = name -> !dump_sink ~pass:name (d y)
+  (* no tuple allocation on the hot no-dump path *)
+  (match !dump_after with
+  | Some want when want = name -> (
+      match dump with Some d -> !dump_sink ~pass:name (d y) | None -> ())
   | _ -> ());
   (match post with
   | Some check when Verify.enabled () -> (

@@ -27,3 +27,7 @@ val pass_table : Pipeline.pass_stats list -> unit
 (** Render [Compiler.compile_stats ()]: pass, runs, total wall-ms, and the
     pass's counters inline.  Wall times are nondeterministic — keep this
     out of golden-diffed transcripts. *)
+
+val search_effort_line : Picachu_cgra.Mapper.counters -> unit
+(** One-line mapper search-effort summary — II attempts, backtracks, and
+    (when any hints were consulted) the warm-start hit rate. *)

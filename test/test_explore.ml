@@ -83,8 +83,8 @@ let test_reference_point_on_frontier () =
   Alcotest.(check bool) "paper point undominated" false dominated
 
 let test_more_cots_more_area () =
-  let a = Explore.evaluate ~rows:4 ~cols:4 ~cot_share:(1.0 /. 3.0) in
-  let b = Explore.evaluate ~rows:4 ~cols:4 ~cot_share:(5.0 /. 6.0) in
+  let a = Explore.evaluate ~rows:4 ~cols:4 ~cot_share:(1.0 /. 3.0) () in
+  let b = Explore.evaluate ~rows:4 ~cols:4 ~cot_share:(5.0 /. 6.0) () in
   Alcotest.(check bool) "CoTs cost area" true (b.Explore.area_mm2 > a.Explore.area_mm2);
   Alcotest.(check bool) "CoTs buy throughput" true
     (b.Explore.geomean_throughput > a.Explore.geomean_throughput)

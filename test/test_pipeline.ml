@@ -223,7 +223,7 @@ let test_pass_failure_names_pass () =
 let test_explore_memoization () =
   (* a design point no other test or experiment visits *)
   let evaluate () =
-    ignore (Explore.evaluate ~rows:3 ~cols:4 ~cot_share:0.42)
+    ignore (Explore.evaluate ~rows:3 ~cols:4 ~cot_share:0.42 ())
   in
   let c0 = Compiler.compile_count () in
   evaluate ();
