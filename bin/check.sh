@@ -43,4 +43,25 @@ echo "$serve_out"
 echo "$serve_out" | grep -q "ttft (ms)" || {
   echo "serve smoke: percentile table missing"; exit 1; }
 
+echo "== cluster smoke =="
+# 3 fault-free replicas behind the round-robin router must answer every
+# request, lose none, and keep the availability accounting identity
+cluster_out="$(dune exec bin/picachu_cli.exe -- cluster llama2-7b --replicas 3 --router round-robin --fault-profile none --rps 8 --requests 12 --seed 7)"
+echo "$cluster_out"
+echo "$cluster_out" | grep -q "(identity ok)" || {
+  echo "cluster smoke: accounting identity violated"; exit 1; }
+echo "$cluster_out" | grep -q "arrivals 12  answered 12  dropped 0  failed 0" || {
+  echo "cluster smoke: fault-free cluster lost requests"; exit 1; }
+
+echo "== chaos smoke =="
+# crash-heavy profile with the defense stack on: the identity must still
+# hold and the circuit breakers must actually trip
+chaos_out="$(dune exec bin/picachu_cli.exe -- cluster llama2-7b --replicas 3 --fault-profile crash --mttf 6 --mttr 2 --rps 2 --requests 24 --seed 5 --timeout 20)"
+echo "$chaos_out"
+echo "$chaos_out" | grep -q "(identity ok)" || {
+  echo "chaos smoke: accounting identity violated"; exit 1; }
+if echo "$chaos_out" | grep -q "breaker-trips=0 "; then
+  echo "chaos smoke: no breaker trips under a crash-heavy profile"; exit 1
+fi
+
 echo "== check.sh: all green =="

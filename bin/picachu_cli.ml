@@ -9,7 +9,9 @@
      models [--seq N]      print the workload inventory of the LLM zoo
      simulate MODEL        end-to-end PICACHU simulation of one model
      serve MODEL           multi-request traffic simulation with latency
-                           percentiles (continuous vs static batching) *)
+                           percentiles (continuous vs static batching)
+     cluster MODEL         multi-replica serving under a fault profile with
+                           router, retries, hedging, and circuit breakers *)
 
 open Cmdliner
 module Kernels = Picachu_ir.Kernels
@@ -485,6 +487,133 @@ let serve_cmd =
              percentiles, throughput, and the serving-tier tally.")
     Term.(const run $ model_arg $ rps $ requests $ policy $ seed $ slots $ queue)
 
+(* ---------------------------------------------------------------- cluster *)
+
+let cluster_cmd =
+  let model_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL"
+           ~doc:"Model to serve (e.g. llama2-7b).")
+  in
+  let replicas =
+    Arg.(value & opt int 3 & info [ "replicas" ] ~docv:"N"
+           ~doc:"Number of serving replicas behind the router.")
+  in
+  let router_conv =
+    let parse s =
+      match Cluster.router_of_string s with
+      | Some r -> Ok r
+      | None -> Error (`Msg "router is 'round-robin', 'least-loaded' or 'p2c'")
+    in
+    Arg.conv (parse, fun fmt r -> Format.pp_print_string fmt (Cluster.router_name r))
+  in
+  let router =
+    Arg.(value & opt router_conv Cluster.Round_robin & info [ "router" ] ~docv:"R"
+           ~doc:"Routing policy: round-robin (default), least-loaded, p2c.")
+  in
+  let fault_profile =
+    Arg.(value & opt string "none" & info [ "fault-profile" ] ~docv:"P"
+           ~doc:"Replica failure profile: none (default), crash, straggler, mixed.")
+  in
+  let mttf =
+    Arg.(value & opt float 30.0 & info [ "mttf" ] ~docv:"S"
+           ~doc:"Mean time between replica failures (seconds, simulated).")
+  in
+  let mttr =
+    Arg.(value & opt float 5.0 & info [ "mttr" ] ~docv:"S"
+           ~doc:"Mean outage duration (seconds, simulated).")
+  in
+  let rps =
+    Arg.(value & opt float 4.0 & info [ "rps" ] ~docv:"R"
+           ~doc:"Mean request arrival rate (Poisson).")
+  in
+  let requests =
+    Arg.(value & opt int 32 & info [ "requests"; "n" ] ~docv:"N"
+           ~doc:"Number of requests in the trace.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Trace seed.") in
+  let slots =
+    Arg.(value & opt int 8 & info [ "slots" ] ~docv:"K"
+           ~doc:"Continuous-batching slots per replica.")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"Q"
+           ~doc:"Admission queue capacity per replica.")
+  in
+  let no_defenses =
+    Arg.(value & flag & info [ "no-defenses" ]
+           ~doc:"Disable every front-end defense (no retries, hedges, \
+                 breakers, timeouts) — the chaos baseline.")
+  in
+  let timeout =
+    Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"S"
+           ~doc:"Per-attempt deadline in simulated seconds.")
+  in
+  let retries =
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"K"
+           ~doc:"Deadline-driven retry budget per request.")
+  in
+  let run name replicas router fault_profile mttf mttr rps requests seed slots queue
+      no_defenses timeout retries =
+    let m =
+      try Mz.by_name name
+      with Not_found ->
+        Printf.eprintf "unknown model %s\n" name;
+        exit 1
+    in
+    let profile =
+      match Cluster.profile_of_string ~seed ~mttf ~mttr fault_profile with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "unknown fault profile %s (known: none, crash, straggler, mixed)\n"
+            fault_profile;
+          exit 1
+    in
+    let defenses =
+      if no_defenses then Cluster.no_defenses
+      else
+        { Cluster.default_defenses with Cluster.timeout_s = timeout; max_retries = retries }
+    in
+    let cfg =
+      {
+        Cluster.replicas;
+        router;
+        slots;
+        queue_capacity = queue;
+        seed;
+        profile;
+        defenses;
+      }
+    in
+    let spec = Scheduler.default_trace ~seed ~rps ~requests () in
+    let report =
+      try Cluster.serve cfg (Simulator.default_config ()) m spec
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    Printf.printf
+      "%s  replicas=%d router=%s profile=%s mttf=%g mttr=%g rps=%g requests=%d \
+       slots=%d queue=%d seed=%d defenses=%s\n"
+      name replicas (Cluster.router_name router) fault_profile mttf mttr rps requests
+      slots queue seed
+      (if no_defenses then "off" else "on");
+    Report.cluster_table report;
+    if not (Cluster.accounting_ok report) then begin
+      Printf.eprintf "availability accounting identity violated\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Simulate a multi-replica cluster under a replica failure \
+             profile: a discrete-event core hosts N continuous-batching \
+             replicas behind a router with timeouts, retries, hedging, and \
+             circuit breakers; prints availability, tail latency, and fault \
+             counters.  Exits non-zero if the availability accounting \
+             identity is violated.")
+    Term.(const run $ model_arg $ replicas $ router $ fault_profile $ mttf $ mttr
+          $ rps $ requests $ seed $ slots $ queue $ no_defenses $ timeout $ retries)
+
 (* --------------------------------------------------------------- simulate *)
 
 let simulate_cmd =
@@ -536,4 +665,4 @@ let simulate_cmd =
 let () =
   let doc = "PICACHU: plug-in CGRA for nonlinear operations in LLMs (ASPLOS'25 reproduction)" in
   let info = Cmd.info "picachu" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; stats_cmd; lint_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd; serve_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; stats_cmd; lint_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd; serve_cmd; cluster_cmd ]))

@@ -73,7 +73,7 @@ let res_mii arch (g : Dfg.t) =
         raise (Unmappable (Printf.sprintf "%s: op supported by no tile" g.label));
       masks.(u) <- !m
     done;
-    Array.sort (fun (a : int) b -> Stdlib.compare a b) masks;
+    Array.sort Int.compare masks;
     (* collapse to (distinct mask, node count) runs *)
     let cmask = Array.make (Stdlib.max n 1) 0 in
     let ccount = Array.make (Stdlib.max n 1) 0 in
@@ -666,7 +666,16 @@ let rebuild_hint arch ctx (g : Dfg.t) (h : mapping) =
                     |> List.filter (fun tl -> feasible u tl t)
                     |> List.map (fun tl -> (abs k, hops_around u tl, tl, t)))
                 [ 0; 1; -1; 2; -2 ]
-              |> List.sort compare
+              |> List.sort (fun (k1, h1, tl1, t1) (k2, h2, tl2, t2) ->
+                     match Int.compare k1 k2 with
+                     | 0 -> (
+                         match Int.compare h1 h2 with
+                         | 0 -> (
+                             match Int.compare tl1 tl2 with
+                             | 0 -> Int.compare t1 t2
+                             | c -> c)
+                         | c -> c)
+                     | c -> c)
             in
             List.exists
               (fun (_, _, tl, t) ->

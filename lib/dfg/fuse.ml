@@ -106,7 +106,19 @@ let fuse (g : Dfg.t) =
         else Some { Dfg.src = s; dst = d; distance = e.distance })
       g.edges
   in
-  let edges = List.sort_uniq compare edges in
+  let edges =
+    (* same (src, dst, distance) order polymorphic compare gave, minus the
+       generic-comparison dispatch on every element *)
+    List.sort_uniq
+      (fun (a : Dfg.edge) (b : Dfg.edge) ->
+        match Int.compare a.src b.src with
+        | 0 -> (
+            match Int.compare a.dst b.dst with
+            | 0 -> Int.compare a.distance b.distance
+            | c -> c)
+        | c -> c)
+      edges
+  in
   {
     Dfg.nodes = Array.of_list (List.rev !nodes);
     edges;

@@ -1,0 +1,162 @@
+(** Fault-tolerant multi-replica cluster serving.
+
+    {!Scheduler} simulates one replica; production traffic runs N of them
+    behind a router, and replicas crash, hang, and slow down.  This module
+    hosts N copies of the Scheduler's continuous-batching step model inside
+    a deterministic discrete-event core ({!Event_queue}: binary heap,
+    O(log n) per event, stable (time, seq) tie-breaking), adds a seeded
+    replica-level failure model (crash / hang-straggler / transient
+    slowdown with MTTF/MTTR renewal), and defends at the front end with
+    per-request timeouts, bounded retries with exponential backoff and
+    jitter, optional hedged requests after a p95-derived delay, per-replica
+    circuit breakers (closed / open / half-open with probe admission), and
+    health-check-driven ejection.  A crashed replica's in-flight and queued
+    requests are re-queued on survivors ({!Picachu_error.Replica_crashed}
+    is transient, so re-queuing is not charged against the retry budget);
+    a timed-out attempt is retried within a bounded budget
+    ({!Picachu_error.Deadline_exceeded}) — the typed taxonomy, not strings,
+    drives the policy.
+
+    {2 Fidelity and determinism}
+
+    A 1-replica, zero-fault, defense-free cluster replays
+    {!Scheduler.run}'s trace bit-identically (the PR 5 golden-trace MD5
+    holds over [Cluster.run]'s completions).  Every stream is seeded and
+    all arithmetic is sequential, so traces are bit-identical across
+    [PICACHU_DOMAINS] pool sizes and repeat runs at every fault profile. *)
+
+module Mz = Picachu_llm.Model_zoo
+
+(** {2 Routing} *)
+
+type router = Round_robin | Least_loaded | Power_of_two
+
+val router_name : router -> string
+(** ["round-robin"] / ["least-loaded"] / ["p2c"] — also the CLI spelling. *)
+
+val router_of_string : string -> router option
+
+(** {2 Failure model} *)
+
+type fault_profile = {
+  fp_seed : int;
+  mttf_s : float;  (** mean time between failures; [infinity] disables *)
+  mttr_s : float;  (** mean outage duration *)
+  p_crash : float;  (** mode weights, normalized over the three *)
+  p_hang : float;
+  p_slow : float;
+  hang_factor : float;  (** step-duration multiplier while hung *)
+  slow_factor : float;  (** step-duration multiplier while slowed *)
+}
+
+val profile_none : fault_profile
+
+val profile_crash : ?seed:int -> mttf:float -> mttr:float -> unit -> fault_profile
+val profile_straggler : ?seed:int -> mttf:float -> mttr:float -> unit -> fault_profile
+val profile_mixed : ?seed:int -> mttf:float -> mttr:float -> unit -> fault_profile
+(** Crash-only / hang-only / 50-30-20 crash-hang-slow mixes. *)
+
+val profile_active : fault_profile -> bool
+
+val profile_of_string :
+  ?seed:int -> ?mttf:float -> ?mttr:float -> string -> fault_profile option
+(** ["none"], ["crash"], ["straggler"], ["mixed"] — the CLI spellings. *)
+
+(** {2 Front-end defenses} *)
+
+type defenses = {
+  timeout_s : float;  (** per-attempt deadline; [infinity] disables *)
+  max_retries : int;  (** deadline-driven retries per request *)
+  backoff_s : float;  (** base redispatch backoff, doubling per wait *)
+  backoff_jitter : float;  (** jitter fraction on the backoff, seeded *)
+  requeue_on_crash : bool;  (** re-queue a crashed replica's requests *)
+  hedge : bool;  (** duplicate slow requests after a p95-derived delay *)
+  hedge_min_samples : int;  (** completions needed before hedging arms *)
+  breaker : bool;  (** per-replica circuit breakers *)
+  breaker_threshold : int;  (** consecutive failures to trip *)
+  breaker_cooldown_s : float;  (** open -> half-open delay *)
+  health_interval_s : float;  (** recovered-replica re-admission cadence *)
+}
+
+val no_defenses : defenses
+(** Everything off — crashes lose their requests.  The chaos baseline. *)
+
+val default_defenses : defenses
+
+(** {2 Configuration} *)
+
+type config = {
+  replicas : int;
+  router : router;
+  slots : int;  (** continuous-batching slots per replica *)
+  queue_capacity : int;  (** admission-queue bound per replica *)
+  seed : int;  (** front-end stream: p2c choices, backoff jitter *)
+  profile : fault_profile;
+  defenses : defenses;
+}
+
+val default_config :
+  ?replicas:int ->
+  ?router:router ->
+  ?slots:int ->
+  ?queue_capacity:int ->
+  ?seed:int ->
+  ?profile:fault_profile ->
+  ?defenses:defenses ->
+  unit ->
+  config
+(** 2 replicas, round-robin, 8 slots, queue 64, seed 1, no faults,
+    {!default_defenses}. *)
+
+(** {2 Results} *)
+
+type counters = {
+  crashes : int;
+  hangs : int;
+  slowdowns : int;
+  requeued : int;  (** crash-displaced dispatches (not charged to retries) *)
+  retries : int;  (** deadline-driven re-dispatches *)
+  timeouts : int;  (** attempts that outlived the per-request deadline *)
+  hedges : int;  (** duplicate attempts launched *)
+  hedge_wins : int;  (** hedged attempts that answered first *)
+  breaker_trips : int;  (** closed/half-open -> open transitions *)
+  probes : int;  (** half-open probe admissions *)
+  dispatches : int;  (** every enqueue onto a replica, all causes *)
+}
+
+type report = {
+  completions : Scheduler.completion list;  (** in completion order *)
+  arrivals : int;
+  answered : int;
+  dropped : int;  (** rejected by a full admission queue *)
+  failed : int;  (** timed out / lost after the retry budget *)
+  availability : float;  (** answered / (arrivals - dropped); 1.0 vacuously *)
+  amplification : float;  (** dispatches / (arrivals - dropped) *)
+  makespan_s : float;
+  goodput_tps : float;  (** completed tokens per second over the makespan *)
+  ttft : Scheduler.pct;
+  latency : Scheduler.pct;
+  tiers : (Serving.tier * int) list;
+  served_per_replica : int array;
+  counters : counters;
+}
+
+val accounting_ok : report -> bool
+(** The availability identity: answered + dropped + failed = arrivals.
+    Holds for every scenario — asserted by the chaos CI smoke. *)
+
+val run : config -> cost:Scheduler.cost_source -> Scheduler.arrival list -> report
+(** Simulate a trace through the cluster.  Raises [Invalid_argument] on
+    non-positive knobs or a malformed request; never raises on overload —
+    shed and lost load is reported, not thrown. *)
+
+val serve :
+  ?budget:int ->
+  ?gpu:Picachu_llm.Gpu_model.t ->
+  config ->
+  Simulator.config ->
+  Mz.t ->
+  Scheduler.trace_spec ->
+  report
+(** [run] over [Scheduler.trace spec] with {!Scheduler.robust_source}
+    costs — the end-to-end entry the CLI and benchmarks use. *)

@@ -1,0 +1,83 @@
+(* Seeded-order binary-heap event queue for the discrete-event cluster
+   simulator.
+
+   Events pop in nondecreasing (time, seq) order, where [seq] is the push
+   order: two events at the same instant dequeue in the order they were
+   scheduled.  That single rule is what makes cluster traces bit-identical
+   across domain-pool sizes and repeat runs — ties never fall back to
+   physical heap layout or pointer identity.  O(log n) push/pop. *)
+
+type 'a entry = { at : float; seq : int; v : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;  (* [0, n) is a min-heap on (at, seq) *)
+  mutable n : int;
+  mutable seq : int;  (* next push order stamp *)
+}
+
+let create () = { heap = [||]; n = 0; seq = 0 }
+let length t = t.n
+let is_empty t = t.n = 0
+
+(* strict (time, seq) order; seq values are unique so this is total *)
+let before a b =
+  match Float.compare a.at b.at with 0 -> Int.compare a.seq b.seq < 0 | c -> c < 0
+
+let grow t =
+  let cap = Array.length t.heap in
+  if t.n = cap then begin
+    let ncap = Stdlib.max 8 (2 * cap) in
+    let h = Array.make ncap t.heap.(0) in
+    Array.blit t.heap 0 h 0 t.n;
+    t.heap <- h
+  end
+
+let push t ~at v =
+  if Float.is_nan at then invalid_arg "Event_queue.push: NaN time";
+  let e = { at; seq = t.seq; v } in
+  t.seq <- t.seq + 1;
+  if t.n = 0 && Array.length t.heap = 0 then t.heap <- Array.make 8 e else grow t;
+  (* sift up *)
+  let i = ref t.n in
+  t.n <- t.n + 1;
+  t.heap.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before t.heap.(!i) t.heap.(parent) then begin
+      let tmp = t.heap.(parent) in
+      t.heap.(parent) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek t = if t.n = 0 then None else Some (t.heap.(0).at, t.heap.(0).v)
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.n <- t.n - 1;
+    if t.n > 0 then begin
+      t.heap.(0) <- t.heap.(t.n);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.n && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.n && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.heap.(!smallest) in
+          t.heap.(!smallest) <- t.heap.(!i);
+          t.heap.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.at, top.v)
+  end

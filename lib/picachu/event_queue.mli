@@ -1,0 +1,27 @@
+(** Deterministic binary-heap event queue.
+
+    The priority is the pair [(time, seq)] where [seq] is the push order:
+    events dequeue in nondecreasing time, and two events scheduled for the
+    same instant dequeue in the order they were pushed.  Total order, no
+    fallback to physical layout — the property that keeps discrete-event
+    cluster traces bit-identical across domain-pool sizes and repeat runs.
+    Push and pop are O(log n); the heap storage grows geometrically and is
+    never shared, so a queue is single-owner mutable state like
+    {!Picachu_tensor.Rng}. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> at:float -> 'a -> unit
+(** Schedule [v] at absolute time [at].  Raises [Invalid_argument] on a NaN
+    time (which would poison the heap order). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event — smallest [(time, seq)]. *)
+
+val peek : 'a t -> (float * 'a) option
+(** The event [pop] would return, without removing it. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

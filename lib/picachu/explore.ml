@@ -165,6 +165,6 @@ let dominates a b =
 let pareto points =
   points
   |> List.filter (fun p -> not (List.exists (fun q -> dominates q p) points))
-  |> List.sort (fun a b -> compare a.area_mm2 b.area_mm2)
+  |> List.sort (fun a b -> Float.compare a.area_mm2 b.area_mm2)
 
 let reference_point () = evaluate ~rows:4 ~cols:4 ~cot_share:(2.0 /. 3.0) ()

@@ -9,11 +9,14 @@ type t =
   | Timing_violation of string
   | Verification_failed of { kernel : string; findings : string list }
   | All_tiers_failed of (string * t) list
+  | Replica_crashed of { replica : int }
+  | Deadline_exceeded of { request : int; attempt : int }
 
 exception Error of t
 
 let transient = function
-  | Execution_fault _ | Timing_violation _ -> true
+  | Execution_fault _ | Timing_violation _ | Replica_crashed _ | Deadline_exceeded _ ->
+      true
   | Unmappable _ | Mapping_failed _ | Unknown_kernel _ | Verification_failed _
   | All_tiers_failed _ ->
       false
@@ -37,6 +40,9 @@ let rec to_string = function
   | Verification_failed { kernel; findings } ->
       Printf.sprintf "%s: static verification failed (%s)" kernel
         (String.concat "; " findings)
+  | Replica_crashed { replica } -> Printf.sprintf "replica %d crashed" replica
+  | Deadline_exceeded { request; attempt } ->
+      Printf.sprintf "request %d exceeded its deadline on attempt %d" request attempt
   | All_tiers_failed tiers ->
       "all serving tiers failed: "
       ^ String.concat "; "

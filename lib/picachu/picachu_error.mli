@@ -32,12 +32,22 @@ type t =
   | All_tiers_failed of (string * t) list
       (** Every serving tier failed; payload pairs tier names with their
           final errors, in attempt order. *)
+  | Replica_crashed of { replica : int }
+      (** A cluster replica died with this request in flight or queued.
+          Transient: the request itself is fine — the front-end re-queues it
+          on a surviving replica without charging the retry budget. *)
+  | Deadline_exceeded of { request : int; attempt : int }
+      (** A dispatched attempt outlived its per-request timeout.  Transient:
+          another replica may answer in time, but each retry is charged
+          against the request's bounded budget. *)
 
 exception Error of t
 
 val transient : t -> bool
 (** True for failures that re-execution may clear ([Execution_fault],
-    [Timing_violation]); false for deterministic/structural ones. *)
+    [Timing_violation], [Replica_crashed], [Deadline_exceeded]); false for
+    deterministic/structural ones.  The cluster front-end's retry policy
+    keys off this bit: a non-transient failure is never retried. *)
 
 val of_exn : exn -> t option
 (** Map pipeline exceptions into the taxonomy: [Error] unwraps,

@@ -75,7 +75,7 @@ let stats () =
             runs = e.runs;
             wall_s = e.wall_s;
             counters =
-              List.sort (fun (a, _) (b, _) -> compare a b) (own @ sourced);
+              List.sort (fun (a, _) (b, _) -> String.compare a b) (own @ sourced);
           })
         !order)
 

@@ -56,6 +56,44 @@ let serve_table (f : Scheduler.fleet) =
           (fun (t, k) -> Printf.sprintf "%s=%d" (Serving.tier_name t) k)
           f.Scheduler.tiers))
 
+(* Cluster-level serving metrics: the percentile table, the availability
+   accounting identity (printed so CI can grep it), fault and defense
+   counters, and the per-replica completion spread. *)
+let cluster_table (r : Cluster.report) =
+  let ms v = Printf.sprintf "%.2f" (1000.0 *. v) in
+  table
+    ~header:[ "metric"; "p50"; "p95"; "p99" ]
+    [
+      [ "ttft (ms)"; ms r.Cluster.ttft.Scheduler.p50; ms r.Cluster.ttft.Scheduler.p95;
+        ms r.Cluster.ttft.Scheduler.p99 ];
+      [ "latency (ms)"; ms r.Cluster.latency.Scheduler.p50;
+        ms r.Cluster.latency.Scheduler.p95; ms r.Cluster.latency.Scheduler.p99 ];
+    ];
+  Printf.printf "arrivals %d  answered %d  dropped %d  failed %d  (identity %s)\n"
+    r.Cluster.arrivals r.Cluster.answered r.Cluster.dropped r.Cluster.failed
+    (if Cluster.accounting_ok r then "ok" else "VIOLATED");
+  Printf.printf
+    "availability %.4f  goodput %.1f tok/s  amplification %.2fx  makespan %.3f s\n"
+    r.Cluster.availability r.Cluster.goodput_tps r.Cluster.amplification
+    r.Cluster.makespan_s;
+  let c = r.Cluster.counters in
+  Printf.printf "faults: crashes=%d hangs=%d slowdowns=%d\n" c.Cluster.crashes
+    c.Cluster.hangs c.Cluster.slowdowns;
+  Printf.printf
+    "defense: requeued=%d retries=%d timeouts=%d hedges=%d hedge-wins=%d \
+     breaker-trips=%d probes=%d\n"
+    c.Cluster.requeued c.Cluster.retries c.Cluster.timeouts c.Cluster.hedges
+    c.Cluster.hedge_wins c.Cluster.breaker_trips c.Cluster.probes;
+  Printf.printf "replicas served: %s\n"
+    (String.concat "  "
+       (Array.to_list
+          (Array.mapi (fun i k -> Printf.sprintf "r%d=%d" i k) r.Cluster.served_per_replica)));
+  Printf.printf "tiers: %s\n"
+    (String.concat "  "
+       (List.map
+          (fun (t, k) -> Printf.sprintf "%s=%d" (Serving.tier_name t) k)
+          r.Cluster.tiers))
+
 (* One-line mapper search-effort summary: raw attempt/backtrack totals plus
    the warm-start hit rate whenever any hints were consulted — the number
    that tells you whether a sweep actually ran on the fast path. *)

@@ -23,6 +23,12 @@ val serve_table : Scheduler.fleet -> unit
     a completed/dropped/makespan/throughput summary line plus the per-tier
     tally. *)
 
+val cluster_table : Cluster.report -> unit
+(** Render a {!Cluster.report}: percentile table (ms), the availability
+    accounting identity (greppable ["(identity ok)"] for the CI smokes),
+    availability/goodput/amplification, fault and defense counters, the
+    per-replica completion spread, and the per-tier tally. *)
+
 val pass_table : Pipeline.pass_stats list -> unit
 (** Render [Compiler.compile_stats ()]: pass, runs, total wall-ms, and the
     pass's counters inline.  Wall times are nondeterministic — keep this

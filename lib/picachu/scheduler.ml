@@ -101,6 +101,27 @@ type completion = {
 
 type pct = { p50 : float; p95 : float; p99 : float }
 
+let zero_pct = { p50 = 0.0; p95 = 0.0; p99 = 0.0 }
+
+let percentiles f completions =
+  match completions with
+  | [] -> zero_pct
+  | _ ->
+      let xs = Array.of_list (List.map f completions) in
+      {
+        p50 = Stats.percentile xs 50.0;
+        p95 = Stats.percentile xs 95.0;
+        p99 = Stats.percentile xs 99.0;
+      }
+
+let tier_tally completions =
+  List.filter_map
+    (fun t ->
+      match List.length (List.filter (fun c -> c.c_tier = t) completions) with
+      | 0 -> None
+      | k -> Some (t, k))
+    [ Serving.Fused; Serving.Baseline_cgra; Serving.Roofline ]
+
 type fleet = {
   completions : completion list;
   dropped : int;
@@ -252,16 +273,9 @@ let run ?(slots = 8) ?(queue_capacity = 64) ~policy ~(cost : cost_source) arriva
         else now := Float.max !now arrivals.(!next).at
       done);
   let completions = List.rev !completions in
-  if completions = [] then
-    invalid_arg "Scheduler.run: no completions (empty trace, or everything dropped)";
-  let pct_of f =
-    let xs = Array.of_list (List.map f completions) in
-    {
-      p50 = Stats.percentile xs 50.0;
-      p95 = Stats.percentile xs 95.0;
-      p99 = Stats.percentile xs 99.0;
-    }
-  in
+  (* zero completions — an empty trace, or overload dropping everything — is
+     a scenario to report, not an exception: the caller still needs the true
+     drop count to see the shed load *)
   let makespan =
     List.fold_left (fun acc c -> Float.max acc (c.c_arrival_s +. c.c_latency_s)) 0.0
       completions
@@ -273,16 +287,11 @@ let run ?(slots = 8) ?(queue_capacity = 64) ~policy ~(cost : cost_source) arriva
     completions;
     dropped = !dropped;
     makespan_s = makespan;
-    throughput_tps = float_of_int tokens /. makespan;
-    ttft = pct_of (fun c -> c.c_ttft_s);
-    latency = pct_of (fun c -> c.c_latency_s);
-    tiers =
-      List.filter_map
-        (fun t ->
-          match List.length (List.filter (fun c -> c.c_tier = t) completions) with
-          | 0 -> None
-          | k -> Some (t, k))
-        [ Serving.Fused; Serving.Baseline_cgra; Serving.Roofline ];
+    throughput_tps =
+      (if completions = [] then 0.0 else float_of_int tokens /. makespan);
+    ttft = percentiles (fun c -> c.c_ttft_s) completions;
+    latency = percentiles (fun c -> c.c_latency_s) completions;
+    tiers = tier_tally completions;
   }
 
 let serve ?slots ?queue_capacity ?budget ?gpu ~policy cfg m spec =

@@ -86,6 +86,13 @@ type completion = {
 
 type pct = { p50 : float; p95 : float; p99 : float }
 
+val percentiles : (completion -> float) -> completion list -> pct
+(** p50/p95/p99 of a per-completion metric ({!Picachu_tensor.Stats.percentile}
+    with monomorphic [Float.compare]); all-zero on an empty list. *)
+
+val tier_tally : completion list -> (Serving.tier * int) list
+(** Completions per serving tier, omitting tiers that served nothing. *)
+
 type fleet = {
   completions : completion list;  (** in completion order *)
   dropped : int;  (** arrivals rejected by a full admission queue *)
@@ -105,9 +112,11 @@ val run :
   fleet
 (** Simulate a trace.  [slots] (default 8) bounds the continuous decode
     batch; [queue_capacity] (default 64) bounds the admission queue —
-    arrivals beyond it are dropped and counted.  Raises [Invalid_argument]
-    on non-positive knobs, a malformed request, or a trace with no
-    completions. *)
+    arrivals beyond it are dropped and counted.  A trace with no
+    completions (empty, or overload dropping everything) returns a
+    well-formed fleet with zero completions, zero percentiles, and the true
+    [dropped] count.  Raises [Invalid_argument] only on non-positive knobs
+    or a malformed request. *)
 
 val serve :
   ?slots:int ->

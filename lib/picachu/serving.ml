@@ -15,7 +15,7 @@ type summary = { ttft_s : float; total_s : float; tokens_per_s : float }
 
 let anchor_lengths (r : request) =
   let last = r.prompt + r.generate in
-  List.sort_uniq compare [ r.prompt; (r.prompt + last) / 2; last ]
+  List.sort_uniq Int.compare [ r.prompt; (r.prompt + last) / 2; last ]
 
 let picachu_costs cfg m (r : request) =
   let prefill =

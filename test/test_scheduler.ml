@@ -137,9 +137,29 @@ let test_run_validation () =
   Alcotest.check_raises "batch" (Invalid_argument "Scheduler.run: batch size must be positive")
     (fun () ->
       ignore (Scheduler.run ~policy:(Scheduler.Static 0) ~cost:(flat_cost ()) []));
-  Alcotest.check_raises "empty trace"
-    (Invalid_argument "Scheduler.run: no completions (empty trace, or everything dropped)")
-    (fun () -> ignore (Scheduler.run ~policy:Scheduler.Continuous ~cost:(flat_cost ()) []))
+  (* an empty trace is a well-formed degenerate fleet, not an exception —
+     the cluster layer feeds per-replica sub-traces that can be empty *)
+  let empty = Scheduler.run ~policy:Scheduler.Continuous ~cost:(flat_cost ()) [] in
+  Alcotest.(check int) "no completions" 0 (List.length empty.Scheduler.completions);
+  Alcotest.(check int) "no drops" 0 empty.Scheduler.dropped;
+  checkf "zero throughput" 0.0 empty.Scheduler.throughput_tps;
+  checkf "zero p99 ttft" 0.0 empty.Scheduler.ttft.Scheduler.p99;
+  Alcotest.(check int) "no tiers" 0 (List.length empty.Scheduler.tiers)
+
+let test_all_dropped_trace () =
+  (* queue capacity 1, one slot, a burst at t=0: requests beyond the first
+     two are shed.  Before PR 7 an all-dropped trace raised [Invalid_argument]
+     out of Scheduler.run; now it must report a well-formed fleet whose
+     completions + dropped account for every arrival *)
+  let burst = List.init 12 (fun i -> arrival i 0.0 8 1) in
+  let fleet =
+    Scheduler.run ~slots:1 ~queue_capacity:1 ~policy:Scheduler.Continuous
+      ~cost:(flat_cost ()) burst
+  in
+  Alcotest.(check int) "accounting"
+    12
+    (List.length fleet.Scheduler.completions + fleet.Scheduler.dropped);
+  Alcotest.(check bool) "most of the burst shed" true (fleet.Scheduler.dropped >= 10)
 
 (* ------------------------------------------- the pinned llama2-7b trace *)
 
@@ -239,6 +259,7 @@ let suite =
           test_static_partial_final_batch;
         Alcotest.test_case "queue capacity drops" `Quick test_queue_capacity_drops;
         Alcotest.test_case "validation" `Quick test_run_validation;
+        Alcotest.test_case "all-dropped trace" `Quick test_all_dropped_trace;
         Alcotest.test_case "golden trace pinned" `Quick test_golden_trace_pinned;
         Alcotest.test_case "golden pool-invariant" `Quick test_golden_pool_invariant;
         Alcotest.test_case "continuous beats static p95 ttft" `Quick
