@@ -142,6 +142,19 @@ let bench_tests =
          (let opts = Compiler.picachu_options () in
           ignore (Compiler.cached_result opts Kernels.Picachu "softmax");
           fun () -> ignore (Compiler.cached_result opts Kernels.Picachu "softmax")));
+    (* verify: one affine-arithmetic precision analysis of the hardest
+       roster kernel (three loops, reductions, a division) at one format *)
+    Test.make ~name:"verify:precision-softmax"
+      (Staged.stage
+         (let k = Kernels.softmax Kernels.Picachu in
+          let fmt = Picachu_numerics.Numfmt.fixed ~total_bits:16 ~frac_bits:8 in
+          fun () -> ignore (Picachu_verify.Precision.analyze ~fmt k)));
+    (* compile: the full format-selection ladder walk (9 candidate
+       analyses) for a kernel that proves a sub-Q16 bound *)
+    Test.make ~name:"compile:select-format"
+      (Staged.stage
+         (let k = Kernels.gelu Kernels.Picachu in
+          fun () -> ignore (Compiler.select_format ~budget:1e-2 k)));
     (* serve: one full traffic trace through the discrete-event scheduler
        (cost source built once — the per-bucket memo and the compile cache
        leave the scheduler's own event loop as the measured work) *)

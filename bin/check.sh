@@ -28,9 +28,21 @@ dune exec bin/picachu_cli.exe -- stats --sweep-effort 800
 
 echo "== static verification sweep =="
 # whole kernel library through the independent verifier (IR lint, DFG
-# invariants, schedule validation, range analysis); non-zero exit on any
-# Error-severity finding
-dune exec bin/picachu_cli.exe -- lint
+# invariants, schedule validation, range analysis, and the affine
+# precision analysis under each kernel's selected format); non-zero exit
+# on any Error-severity finding
+dune exec bin/picachu_cli.exe -- lint --precision
+
+echo "== format selection smoke =="
+# the proven-bound ladder must pick a sub-16-bit format for at least one
+# roster kernel within the default 1e-2 budget (relu proves bound 0 in
+# fp8_e4m3; gelu fits q4.8), and the summary line must say so
+formats_out="$(dune exec bin/picachu_cli.exe -- formats)"
+echo "$formats_out"
+echo "$formats_out" | grep -q "^relu  *fp8_e4m3  *8  *0 " || {
+  echo "formats smoke: relu did not select fp8_e4m3 at proven bound 0"; exit 1; }
+echo "$formats_out" | grep -Eq "[1-9][0-9]* sub-16-bit selection" || {
+  echo "formats smoke: no sub-16-bit selection on the roster"; exit 1; }
 
 echo "== fault campaign smoke =="
 dune exec examples/fault_campaign.exe -- 0.002 7

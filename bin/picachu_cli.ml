@@ -4,7 +4,10 @@
      experiments [ID...]   reproduce the paper's tables/figures (default all)
      compile KERNEL        compile a library kernel and show IR/DFG/mapping
      stats                 per-pass pipeline stats + cache effectiveness check
-     lint [KERNEL...]      static verification sweep (default: whole library)
+     lint [KERNEL...]      static verification sweep (default: whole library);
+                           --precision adds the affine-arithmetic error
+                           analysis under each kernel's selected format
+     formats [KERNEL...]   proven-bound automatic format selection table
      arch                  print the architecture instances and cost model
      models [--seq N]      print the workload inventory of the LLM zoo
      simulate MODEL        end-to-end PICACHU simulation of one model
@@ -28,6 +31,8 @@ module Dataflow = Picachu_memory.Dataflow
 module Verify = Picachu_verify.Verify
 module Range = Picachu_verify.Range
 module Finding = Picachu_verify.Finding
+module Precision = Picachu_verify.Precision
+module Numfmt = Picachu_numerics.Numfmt
 open Picachu
 
 (* ------------------------------------------------------------ experiments *)
@@ -214,7 +219,13 @@ let lint_cmd =
     Arg.(value & flag & info [ "verbose"; "v" ]
            ~doc:"Also print Info-severity findings (precision advisories).")
   in
-  let run names verbose =
+  let precision =
+    Arg.(value & flag & info [ "precision" ]
+           ~doc:"Also run the affine-arithmetic precision analysis: select \
+                 each kernel's format against \\$PICACHU_ERROR_BUDGET and \
+                 report the proven error bound and any prec-* findings.")
+  in
+  let run names verbose precision =
     let library variant = Kernels.all variant @ Kernels.extras variant in
     let roster =
       match names with
@@ -235,6 +246,8 @@ let lint_cmd =
             names
     in
     let errors = ref 0 and warnings = ref 0 and infos = ref 0 in
+    (* deterministic output: findings print in (severity, code, loc) order
+       whatever evaluation order produced them *)
     let report findings =
       List.iter
         (fun (f : Finding.t) ->
@@ -244,7 +257,7 @@ let lint_cmd =
           | Finding.Info -> incr infos);
           if verbose || f.Finding.severity <> Finding.Info then
             Format.printf "  %a@." Finding.pp f)
-        findings
+        (Finding.sort findings)
     in
     List.iter
       (fun (variant, (k : Kernel.t)) ->
@@ -267,7 +280,20 @@ let lint_cmd =
         | Error e ->
             incr errors;
             Printf.printf "  error[compile] %s\n" (Picachu_error.to_string e));
-        report (Range.analyze k))
+        report (Range.analyze k);
+        if precision then begin
+          let c = Compiler.select_format k in
+          let r = Precision.analyze ~fmt:c.Precision.fmt k in
+          report r.Precision.findings;
+          Printf.printf "  precision: %s (%d bits) proven bound %s budget %g%s\n"
+            (Numfmt.name c.Precision.fmt)
+            (Numfmt.bits c.Precision.fmt)
+            (if Float.is_finite c.Precision.bound then
+               Printf.sprintf "%.3g" c.Precision.bound
+             else "unbounded")
+            c.Precision.budget
+            (if c.Precision.fallback then " [fallback]" else "")
+        end)
       roster;
     Printf.printf "%d kernel(s): %d error(s), %d warning(s), %d advisory(ies)\n"
       (List.length roster) !errors !warnings !infos;
@@ -276,10 +302,78 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Run the independent static verifier (IR lint, DFG invariants, \
-             schedule validation, fixed-point range analysis) over library \
-             kernels.  Exits non-zero when any Error-severity finding \
-             survives.")
-    Term.(const run $ kernels_arg $ verbose)
+             schedule validation, fixed-point range analysis, and with \
+             $(b,--precision) the affine-arithmetic error analysis) over \
+             library kernels.  Exits non-zero when any Error-severity \
+             finding survives.")
+    Term.(const run $ kernels_arg $ verbose $ precision)
+
+(* --------------------------------------------------------------- formats *)
+
+let formats_cmd =
+  let kernels_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"KERNEL"
+           ~doc:"Kernels to select formats for (default: the whole PICACHU \
+                 roster including the future-operation extras).")
+  in
+  let budget =
+    Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"ERR"
+           ~doc:"Absolute output-error budget (default: \
+                 \\$PICACHU_ERROR_BUDGET or 1e-2).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ]
+           ~doc:"Also print every candidate format's proven bound.")
+  in
+  let run names budget verbose =
+    let library = Kernels.all Kernels.Picachu @ Kernels.extras Kernels.Picachu in
+    let roster =
+      match names with
+      | [] -> library
+      | names ->
+          List.map
+            (fun name ->
+              match List.find_opt (fun k -> k.Kernel.name = name) library with
+              | Some k -> k
+              | None ->
+                  Printf.eprintf "unknown kernel %s\n" name;
+                  exit 2)
+            names
+    in
+    let pp_bound b =
+      if Float.is_finite b then Printf.sprintf "%.3g" b else "unbounded"
+    in
+    Printf.printf "%-16s %-10s %5s  %-11s %-9s %s\n" "kernel" "format" "bits"
+      "proven" "budget" "status";
+    let narrow = ref 0 and fallbacks = ref 0 in
+    List.iter
+      (fun (k : Kernel.t) ->
+        let c = Compiler.select_format ?budget k in
+        if c.Precision.fallback then incr fallbacks
+        else if Numfmt.bits c.Precision.fmt < 16 then incr narrow;
+        Printf.printf "%-16s %-10s %5d  %-11s %-9g %s\n" k.Kernel.name
+          (Numfmt.name c.Precision.fmt)
+          (Numfmt.bits c.Precision.fmt)
+          (pp_bound c.Precision.bound) c.Precision.budget
+          (if c.Precision.fallback then "fallback" else "fits");
+        if verbose then
+          List.iter
+            (fun (fmt, b) ->
+              Printf.printf "    %-10s %5d  %s\n" (Numfmt.name fmt)
+                (Numfmt.bits fmt) (pp_bound b))
+            c.Precision.tried)
+      roster;
+    Printf.printf
+      "%d kernel(s): %d sub-16-bit selection(s), %d fallback(s)\n"
+      (List.length roster) !narrow !fallbacks
+  in
+  Cmd.v
+    (Cmd.info "formats"
+       ~doc:"Proven-bound automatic format selection: walk the candidate \
+             ladder cheapest-first and report, per kernel, the cheapest \
+             number format whose statically proven worst-case output error \
+             fits the budget (affine-arithmetic analysis; no execution).")
+    Term.(const run $ kernels_arg $ budget $ verbose)
 
 (* ---------------------------------------------------------------- dump *)
 
@@ -665,4 +759,4 @@ let simulate_cmd =
 let () =
   let doc = "PICACHU: plug-in CGRA for nonlinear operations in LLMs (ASPLOS'25 reproduction)" in
   let info = Cmd.info "picachu" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; stats_cmd; lint_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd; serve_cmd; cluster_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; stats_cmd; lint_cmd; formats_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd; serve_cmd; cluster_cmd ]))

@@ -72,7 +72,15 @@ let trip_count_scalar (loop : Kernel.loop) =
 
 let trip_scalar = trip_count_scalar
 
-let run_loop (loop : Kernel.loop) ~arrays ~scalars ~outputs =
+let run_loop ?round (loop : Kernel.loop) ~arrays ~scalars ~outputs =
+  (* the optional rounding hook models a finite machine: it sees every
+     instruction result and may quantize it (staged per loop so a hook can
+     precompute per-loop facts, e.g. the control skeleton) *)
+  let round_instr =
+    match round with
+    | Some r -> r loop
+    | None -> fun (_ : Instr.t) v -> v
+  in
   let scalars = ref scalars in
   List.iter
     (fun (name, e) -> scalars := (name, eval_sexpr !scalars e) :: !scalars)
@@ -141,7 +149,7 @@ let run_loop (loop : Kernel.loop) ~arrays ~scalars ~outputs =
           | Op.Br -> arg 0
           | Op.Fused _ -> fail "%s: fused op in IR interpreter" loop.label
         in
-        values.(i.id) <- v)
+        values.(i.id) <- round_instr i v)
       body;
     Array.blit values 0 prev 0 count
   done;
@@ -153,7 +161,7 @@ let run_loop (loop : Kernel.loop) ~arrays ~scalars ~outputs =
   in
   scalars'
 
-let run (k : Kernel.t) env =
+let run ?round (k : Kernel.t) env =
   (match Kernel.validate k with
   | Ok () -> ()
   | Error e -> fail "invalid kernel: %s" e);
@@ -165,7 +173,7 @@ let run (k : Kernel.t) env =
         let arrays =
           Hashtbl.fold (fun name a acc -> (name, a) :: acc) outputs env.arrays
         in
-        run_loop loop ~arrays ~scalars ~outputs)
+        run_loop ?round loop ~arrays ~scalars ~outputs)
       env.scalars k.loops
   in
   {

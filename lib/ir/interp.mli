@@ -27,11 +27,17 @@ val lookup_lut : string -> Picachu_numerics.Lut.t
 (** The tables shipped with the CoTs; currently ["phi"] (Gaussian CDF).
     Raises [Runtime_error] on an unknown table. *)
 
-val run : Kernel.t -> env -> result
+val run :
+  ?round:(Kernel.loop -> Instr.t -> float -> float) -> Kernel.t -> env -> result
 (** The trip-count scalar of each loop (its [trip_input]) must divide into
     the streams consistently: every loaded stream must have at least
     [trip * step] elements. Raises [Runtime_error] on missing streams,
-    scalars, or malformed bodies. *)
+    scalars, or malformed bodies.
+
+    [?round] models a finite machine: it is applied to every instruction
+    result before it is written back (staged once per loop, so the hook can
+    precompute per-loop facts such as the control skeleton).  The default
+    is the identity — plain float64 reference semantics. *)
 
 val eval_sexpr : (string * float) list -> Kernel.sexpr -> float
 

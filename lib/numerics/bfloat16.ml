@@ -1,0 +1,33 @@
+(* bfloat16 is binary32 with the low 16 mantissa bits dropped: same 8-bit
+   exponent field, 7 explicit mantissa bits.  Conversion therefore reduces
+   to round-to-nearest-even on the upper half of the binary32 pattern;
+   subnormals need no special casing because the exponent field is shared
+   with binary32. *)
+
+let max_value = 3.3895313892515355e38 (* 0x7F7F = (2 - 2^-7) * 2^127 *)
+let epsilon = 1.0 /. 128.0
+let min_positive_subnormal = Float.ldexp 1.0 (-133)
+
+let of_float x =
+  let bits32 = Int32.bits_of_float x in
+  let sign =
+    if Int32.logand bits32 Int32.min_int <> 0l then 0x8000 else 0
+  in
+  let u = Int32.to_int (Int32.logand bits32 0x7FFFFFFFl) in
+  if u > 0x7F800000 then sign lor 0x7FC0 (* quiet NaN *)
+  else
+    (* RNE on the low 16 bits; a finite value that rounds past the largest
+       finite encoding carries into the infinity encoding, and infinity
+       itself (rem = 0) passes through unchanged *)
+    let q = u lsr 16 in
+    let rem = u land 0xFFFF in
+    let rounded =
+      if rem > 0x8000 || (rem = 0x8000 && q land 1 = 1) then q + 1 else q
+    in
+    let rounded = if rounded > 0x7F80 then 0x7F80 else rounded in
+    sign lor rounded
+
+let to_float bits =
+  Int32.float_of_bits (Int32.of_int ((bits land 0xFFFF) lsl 16))
+
+let round x = to_float (of_float x)

@@ -1,0 +1,24 @@
+(** bfloat16 (brain floating point): 1 sign, 8 exponent, 7 mantissa bits.
+
+    The training/inference format that keeps binary32's dynamic range at
+    half the width.  Encoded values are the top 16 bits of the binary32
+    pattern, so conversion is round-to-nearest-even on the low half of the
+    word; infinities, NaN and subnormals follow IEEE 754 with the shared
+    8-bit exponent field. *)
+
+val max_value : float
+(** Largest finite value, [(2 - 2^-7) * 2^127]. *)
+
+val epsilon : float
+(** Spacing of values in [[1, 2)]: [2^-7]. *)
+
+val min_positive_subnormal : float
+(** Smallest positive (subnormal) value, [2^-133]. *)
+
+val of_float : float -> int
+(** Round-to-nearest-even into the 16-bit encoding.  Finite values beyond
+    {!max_value} round to infinity; NaN maps to a quiet NaN encoding. *)
+
+val to_float : int -> float
+val round : float -> float
+(** Quantize a float through the format ([to_float] of [of_float]). *)

@@ -1,0 +1,93 @@
+(* 8-bit minifloats in the two OCP interchange layouts.
+
+   E5M2 follows IEEE 754 exactly (exponent all-ones encodes infinity and
+   NaN).  E4M3 reclaims almost the whole top exponent row for finite
+   values: S.1111.111 is the only NaN, there is no infinity, and the
+   largest finite value is S.1111.110 = 448.
+
+   Conversion is round-to-nearest-even with *saturating* overflow — finite
+   values past the largest finite magnitude clamp to it instead of
+   producing infinity (the accelerator convention; an FP8 infinity would
+   poison a whole tile the way a silent fixed-point wrap would). *)
+
+type fmt = {
+  name : string;
+  exp_bits : int;
+  mant_bits : int;
+  bias : int;
+  has_inf : bool;
+}
+
+let e4m3 = { name = "fp8_e4m3"; exp_bits = 4; mant_bits = 3; bias = 7; has_inf = false }
+let e5m2 = { name = "fp8_e5m2"; exp_bits = 5; mant_bits = 2; bias = 15; has_inf = true }
+
+let mant_mask f = (1 lsl f.mant_bits) - 1
+let exp_mask f = (1 lsl f.exp_bits) - 1
+
+(* exponent of the subnormal quantum: value of mantissa ulp when e = 0 *)
+let sub_exp f = 1 - f.bias - f.mant_bits
+
+let nan_code f =
+  if f.has_inf then (exp_mask f lsl f.mant_bits) lor 1
+  else (exp_mask f lsl f.mant_bits) lor mant_mask f
+
+let inf_code f = exp_mask f lsl f.mant_bits
+
+(* largest finite magnitude encoding *)
+let max_code f =
+  if f.has_inf then ((exp_mask f - 1) lsl f.mant_bits) lor mant_mask f
+  else (exp_mask f lsl f.mant_bits) lor (mant_mask f - 1)
+
+let to_float f code =
+  let code = code land 0xFF in
+  let sign = if code land 0x80 <> 0 then -1.0 else 1.0 in
+  let e = (code lsr f.mant_bits) land exp_mask f in
+  let m = code land mant_mask f in
+  if f.has_inf && e = exp_mask f then
+    if m = 0 then sign *. infinity else nan
+  else if (not f.has_inf) && e = exp_mask f && m = mant_mask f then nan
+  else if e = 0 then sign *. Float.ldexp (float_of_int m) (sub_exp f)
+  else
+    sign *. Float.ldexp (float_of_int (m lor (1 lsl f.mant_bits))) (e - f.bias - f.mant_bits)
+
+let max_value f = to_float f (max_code f)
+let min_positive_subnormal f = Float.ldexp 1.0 (sub_exp f)
+
+let of_float f x =
+  if Float.is_nan x then nan_code f
+  else
+    let sign = if 1.0 /. x < 0.0 || x < 0.0 then 0x80 else 0 in
+    let a = Float.abs x in
+    if a = infinity then
+      (* E5M2 keeps IEEE infinities; E4M3 has none, so saturate *)
+      sign lor (if f.has_inf then inf_code f else max_code f)
+    else if a > max_value f then sign lor max_code f
+    else if a = 0.0 then sign
+    else
+      (* scale [a] into integer units of the quantum at its binade; the
+         quotient is a small exact float, so RNE reduces to integer
+         rounding with ties-to-even *)
+      let _, e = Float.frexp a in
+      let shift = Stdlib.max (e - 1 - f.mant_bits) (sub_exp f) in
+      let q = a /. Float.ldexp 1.0 shift in
+      let fl = Float.floor q in
+      let rem = q -. fl in
+      let qi = int_of_float fl in
+      let qi =
+        if rem > 0.5 then qi + 1
+        else if rem < 0.5 then qi
+        else if qi land 1 = 1 then qi + 1
+        else qi
+      in
+      (* a mantissa carry moves the value up one binade *)
+      let qi, shift =
+        if qi = 1 lsl (f.mant_bits + 1) then (1 lsl f.mant_bits, shift + 1)
+        else (qi, shift)
+      in
+      if qi < 1 lsl f.mant_bits then sign lor qi (* subnormal (shift = sub_exp) *)
+      else
+        let e_field = shift + f.mant_bits + f.bias in
+        let code = (e_field lsl f.mant_bits) lor (qi land mant_mask f) in
+        if code > max_code f then sign lor max_code f else sign lor code
+
+let round f x = to_float f (of_float f x)

@@ -1,0 +1,36 @@
+(** 8-bit minifloats (OCP FP8): E4M3 and E5M2.
+
+    E5M2 (1 sign, 5 exponent, 2 mantissa, bias 15) is IEEE-like: the top
+    exponent row encodes infinities and NaN and the largest finite value is
+    57344.  E4M3 (1 sign, 4 exponent, 3 mantissa, bias 7) reclaims the top
+    row: no infinity, NaN only at S.1111.111, largest finite value 448.
+
+    Conversions round to nearest, ties to even, and *saturate*: a finite
+    input beyond the largest finite magnitude clamps to it (±infinity input
+    stays infinity in E5M2, which has one, and saturates in E4M3, which
+    does not).  NaN maps to the format's NaN encoding. *)
+
+type fmt = {
+  name : string;
+  exp_bits : int;
+  mant_bits : int;
+  bias : int;
+  has_inf : bool;  (** IEEE top row (E5M2) vs reclaimed finite row (E4M3) *)
+}
+
+val e4m3 : fmt
+val e5m2 : fmt
+
+val max_value : fmt -> float
+(** Largest finite magnitude: 448 (E4M3), 57344 (E5M2). *)
+
+val min_positive_subnormal : fmt -> float
+(** Smallest positive value: [2^-9] (E4M3), [2^-16] (E5M2). *)
+
+val of_float : fmt -> float -> int
+(** Round-to-nearest-even into the 8-bit encoding, saturating as described
+    above.  The sign of zero is preserved. *)
+
+val to_float : fmt -> int -> float
+val round : fmt -> float -> float
+(** Quantize a float through the format. *)

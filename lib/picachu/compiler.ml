@@ -8,6 +8,7 @@ module Arch = Picachu_cgra.Arch
 module Mapper = Picachu_cgra.Mapper
 module Verify = Picachu_verify.Verify
 module Finding = Picachu_verify.Finding
+module Precision = Picachu_verify.Precision
 
 type options = {
   arch : Arch.t;
@@ -53,6 +54,7 @@ let pass_names = [ "vectorize"; "unroll"; "extract"; "fuse"; "schedule" ]
 
 let () =
   List.iter Pipeline.declare pass_names;
+  Pipeline.declare "select-format";
   (* the mapper's search-effort atomics surface under the schedule pass *)
   Pipeline.register_counter_source ~pass:"schedule"
     ~reset:Mapper.reset_counters (fun () ->
@@ -63,6 +65,27 @@ let () =
         ("warm-hits", c.Mapper.warm_hits);
         ("warm-rejects", c.Mapper.warm_rejects);
       ])
+
+(* ------------------------------------------------- format selection pass *)
+
+(* Precision-driven format choice runs as its own registered pass so the
+   ladder walk shows up in [compile_stats] next to the structural passes:
+   how many candidates each selection proved bounds for, and how often the
+   budget was missed (a fallback to the best-proven / widest format). *)
+let stage_select_format ?config ?budget ?candidates () =
+  Pipeline.v ~name:"select-format" (fun k ->
+      let c = Precision.select_format ?config ?budget ?candidates k in
+      Pipeline.bump ~pass:"select-format" "candidates-proven"
+        (List.length
+           (List.filter (fun (_, b) -> Float.is_finite b) c.Precision.tried));
+      Pipeline.bump ~pass:"select-format" "candidates-tried"
+        (List.length c.Precision.tried);
+      if c.Precision.fallback then
+        Pipeline.bump ~pass:"select-format" "fallbacks" 1;
+      c)
+
+let select_format ?config ?budget ?candidates (k : Kernel.t) =
+  Pipeline.run (stage_select_format ?config ?budget ?candidates ()) k
 
 (* ------------------------------------------------------- warm-start hints *)
 

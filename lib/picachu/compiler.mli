@@ -86,6 +86,19 @@ val compile_result :
 val compile : options -> Kernel.t -> compiled
 (** [compile_result] unwrapped; raises {!Picachu_error.Error} on failure. *)
 
+val select_format :
+  ?config:Picachu_verify.Precision.config ->
+  ?budget:float ->
+  ?candidates:Picachu_numerics.Numfmt.t list ->
+  Kernel.t ->
+  Picachu_verify.Precision.choice
+(** {!Picachu_verify.Precision.select_format} run as the registered
+    ["select-format"] pipeline pass: picks the cheapest candidate format
+    whose statically proven error bound fits the budget (default
+    {!Picachu_verify.Precision.default_budget}), falling back to the
+    best-proven (or widest) candidate.  Instrumented under
+    {!compile_stats}: candidates tried/proven and fallback count. *)
+
 val verify_compiled : options -> compiled -> Picachu_verify.Finding.t list
 (** Error-severity findings from the independent validator
     ({!Picachu_verify.Verify}) over everything a compile emitted: the

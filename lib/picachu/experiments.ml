@@ -1141,6 +1141,79 @@ let print_pipeline () =
   Printf.printf "cache: hits=%d misses=%d entries=%d\n" s.Compiler.hits
     s.Compiler.misses s.Compiler.entries
 
+(* ------------------------------- supplementary: precision / formats *)
+
+(* Accuracy vs cost of the proven-bound format selection: per roster
+   kernel, the chosen format, its statically proven worst-case output
+   error, and the surrogate-perplexity delta of running the whole
+   nonlinear stack behind that format's I/O grid (exact operator
+   mathematics behind quantized I/O, isolating the data-format cost).
+   Tensors are scaled per-tensor into the format's range before
+   quantizing — the same dynamic protocol as the ours-INT16 backend —
+   so the delta measures the format's *resolution*, which is what the
+   proven bound speaks to, not fixed-range saturation on out-of-range
+   hidden states.  PPL deltas are per format, so kernels sharing a
+   chosen format share a delta; the proven bound is the per-kernel
+   quantity. *)
+let supp_precision () =
+  let roster = Kernels.all Kernels.Picachu @ Kernels.extras Kernels.Picachu in
+  let sur = surrogate_for Mz.llama2_7b in
+  let rng = Picachu_tensor.Rng.create stream_seed in
+  let stream =
+    Surrogate.sample sur rng ~temperature:sample_temperature ~len:stream_len ()
+  in
+  let base = Ppl.ppl sur Nm.Approx.exact stream in
+  let delta_memo = Hashtbl.create 8 in
+  let ppl_delta fmt =
+    let key = Nm.Numfmt.name fmt in
+    match Hashtbl.find_opt delta_memo key with
+    | Some d -> d
+    | None ->
+        let quantize_dyn xs =
+          let amax =
+            Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 xs
+          in
+          if amax = 0.0 || not (Float.is_finite amax) then
+            Array.map (Nm.Numfmt.quantize fmt) xs
+          else
+            let s = amax /. Nm.Numfmt.max_value fmt in
+            Array.map (fun x -> Nm.Numfmt.quantize fmt (x /. s) *. s) xs
+        in
+        let backend =
+          { Nm.Approx.exact with Nm.Approx.name = key; format = quantize_dyn }
+        in
+        let d = Ppl.ppl sur backend stream -. base in
+        Hashtbl.add delta_memo key d;
+        d
+  in
+  List.map
+    (fun (k : Kernel.t) ->
+      let c = Compiler.select_format ~budget:1e-2 k in
+      ( k.Kernel.name,
+        c.Picachu_verify.Precision.fmt,
+        c.Picachu_verify.Precision.bound,
+        c.Picachu_verify.Precision.fallback,
+        ppl_delta c.Picachu_verify.Precision.fmt ))
+    roster
+
+let print_precision () =
+  Report.section
+    "Supplementary: precision analysis & proven-bound format selection";
+  Report.table
+    ~header:[ "kernel"; "format"; "bits"; "proven bound"; "ppl delta"; "status" ]
+    (List.map
+       (fun (name, fmt, bound, fallback, delta) ->
+         [
+           name;
+           Nm.Numfmt.name fmt;
+           string_of_int (Nm.Numfmt.bits fmt);
+           (if Float.is_finite bound then Printf.sprintf "%.3g" bound
+            else "unbounded");
+           Printf.sprintf "%+.4f" delta;
+           (if fallback then "fallback" else "fits");
+         ])
+       (supp_precision ()))
+
 let printers =
   [
     ("fig1", print_fig1);
@@ -1175,7 +1248,11 @@ let printers =
 (* opt-in ids, kept out of [print_all]: the default experiments transcript
    (EXPERIMENTS.md) predates fault support and must stay byte-identical *)
 let extra_printers =
-  [ ("resilience", print_resilience); ("pipeline", print_pipeline) ]
+  [
+    ("resilience", print_resilience);
+    ("pipeline", print_pipeline);
+    ("precision", print_precision);
+  ]
 
 let ids = List.map fst printers @ List.map fst extra_printers
 

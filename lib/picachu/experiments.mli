@@ -163,6 +163,16 @@ val resilience_serving : unit -> (string * float * (string * int) list) list
     requests answered per tier).  Availability is 1.0 in every scenario —
     the roofline tier is analytic and cannot fail. *)
 
+(* -- Supplementary: precision --------------------------------------------- *)
+
+val supp_precision :
+  unit -> (string * Picachu_numerics.Numfmt.t * float * bool * float) list
+(** Accuracy vs cost of proven-bound format selection: per roster kernel,
+    (chosen format, proven worst-case output error, fallback?, surrogate
+    PPL delta of exact operator mathematics behind that format's I/O
+    grid, per-tensor dynamically scaled like the ours-INT16 backend).
+    Budget 1e-2. *)
+
 (* -- Ablations -------------------------------------------------------------- *)
 
 val ablation_fusion : unit -> (string * float) list
@@ -195,7 +205,8 @@ val ablation_order : unit -> (int * float * int) list
 
 val print : string -> unit
 (** Print one experiment by id ("fig1", "tab2", ..., "ablations",
-    "resilience", "pipeline"). Raises [Invalid_argument] on unknown ids. *)
+    "resilience", "pipeline", "precision"). Raises [Invalid_argument] on
+    unknown ids. *)
 
 val ids : string list
 

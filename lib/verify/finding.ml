@@ -1,5 +1,5 @@
 type severity = Error | Warning | Info
-type pass = Lint | Dfg_check | Schedule_check | Range_check
+type pass = Lint | Dfg_check | Schedule_check | Range_check | Precision_check
 
 type loc = {
   kernel : string option;
@@ -29,6 +29,7 @@ let pass_name = function
   | Dfg_check -> "dfg"
   | Schedule_check -> "schedule"
   | Range_check -> "range"
+  | Precision_check -> "precision"
 
 let pp_loc fmt loc =
   let parts =
@@ -48,7 +49,20 @@ let pp fmt f =
     f.code pp_loc f.loc f.message
 
 let to_string f = Format.asprintf "%a" pp f
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+(* total order so finding lists print identically whatever the evaluation
+   order (domain-pool sizes, roster sweep parallelism) that produced them *)
+let compare a b =
+  Stdlib.compare
+    ( severity_rank a.severity, a.code, a.loc.kernel, a.loc.loop, a.loc.node,
+      pass_name a.pass, a.message )
+    ( severity_rank b.severity, b.code, b.loc.kernel, b.loc.loop, b.loc.node,
+      pass_name b.pass, b.message )
+
+let sort fs = List.sort compare fs
 let errors fs = List.filter (fun f -> f.severity = Error) fs
 let count sev fs = List.length (List.filter (fun f -> f.severity = sev) fs)
 let has_code code fs = List.exists (fun f -> f.code = code) fs
-let codes fs = List.sort_uniq compare (List.map (fun f -> f.code) fs)
+let codes fs = List.sort_uniq Stdlib.compare (List.map (fun f -> f.code) fs)

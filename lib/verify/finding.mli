@@ -8,7 +8,7 @@
 
 type severity = Error | Warning | Info
 
-type pass = Lint | Dfg_check | Schedule_check | Range_check
+type pass = Lint | Dfg_check | Schedule_check | Range_check | Precision_check
 
 type loc = {
   kernel : string option;
@@ -40,6 +40,15 @@ val make :
 
 val severity_name : severity -> string
 val pass_name : pass -> string
+
+val compare : t -> t -> int
+(** Deterministic total order: severity (errors first), then code, then
+    location, then pass and message. *)
+
+val sort : t list -> t list
+(** Sort by {!compare} — gives finding lists a stable, diffable print order
+    regardless of the evaluation order that produced them. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -36,14 +36,26 @@ let mul_i a b =
 let contains_zero i = i.lo <= 0.0 && i.hi >= 0.0
 
 let div_i a b =
-  if contains_zero b then top
-  else
+  if b.lo > 0.0 || b.hi < 0.0 then
+    (* divisor provably excludes zero: tight endpoint quotients *)
     let p1 = a.lo /. b.lo and p2 = a.lo /. b.hi and p3 = a.hi /. b.lo and p4 = a.hi /. b.hi in
     guard
       {
         lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
         hi = Float.max (Float.max p1 p2) (Float.max p3 p4);
       }
+  else if b.lo = 0.0 && b.hi > 0.0 then
+    (* divisor in (0, hi]: the quotient is unbounded toward the sign(s) of
+       the numerator but keeps the finite bound from the hi end *)
+    if a.lo >= 0.0 then guard { lo = a.lo /. b.hi; hi = infinity }
+    else if a.hi <= 0.0 then guard { lo = neg_infinity; hi = a.hi /. b.hi }
+    else top
+  else if b.hi = 0.0 && b.lo < 0.0 then
+    (* divisor in [lo, 0): mirrored through the sign flip *)
+    if a.lo >= 0.0 then guard { lo = neg_infinity; hi = a.lo /. b.lo }
+    else if a.hi <= 0.0 then guard { lo = a.hi /. b.lo; hi = infinity }
+    else top
+  else top
 
 let max_i a b = { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi }
 let min_i a b = { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi }

@@ -31,7 +31,16 @@ val contains_zero : itv -> bool
 
 val binop_i : Picachu_ir.Op.binop -> itv -> itv -> itv
 (** Interval transfer function of a primitive binary op (exposed for
-    tests). *)
+    tests).  Division by an interval that provably excludes zero takes
+    tight endpoint quotients; a divisor with zero as one endpoint keeps the
+    finite bound from its nonzero end (half-bounded result) instead of
+    widening to top. *)
+
+val skeleton_ids : Picachu_ir.Instr.t array -> int list
+(** Instruction ids of the loop-control skeleton (branch, bound compare,
+    induction increment/phi and the trip-count register) — the integer
+    control path excluded from data-path format checks.  Shared with the
+    precision analyzer. *)
 
 type config = {
   fmt : Picachu_numerics.Fixed_point.fmt;  (** the checked Q format *)

@@ -9,5 +9,6 @@ let () =
     (Test_tensor.suite @ Test_numerics.suite @ Test_ir.suite @ Test_dfg.suite
    @ Test_cgra.suite @ Test_memory.suite @ Test_nonlinear.suite
    @ Test_llm.suite @ Test_picachu.suite @ Test_hw.suite @ Test_explore.suite @ Test_frontend.suite @ Test_fuzz.suite @ Test_text.suite @ Test_props.suite @ Test_golden.suite @ Test_misc.suite @ Test_parallel.suite
-   @ Test_resilience.suite @ Test_verify.suite @ Test_pipeline.suite
+   @ Test_resilience.suite @ Test_verify.suite @ Test_precision.suite
+   @ Test_pipeline.suite
    @ Test_scheduler.suite @ Test_cluster.suite @ Test_mapper_fastpath.suite)

@@ -483,6 +483,204 @@ let test_ours_backends_close_to_exact () =
         xs)
     [ Approx.fp16_reference; Approx.ours_fp (); Approx.ours_int () ]
 
+(* -------------------------------------------------------------- Bfloat16 *)
+
+let test_bf16_known_encodings () =
+  Alcotest.(check int) "1.0" 0x3F80 (Bfloat16.of_float 1.0);
+  Alcotest.(check int) "-2.0" 0xC000 (Bfloat16.of_float (-2.0));
+  Alcotest.(check int) "max" 0x7F7F (Bfloat16.of_float Bfloat16.max_value);
+  Alcotest.(check int) "inf" 0x7F80 (Bfloat16.of_float infinity);
+  Alcotest.(check int) "-inf" 0xFF80 (Bfloat16.of_float neg_infinity);
+  Alcotest.(check int) "nan" 0x7FC0 (Bfloat16.of_float Float.nan);
+  Alcotest.(check int) "+0" 0x0000 (Bfloat16.of_float 0.0)
+
+let test_bf16_decode_known () =
+  check_float "decode 1.0" 1.0 (Bfloat16.to_float 0x3F80);
+  check_float "decode max" Bfloat16.max_value (Bfloat16.to_float 0x7F7F);
+  check_float "decode smallest subnormal" Bfloat16.min_positive_subnormal
+    (Bfloat16.to_float 0x0001);
+  Alcotest.(check bool) "decode inf" true (Bfloat16.to_float 0x7F80 = infinity);
+  Alcotest.(check bool) "decode nan" true (Float.is_nan (Bfloat16.to_float 0x7FC0))
+
+let test_bf16_round_to_nearest_even () =
+  (* 1 + 2^-8 sits exactly between 1.0 and 1 + 2^-7: ties to the even code *)
+  check_float "tie to even (down)" 1.0 (Bfloat16.round (1.0 +. (2.0 ** -8.0)));
+  check_float "tie to even (up)" (1.0 +. (2.0 ** -6.0))
+    (Bfloat16.round (1.0 +. (3.0 *. (2.0 ** -8.0))));
+  check_float "above tie" (1.0 +. (2.0 ** -7.0))
+    (Bfloat16.round (1.0 +. (1.5 *. (2.0 ** -8.0))))
+
+let test_bf16_overflow_and_max_ulp () =
+  let ulp = 2.0 ** 120.0 (* spacing at the top binade, 2^(127-7) *) in
+  Alcotest.(check bool) "beyond max rounds to inf" true
+    (Bfloat16.round 3.4e38 = infinity);
+  check_float "max stays" Bfloat16.max_value (Bfloat16.round Bfloat16.max_value);
+  check_float "max - 1 ulp stays" (Bfloat16.max_value -. ulp)
+    (Bfloat16.round (Bfloat16.max_value -. ulp));
+  Alcotest.(check bool) "max + 1 ulp rounds to inf" true
+    (Bfloat16.round (Bfloat16.max_value +. ulp) = infinity)
+
+let test_bf16_subnormals () =
+  let s = Bfloat16.min_positive_subnormal in
+  check_float "min subnormal exact" s (Bfloat16.round s);
+  check_float "half of it ties to zero" 0.0 (Bfloat16.round (s /. 2.0));
+  check_float "0.75 of it rounds up" s (Bfloat16.round (0.75 *. s));
+  check_float "negative subnormal" (-.s) (Bfloat16.round (-.s))
+
+let prop_bf16_roundtrip_idempotent =
+  QCheck.Test.make ~name:"bf16 round is idempotent" ~count:1000
+    (QCheck.float_range (-1e38) 1e38) (fun x ->
+      let r = Bfloat16.round x in
+      Bfloat16.round r = r)
+
+let prop_bf16_half_ulp =
+  QCheck.Test.make ~name:"bf16 error within half-ulp" ~count:1000
+    (QCheck.float_range 1e-30 1e30) (fun x ->
+      rel_err x (Bfloat16.round x) <= (Bfloat16.epsilon /. 2.0) +. 1e-12)
+
+let prop_bf16_codes_roundtrip =
+  QCheck.Test.make ~name:"bf16 all codes decode/encode stable" ~count:1
+    QCheck.unit (fun () ->
+      (* every 16-bit pattern: decode then re-encode is the identity up to
+         NaN canonicalization *)
+      let ok = ref true in
+      for code = 0 to 0xFFFF do
+        let v = Bfloat16.to_float code in
+        let back = Bfloat16.of_float v in
+        if Float.is_nan v then ok := !ok && Float.is_nan (Bfloat16.to_float back)
+        else ok := !ok && back = code
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------- Fp8 *)
+
+let test_fp8_known_values () =
+  check_float "e4m3 max" 448.0 (Fp8.max_value Fp8.e4m3);
+  check_float "e5m2 max" 57344.0 (Fp8.max_value Fp8.e5m2);
+  check_float "e4m3 min subnormal" (2.0 ** -9.0)
+    (Fp8.min_positive_subnormal Fp8.e4m3);
+  check_float "e5m2 min subnormal" (2.0 ** -16.0)
+    (Fp8.min_positive_subnormal Fp8.e5m2);
+  check_float "e4m3 1.0" 1.0 (Fp8.round Fp8.e4m3 1.0);
+  check_float "e5m2 -2.0" (-2.0) (Fp8.round Fp8.e5m2 (-2.0))
+
+let test_fp8_saturation () =
+  (* E4M3 has no infinity: everything beyond max (infinity included)
+     saturates; E5M2 keeps true infinities but saturates finite overflow *)
+  check_float "e4m3 500 -> 448" 448.0 (Fp8.round Fp8.e4m3 500.0);
+  check_float "e4m3 inf -> 448" 448.0 (Fp8.round Fp8.e4m3 infinity);
+  check_float "e4m3 -inf -> -448" (-448.0) (Fp8.round Fp8.e4m3 neg_infinity);
+  check_float "e5m2 1e6 -> 57344" 57344.0 (Fp8.round Fp8.e5m2 1e6);
+  Alcotest.(check bool) "e5m2 inf stays inf" true
+    (Fp8.round Fp8.e5m2 infinity = infinity);
+  Alcotest.(check bool) "e5m2 -inf stays -inf" true
+    (Fp8.round Fp8.e5m2 neg_infinity = neg_infinity);
+  Alcotest.(check bool) "nan stays nan (both)" true
+    (Float.is_nan (Fp8.round Fp8.e4m3 Float.nan)
+    && Float.is_nan (Fp8.round Fp8.e5m2 Float.nan))
+
+let test_fp8_max_pm_one_ulp () =
+  List.iter
+    (fun (f, ulp) ->
+      let m = Fp8.max_value f in
+      check_float (f.Fp8.name ^ " max stays") m (Fp8.round f m);
+      check_float (f.Fp8.name ^ " max - ulp stays") (m -. ulp)
+        (Fp8.round f (m -. ulp));
+      check_float (f.Fp8.name ^ " max + ulp saturates") m (Fp8.round f (m +. ulp)))
+    [ (Fp8.e4m3, 32.0); (Fp8.e5m2, 8192.0) ]
+
+let test_fp8_subnormals () =
+  List.iter
+    (fun f ->
+      let s = Fp8.min_positive_subnormal f in
+      check_float (f.Fp8.name ^ " min subnormal exact") s (Fp8.round f s);
+      check_float (f.Fp8.name ^ " half ties to zero") 0.0 (Fp8.round f (s /. 2.0));
+      check_float (f.Fp8.name ^ " 0.75x rounds up") s (Fp8.round f (0.75 *. s));
+      check_float (f.Fp8.name ^ " negative") (-.s) (Fp8.round f (-.s)))
+    [ Fp8.e4m3; Fp8.e5m2 ]
+
+let test_fp8_all_codes_roundtrip () =
+  (* all 256 encodings: decode then re-encode is the identity up to NaN
+     canonicalization (E5M2 has a NaN row; E4M3 only S.1111.111) *)
+  List.iter
+    (fun f ->
+      for code = 0 to 255 do
+        let v = Fp8.to_float f code in
+        let back = Fp8.of_float f v in
+        if Float.is_nan v then
+          Alcotest.(check bool)
+            (Printf.sprintf "%s code %#x nan-canonical" f.Fp8.name code)
+            true
+            (Float.is_nan (Fp8.to_float f back))
+        else
+          Alcotest.(check int)
+            (Printf.sprintf "%s code %#x" f.Fp8.name code)
+            code back
+      done)
+    [ Fp8.e4m3; Fp8.e5m2 ]
+
+let prop_fp8_idempotent fmt =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "fp8 %s round is idempotent" fmt.Fp8.name)
+    ~count:1000
+    (QCheck.float_range (-60000.0) 60000.0)
+    (fun x ->
+      let r = Fp8.round fmt x in
+      Fp8.round fmt r = r)
+
+let prop_fp8_nearest fmt =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "fp8 %s rounds to nearest" fmt.Fp8.name)
+    ~count:1000
+    (QCheck.float_range (-.Fp8.max_value fmt) (Fp8.max_value fmt))
+    (fun x ->
+      (* the Numfmt quantum is the proven half-ulp bound at |x|'s binade *)
+      let q =
+        Numfmt.quantum (Numfmt.Fp8 fmt) ~mag:(Float.max (Float.abs x) 1e-12)
+      in
+      Float.abs (Fp8.round fmt x -. x) <= q)
+
+(* ---------------------------------------------------------------- Numfmt *)
+
+let test_numfmt_names_roundtrip () =
+  List.iter
+    (fun fmt ->
+      match Numfmt.of_string (Numfmt.name fmt) with
+      | Some fmt' ->
+          Alcotest.(check string) (Numfmt.name fmt) (Numfmt.name fmt)
+            (Numfmt.name fmt')
+      | None -> Alcotest.failf "of_string failed on %s" (Numfmt.name fmt))
+    Numfmt.catalogue;
+  Alcotest.(check bool) "aliases" true
+    (Numfmt.of_string "e4m3" = Some Numfmt.e4m3
+    && Numfmt.of_string "q4.8" = Some (Numfmt.fixed ~total_bits:12 ~frac_bits:8)
+    && Numfmt.of_string "nope" = None)
+
+let test_numfmt_catalogue_cheapest_first () =
+  let rec mono = function
+    | a :: (b :: _ as tl) -> Numfmt.bits a <= Numfmt.bits b && mono tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "bits non-decreasing" true (mono Numfmt.catalogue)
+
+let prop_numfmt_quantize_within_quantum =
+  QCheck.Test.make ~name:"numfmt quantize error within quantum" ~count:500
+    (QCheck.pair (QCheck.int_bound (List.length Numfmt.catalogue - 1))
+       (QCheck.float_range (-2.0) 2.0))
+    (fun (i, x) ->
+      let fmt = List.nth Numfmt.catalogue i in
+      let q = Numfmt.quantum fmt ~mag:(Float.max (Float.abs x) 1e-12) in
+      Float.abs (Numfmt.quantize fmt x -. x) <= q)
+
+let prop_numfmt_quantize_saturates =
+  QCheck.Test.make ~name:"numfmt quantize saturates beyond max" ~count:200
+    (QCheck.pair (QCheck.int_bound (List.length Numfmt.catalogue - 1))
+       (QCheck.float_range 1.0 3.0))
+    (fun (i, scale) ->
+      let fmt = List.nth Numfmt.catalogue i in
+      let v = Numfmt.quantize fmt (Numfmt.max_value fmt *. scale) in
+      Float.is_finite v && Float.abs v <= Numfmt.max_value fmt)
+
 let suite =
   [
     ( "fp16",
@@ -574,5 +772,36 @@ let suite =
         Alcotest.test_case "backend softmax agreement" `Quick test_backend_softmax_agreement;
         Alcotest.test_case "gelu forms agree" `Quick test_gelu_forms_agree;
         Alcotest.test_case "ours close to exact" `Quick test_ours_backends_close_to_exact;
+      ] );
+    ( "bfloat16",
+      [
+        Alcotest.test_case "known encodings" `Quick test_bf16_known_encodings;
+        Alcotest.test_case "decode known" `Quick test_bf16_decode_known;
+        Alcotest.test_case "round to nearest even" `Quick test_bf16_round_to_nearest_even;
+        Alcotest.test_case "overflow and max ulp" `Quick test_bf16_overflow_and_max_ulp;
+        Alcotest.test_case "subnormals" `Quick test_bf16_subnormals;
+        qtest prop_bf16_roundtrip_idempotent;
+        qtest prop_bf16_half_ulp;
+        qtest prop_bf16_codes_roundtrip;
+      ] );
+    ( "fp8",
+      [
+        Alcotest.test_case "known values" `Quick test_fp8_known_values;
+        Alcotest.test_case "saturation" `Quick test_fp8_saturation;
+        Alcotest.test_case "max +/- one ulp" `Quick test_fp8_max_pm_one_ulp;
+        Alcotest.test_case "subnormals" `Quick test_fp8_subnormals;
+        Alcotest.test_case "all 256 codes roundtrip" `Quick test_fp8_all_codes_roundtrip;
+        qtest (prop_fp8_idempotent Fp8.e4m3);
+        qtest (prop_fp8_idempotent Fp8.e5m2);
+        qtest (prop_fp8_nearest Fp8.e4m3);
+        qtest (prop_fp8_nearest Fp8.e5m2);
+      ] );
+    ( "numfmt",
+      [
+        Alcotest.test_case "names roundtrip" `Quick test_numfmt_names_roundtrip;
+        Alcotest.test_case "catalogue cheapest first" `Quick
+          test_numfmt_catalogue_cheapest_first;
+        qtest prop_numfmt_quantize_within_quantum;
+        qtest prop_numfmt_quantize_saturates;
       ] );
   ]

@@ -1,0 +1,291 @@
+(* Tests for the affine-arithmetic precision analyzer (lib/verify/precision)
+   and proven-bound format selection.
+
+   Three angles:
+   - the affine domain itself beats intervals where it should: [x - x] is
+     exactly zero, the square rule proves [x*x >= 0], and a pinned roster
+     kernel (rope at Q4.8) fits a format the interval analysis cannot
+     justify.
+   - format selection: the ladder picks a sub-Q16 format for kernels the
+     analysis proves tight (relu -> fp8_e4m3 at bound 0, gelu -> q4.8) and
+     falls back honestly where nothing proves (softmax).
+   - soundness, adversarially: for every roster kernel x every catalogue
+     format with a finite claimed bound, bit-accurate execution (the
+     interpreter under the [Precision.rounder] hook) on random in-range
+     inputs never exceeds the bound.  The harness runs at domain-pool
+     sizes 1/2/4 — results must not depend on evaluation parallelism. *)
+
+open Picachu_ir
+module Numfmt = Picachu_numerics.Numfmt
+module Fx = Picachu_numerics.Fixed_point
+module Affine = Picachu_verify.Affine
+module Precision = Picachu_verify.Precision
+module Range = Picachu_verify.Range
+module Finding = Picachu_verify.Finding
+module Parallel = Picachu_parallel.Parallel
+open Picachu
+
+let qtest = QCheck_alcotest.to_alcotest
+let roster = Kernels.all Kernels.Picachu @ Kernels.extras Kernels.Picachu
+
+(* ---------------------------------------------------------- affine domain *)
+
+let test_affine_cancellation () =
+  let ctx = Affine.ctx () in
+  let x = Affine.of_interval ctx (-2.0) 2.0 in
+  let lo, hi = Affine.interval (Affine.sub x x) in
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "x - x is exactly 0" (0.0, 0.0)
+    (lo, hi);
+  (* an interval domain would answer [-4, 4] here *)
+  let y = Affine.of_interval ctx (-2.0) 2.0 in
+  let lo', hi' = Affine.interval (Affine.sub x y) in
+  Alcotest.(check (pair (float 1e-12) (float 1e-12)))
+    "uncorrelated difference stays wide" (-4.0, 4.0) (lo', hi')
+
+let test_affine_square_nonnegative () =
+  (* the pinned affine-beats-intervals case: interval arithmetic gives
+     [-2,2] * [-2,2] = [-4,4]; the square rule proves x*x in [0,4] *)
+  let ctx = Affine.ctx () in
+  let x = Affine.of_interval ctx (-2.0) 2.0 in
+  let lo, hi = Affine.interval (Affine.mul x x) in
+  Alcotest.(check bool) "x*x lower bound >= 0" true (lo >= 0.0);
+  Alcotest.(check bool) "x*x upper bound <= 4" true (hi <= 4.0 +. 1e-12);
+  (* sanity on the interval side: plain Range multiplication stays signed *)
+  let r = Range.binop_i Op.Mul (Range.make (-2.0) 2.0) (Range.make (-2.0) 2.0) in
+  Alcotest.(check bool) "interval mul cannot prove it" true (r.Range.lo < 0.0)
+
+let prop_affine_mul_sound =
+  QCheck.Test.make ~name:"affine mul encloses concrete product" ~count:500
+    QCheck.(
+      quad (float_range (-8.0) 8.0) (float_range 0.0 4.0)
+        (float_range (-8.0) 8.0) (float_range 0.0 4.0))
+    (fun (ca, wa, cb, wb) ->
+      let ctx = Affine.ctx () in
+      let a = Affine.of_interval ctx (ca -. wa) (ca +. wa) in
+      let b = Affine.of_interval ctx (cb -. wb) (cb +. wb) in
+      let lo, hi = Affine.interval (Affine.mul a b) in
+      (* endpoints and center of each operand range: products must fall in *)
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y -> x *. y >= lo -. 1e-9 && x *. y <= hi +. 1e-9)
+            [ cb -. wb; cb; cb +. wb ])
+        [ ca -. wa; ca; ca +. wa ])
+
+(* ------------------------------------------- affine beats intervals: rope *)
+
+let q4_8 = Fx.fmt ~total_bits:12 ~frac_bits:8
+
+let test_rope_fits_narrower_than_intervals () =
+  (* rope in Q4.8: cos/sin correlations make the rotated outputs provably
+     fit, but the interval analysis (which multiplies [-2,2]-ish ranges
+     outward) flags an overflow.  This is the acceptance separation case. *)
+  let k = List.find (fun k -> k.Kernel.name = "rope") roster in
+  let range_cfg = { Range.default_config with Range.fmt = q4_8 } in
+  Alcotest.(check bool) "interval analysis flags q4.8" false
+    (Range.safe ~config:range_cfg k);
+  let fmt = Numfmt.fixed ~total_bits:12 ~frac_bits:8 in
+  let r = Precision.analyze ~fmt k in
+  Alcotest.(check bool) "precision proves q4.8 (no overflow finding)" false
+    (Finding.has_code "prec-overflow" r.Precision.findings
+    || Finding.has_code "prec-unbounded" r.Precision.findings);
+  Alcotest.(check bool) "finite proven bound" true
+    (Float.is_finite r.Precision.bound)
+
+(* -------------------------------------------------------- format selection *)
+
+let select name = Compiler.select_format ~budget:1e-2
+    (List.find (fun k -> k.Kernel.name = name) roster)
+
+let test_select_relu_fp8 () =
+  (* relu is exact in every format on in-range inputs: max(x, 0) introduces
+     no rounding on an already-quantized value — the 8-bit E4M3 proves
+     bound 0 and wins the ladder *)
+  let c = select "relu" in
+  Alcotest.(check string) "chosen" "fp8_e4m3" (Numfmt.name c.Precision.fmt);
+  Alcotest.(check int) "8 bits" 8 (Numfmt.bits c.Precision.fmt);
+  Alcotest.(check (float 0.0)) "proven bound 0" 0.0 c.Precision.bound;
+  Alcotest.(check bool) "no fallback" false c.Precision.fallback
+
+let test_select_gelu_sub_q16 () =
+  (* gelu (LUT form) proves ~6e-3 in Q4.8 — a 12-bit format within the 1e-2
+     budget, narrower than the INT16 lane's Q8.8/Q16.16 *)
+  let c = select "gelu" in
+  Alcotest.(check string) "chosen" "q4.8" (Numfmt.name c.Precision.fmt);
+  Alcotest.(check bool) "sub-16-bit" true (Numfmt.bits c.Precision.fmt < 16);
+  Alcotest.(check bool) "bound within budget" true
+    (c.Precision.bound <= 1e-2);
+  Alcotest.(check bool) "no fallback" false c.Precision.fallback
+
+let test_select_softmax_fallback () =
+  (* softmax divides by a reduction the analysis cannot bound away from its
+     accumulated error — no candidate proves, selection falls back to the
+     widest and says so *)
+  let c = select "softmax" in
+  Alcotest.(check bool) "fallback" true c.Precision.fallback;
+  Alcotest.(check bool) "no finite proof" false (Float.is_finite c.Precision.bound);
+  Alcotest.(check string) "widest candidate" "fp32" (Numfmt.name c.Precision.fmt);
+  Alcotest.(check int) "every candidate tried"
+    (List.length Numfmt.catalogue)
+    (List.length c.Precision.tried)
+
+let test_select_budget_monotone () =
+  (* loosening the budget can only move the choice down-ladder (cheaper) *)
+  let k = List.find (fun k -> k.Kernel.name = "gelu") roster in
+  let tight = Compiler.select_format ~budget:1e-4 k in
+  let loose = Compiler.select_format ~budget:0.5 k in
+  Alcotest.(check bool) "looser budget, narrower-or-equal format" true
+    (Numfmt.bits loose.Precision.fmt <= Numfmt.bits tight.Precision.fmt)
+
+(* ------------------------------------------------------ execution rounding *)
+
+let run_arrays k fmt seed =
+  let rng = Random.State.make [| seed |] in
+  List.map
+    (fun s ->
+      ( s,
+        Array.init 48 (fun _ ->
+            Numfmt.quantize fmt (Random.State.float rng 4.0 -. 2.0)) ))
+    k.Kernel.inputs
+
+let test_rounder_quantizes_outputs () =
+  (* under the rounder hook every stored value is representable: quantizing
+     an output again must be the identity *)
+  let k = List.find (fun k -> k.Kernel.name = "gelu") roster in
+  let fmt = Numfmt.e4m3 in
+  let env = { Interp.arrays = run_arrays k fmt 7; scalars = [ ("n", 48.0) ] } in
+  let r = Interp.run ~round:(Precision.rounder fmt) k env in
+  List.iter
+    (fun (s, a) ->
+      Array.iter
+        (fun v ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s value representable" s)
+            (Numfmt.quantize fmt v) v)
+        a)
+    r.Interp.out_arrays
+
+(* ------------------------------------------------------ soundness harness *)
+
+(* Every (kernel, format) pair with a finite claimed bound, analyzed once. *)
+let claims =
+  lazy
+    (List.concat_map
+       (fun (k : Kernel.t) ->
+         List.filter_map
+           (fun fmt ->
+             let r = Precision.analyze ~fmt k in
+             if Float.is_finite r.Precision.bound then
+               Some (k, fmt, r.Precision.bound)
+             else None)
+           Numfmt.catalogue)
+       roster)
+
+let concrete_error k fmt seed =
+  let arrays = run_arrays k fmt seed in
+  let env = { Interp.arrays; scalars = [ ("n", 48.0) ] } in
+  let reference = Interp.run k env in
+  let finite = Interp.run ~round:(Precision.rounder fmt) k env in
+  List.fold_left
+    (fun acc (name, a) ->
+      let b = List.assoc name finite.Interp.out_arrays in
+      let worst = ref 0.0 in
+      Array.iteri
+        (fun i v -> worst := Float.max !worst (Float.abs (v -. b.(i))))
+        a;
+      Float.max acc !worst)
+    0.0 reference.Interp.out_arrays
+
+let prop_soundness =
+  (* 4 trials x 48 elements per qcheck case, ~200 cases from qcheck's
+     generator: every claim sees well over 100 random in-range inputs *)
+  QCheck.Test.make ~name:"proven bound dominates bit-accurate error" ~count:20
+    (QCheck.int_bound 0x3FFFFF) (fun seed ->
+      List.for_all
+        (fun ((k : Kernel.t), fmt, bound) ->
+          let ok = ref true in
+          for t = 0 to 3 do
+            let e = concrete_error k fmt ((seed * 4) + t) in
+            if e > bound then begin
+              QCheck.Test.fail_reportf
+                "%s under %s: concrete error %.9g exceeds proven bound %.9g"
+                k.Kernel.name (Numfmt.name fmt) e bound
+            end;
+            ok := !ok && e <= bound
+          done;
+          !ok)
+        (Lazy.force claims))
+
+let soundness_at_pool size =
+  Alcotest.test_case
+    (Printf.sprintf "soundness sweep (pool %d)" size)
+    `Slow
+    (fun () -> Parallel.with_pool ~size (fun () -> QCheck.Test.check_exn prop_soundness))
+
+let test_claims_cover_roster () =
+  (* the finite-bound set is not vacuous: the sweep really exercises
+     several kernels and every format in the catalogue *)
+  let cs = Lazy.force claims in
+  let kernels =
+    List.sort_uniq compare (List.map (fun ((k : Kernel.t), _, _) -> k.Kernel.name) cs)
+  in
+  let formats =
+    List.sort_uniq compare (List.map (fun (_, fmt, _) -> Numfmt.name fmt) cs)
+  in
+  Alcotest.(check bool) "several kernels prove bounds" true
+    (List.length kernels >= 4);
+  Alcotest.(check int) "every format proves on some kernel"
+    (List.length Numfmt.catalogue) (List.length formats)
+
+(* -------------------------------------------------------------- findings *)
+
+let test_findings_deterministic_across_pools () =
+  (* the analysis result (and its findings order, via Finding.sort in the
+     printers) must not depend on the domain-pool size *)
+  let digest size =
+    Parallel.with_pool ~size (fun () ->
+        String.concat "\n"
+          (List.concat_map
+             (fun (k : Kernel.t) ->
+               let c = Compiler.select_format ~budget:1e-2 k in
+               let r = Precision.analyze ~fmt:c.Precision.fmt k in
+               Printf.sprintf "%s %s %.17g" k.Kernel.name
+                 (Numfmt.name c.Precision.fmt) c.Precision.bound
+               :: List.map Finding.to_string (Finding.sort r.Precision.findings))
+             roster))
+  in
+  let reference = digest 1 in
+  List.iter
+    (fun size ->
+      Alcotest.(check string)
+        (Printf.sprintf "pool %d matches pool 1" size)
+        reference (digest size))
+    [ 2; 4 ]
+
+let suite =
+  [
+    ( "precision",
+      [
+        Alcotest.test_case "affine cancellation" `Quick test_affine_cancellation;
+        Alcotest.test_case "affine square rule beats intervals" `Quick
+          test_affine_square_nonnegative;
+        qtest prop_affine_mul_sound;
+        Alcotest.test_case "rope fits q4.8 where intervals cannot" `Quick
+          test_rope_fits_narrower_than_intervals;
+        Alcotest.test_case "relu selects fp8_e4m3 at bound 0" `Quick
+          test_select_relu_fp8;
+        Alcotest.test_case "gelu selects sub-q16 format" `Quick
+          test_select_gelu_sub_q16;
+        Alcotest.test_case "softmax falls back honestly" `Quick
+          test_select_softmax_fallback;
+        Alcotest.test_case "budget monotone" `Quick test_select_budget_monotone;
+        Alcotest.test_case "rounder quantizes outputs" `Quick
+          test_rounder_quantizes_outputs;
+        Alcotest.test_case "claims cover roster" `Quick test_claims_cover_roster;
+        soundness_at_pool 1;
+        soundness_at_pool 2;
+        soundness_at_pool 4;
+        Alcotest.test_case "deterministic across pools" `Quick
+          test_findings_deterministic_across_pools;
+      ] );
+  ]

@@ -462,6 +462,72 @@ let test_interval_transfer () =
   Alcotest.(check bool) "div away from zero bounded" true
     (is_finite (binop_i Op.Div (i 1.0 2.0) (i 2.0 4.0)))
 
+let test_interval_division_tightening () =
+  let open Range in
+  let i a b = make a b in
+  let check_itv name want got =
+    Alcotest.(check (pair (float 1e-9) (float 1e-9))) name want (got.lo, got.hi)
+  in
+  (* divisor provably positive: tight endpoint quotients, both dividend signs *)
+  check_itv "pos / pos" (0.25, 2.0) (binop_i Op.Div (i 1.0 4.0) (i 2.0 4.0));
+  check_itv "neg / pos" (-2.0, -0.25) (binop_i Op.Div (i (-4.0) (-1.0)) (i 2.0 4.0));
+  check_itv "mixed / pos" (-1.5, 2.0) (binop_i Op.Div (i (-3.0) 4.0) (i 2.0 4.0));
+  (* divisor provably negative: signs flip, still tight *)
+  check_itv "pos / neg" (-2.0, -0.25) (binop_i Op.Div (i 1.0 4.0) (i (-4.0) (-2.0)));
+  check_itv "neg / neg" (0.25, 2.0) (binop_i Op.Div (i (-4.0) (-1.0)) (i (-4.0) (-2.0)));
+  check_itv "mixed / neg" (-2.0, 1.5) (binop_i Op.Div (i (-3.0) 4.0) (i (-4.0) (-2.0)));
+  (* zero-endpoint divisor with a sign-definite dividend: half-bounded,
+     no longer widened all the way to top *)
+  let r = binop_i Op.Div (i 1.0 2.0) (i 0.0 4.0) in
+  Alcotest.(check (float 1e-9)) "pos / [0,4] lower" 0.25 r.lo;
+  Alcotest.(check bool) "pos / [0,4] upper unbounded" true (r.hi = infinity);
+  let r = binop_i Op.Div (i (-2.0) (-1.0)) (i 0.0 4.0) in
+  Alcotest.(check bool) "neg / [0,4] lower unbounded" true (r.lo = neg_infinity);
+  Alcotest.(check (float 1e-9)) "neg / [0,4] upper" (-0.25) r.hi;
+  let r = binop_i Op.Div (i 1.0 2.0) (i (-4.0) 0.0) in
+  Alcotest.(check bool) "pos / [-4,0] lower unbounded" true (r.lo = neg_infinity);
+  Alcotest.(check (float 1e-9)) "pos / [-4,0] upper" (-0.25) r.hi;
+  let r = binop_i Op.Div (i (-2.0) (-1.0)) (i (-4.0) 0.0) in
+  Alcotest.(check (float 1e-9)) "neg / [-4,0] lower" 0.25 r.lo;
+  Alcotest.(check bool) "neg / [-4,0] upper unbounded" true (r.hi = infinity);
+  (* mixed dividend over a zero-endpoint divisor stays top *)
+  let r = binop_i Op.Div (i (-1.0) 1.0) (i 0.0 4.0) in
+  Alcotest.(check bool) "mixed / [0,4] stays top" true
+    (r.lo = neg_infinity && r.hi = infinity)
+
+let test_finding_sort_deterministic () =
+  let f ?kernel ?loop ?node sev code =
+    Finding.make ?kernel ?loop ?node Finding.Range_check sev ~code "m"
+  in
+  let a = f ~kernel:"k1" Finding.Warning "fx-overflow" in
+  let b = f ~kernel:"k1" Finding.Error "bad-ssa" in
+  let c = f ~kernel:"k0" ~loop:"l0" ~node:3 Finding.Warning "fx-overflow" in
+  let d = f ~kernel:"k0" ~loop:"l0" ~node:1 Finding.Warning "fx-overflow" in
+  let e = f Finding.Info "advice" in
+  let want = [ b; c; d; a; e ] in
+  let want = List.sort Finding.compare want in
+  (* every permutation sorts to the same list *)
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( != ) x) l)))
+          l
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check (list string))
+        "permutation-invariant order"
+        (List.map Finding.to_string want)
+        (List.map Finding.to_string (Finding.sort p)))
+    (perms [ a; b; c; d; e ]);
+  (* severity dominates, then code, then location *)
+  match want with
+  | first :: _ ->
+      Alcotest.(check string) "errors first" (Finding.to_string b)
+        (Finding.to_string first)
+  | [] -> Alcotest.fail "empty sort"
+
 let test_range_verdicts () =
   (* element-wise Picachu kernels stay representable in Q8.8 on [-2,2];
      the reductions legitimately escape (growth over 1024 trips) *)
@@ -596,6 +662,10 @@ let suite =
         Alcotest.test_case "unroll leaves no dead constants" `Quick
           test_unroll_no_dead_consts;
         Alcotest.test_case "interval transfer functions" `Quick test_interval_transfer;
+        Alcotest.test_case "interval division tightening" `Quick
+          test_interval_division_tightening;
+        Alcotest.test_case "finding sort deterministic" `Quick
+          test_finding_sort_deterministic;
         Alcotest.test_case "range verdicts on library" `Quick test_range_verdicts;
         Alcotest.test_case "range flags overflow" `Quick test_range_flags_overflow;
         Alcotest.test_case "safe kernels stay representable in interp" `Quick
