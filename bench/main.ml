@@ -34,7 +34,7 @@ let tokens = Array.init 32 (fun i -> (i * 37) mod 256)
 let softmax_dfg =
   lazy
     (Fuse.fuse
-       (Dfg.of_loop (List.nth (Kernels.softmax Kernels.Picachu).Picachu_ir.Kernel.loops 1)))
+       (Dfg.of_loop (List.nth (Kernels.softmax Kernels.picachu).Picachu_ir.Kernel.loops 1)))
 
 let bench_tests =
   [
@@ -63,7 +63,7 @@ let bench_tests =
                List.iter
                  (fun l -> ignore (Fuse.fuse (Dfg.of_loop l)))
                  k.Picachu_ir.Kernel.loops)
-             (Kernels.all Kernels.Picachu)));
+             (Kernels.all Kernels.picachu)));
     (* tab6: zero-shot scoring *)
     Test.make ~name:"tab6:zero-shot-item"
       (Staged.stage (fun () ->
@@ -99,7 +99,7 @@ let bench_tests =
          (let compiled =
             lazy
               (Compiler.compile (Compiler.picachu_options ())
-                 (Kernels.rmsnorm Kernels.Picachu))
+                 (Kernels.rmsnorm Kernels.picachu))
           in
           let env =
             {
@@ -119,6 +119,21 @@ let bench_tests =
           let g = Lazy.force softmax_dfg in
           let hint = lazy (Mapper.map_dfg arch_from g) in
           fun () -> ignore (Mapper.map_dfg ~hint:(Lazy.force hint) arch_to g)));
+    (* nli: one full error-equalizing breakpoint fit (binary search over
+       the per-segment threshold around greedy covers) for the gelu table *)
+    Test.make ~name:"nli:fit-gelu"
+      (Staged.stage (fun () ->
+           ignore
+             (Picachu_numerics.Nli.fit ~segments:64 ~lo:(-8.0) ~hi:8.0
+                (fun x ->
+                  x *. Picachu_numerics.Lut.gauss_cdf_exact x))));
+    (* dse: a small sweep crossed with the backend axis — Taylor and NLI
+       rosters compile per design point (memoized across iterations) *)
+    Test.make ~name:"dse:backend-sweep"
+      (Staged.stage (fun () ->
+           ignore
+             (Explore.sweep ~sizes:[ (3, 3) ] ~cot_shares:[ 0.5 ]
+                ~backends:[ Kernels.Taylor; Kernels.Nli ] ())));
     (* dse: evaluating one design point with the compile cache bypassed —
        every kernel pays the full pipeline, so this tracks raw mapper cost *)
     Test.make ~name:"dse:evaluate-3x3"
@@ -135,25 +150,25 @@ let bench_tests =
       (Staged.stage (fun () ->
            ignore
              (Compiler.compile_result (Compiler.picachu_options ())
-                (Kernels.softmax Kernels.Picachu))));
+                (Kernels.softmax Kernels.picachu))));
     (* compile: a content-addressed cache hit (digest + table lookup) *)
     Test.make ~name:"compile:cache-hit"
       (Staged.stage
          (let opts = Compiler.picachu_options () in
-          ignore (Compiler.cached_result opts Kernels.Picachu "softmax");
-          fun () -> ignore (Compiler.cached_result opts Kernels.Picachu "softmax")));
+          ignore (Compiler.cached_result opts Kernels.picachu "softmax");
+          fun () -> ignore (Compiler.cached_result opts Kernels.picachu "softmax")));
     (* verify: one affine-arithmetic precision analysis of the hardest
        roster kernel (three loops, reductions, a division) at one format *)
     Test.make ~name:"verify:precision-softmax"
       (Staged.stage
-         (let k = Kernels.softmax Kernels.Picachu in
+         (let k = Kernels.softmax Kernels.picachu in
           let fmt = Picachu_numerics.Numfmt.fixed ~total_bits:16 ~frac_bits:8 in
           fun () -> ignore (Picachu_verify.Precision.analyze ~fmt k)));
     (* compile: the full format-selection ladder walk (9 candidate
        analyses) for a kernel that proves a sub-Q16 bound *)
     Test.make ~name:"compile:select-format"
       (Staged.stage
-         (let k = Kernels.gelu Kernels.Picachu in
+         (let k = Kernels.gelu Kernels.picachu in
           fun () -> ignore (Compiler.select_format ~budget:1e-2 k)));
     (* serve: one full traffic trace through the discrete-event scheduler
        (cost source built once — the per-bucket memo and the compile cache

@@ -35,14 +35,25 @@ dune exec bin/picachu_cli.exe -- lint --precision
 
 echo "== format selection smoke =="
 # the proven-bound ladder must pick a sub-16-bit format for at least one
-# roster kernel within the default 1e-2 budget (relu proves bound 0 in
-# fp8_e4m3; gelu fits q4.8), and the summary line must say so
+# roster kernel within the default 1e-2 budget (relu proves bound 0 even
+# in 4-bit fp4_e2m1; gelu fits q4.8), and the summary line must say so
 formats_out="$(dune exec bin/picachu_cli.exe -- formats)"
 echo "$formats_out"
-echo "$formats_out" | grep -q "^relu  *fp8_e4m3  *8  *0 " || {
-  echo "formats smoke: relu did not select fp8_e4m3 at proven bound 0"; exit 1; }
+echo "$formats_out" | grep -q "^relu  *fp4_e2m1  *4  *0 " || {
+  echo "formats smoke: relu did not select fp4_e2m1 at proven bound 0"; exit 1; }
 echo "$formats_out" | grep -Eq "[1-9][0-9]* sub-16-bit selection" || {
   echo "formats smoke: no sub-16-bit selection on the roster"; exit 1; }
+
+echo "== approximation backend smoke =="
+# the Taylor-vs-NLI head-to-head must run end to end (compile both rosters,
+# bound or surrogate-measure each operator) and NLI must actually win the
+# summed-II comparison somewhere while staying inside the tile ROM budget
+backends_out="$(dune exec bin/picachu_cli.exe -- backends)"
+echo "$backends_out"
+echo "$backends_out" | grep -Eq "nli lowers the summed II on [1-9][0-9]*/" || {
+  echo "backends smoke: nli wins the II comparison nowhere"; exit 1; }
+echo "$backends_out" | grep -q "every nli table fits" || {
+  echo "backends smoke: an nli table exceeds the tile ROM budget"; exit 1; }
 
 echo "== fault campaign smoke =="
 dune exec examples/fault_campaign.exe -- 0.002 7

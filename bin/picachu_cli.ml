@@ -10,6 +10,7 @@
      formats [KERNEL...]   proven-bound automatic format selection table
      arch                  print the architecture instances and cost model
      models [--seq N]      print the workload inventory of the LLM zoo
+     backends              Taylor vs NLI backend head-to-head per operator
      simulate MODEL        end-to-end PICACHU simulation of one model
      serve MODEL           multi-request traffic simulation with latency
                            percentiles (continuous vs static batching)
@@ -85,7 +86,7 @@ let compile_cmd =
                  (vectorize, unroll, extract, fuse) each time it runs.")
   in
   let run name baseline unroll vector show_ir timings dump_after =
-    let variant = if baseline then Kernels.Baseline else Kernels.Picachu in
+    let variant = if baseline then Kernels.Baseline else Kernels.picachu in
     let opts =
       if baseline then Compiler.baseline_options ()
       else Compiler.picachu_options ~vector ()
@@ -180,7 +181,7 @@ let stats_cmd =
                   ignore (Compiler.cached_result opts variant k.Kernel.name))
                 (library variant))
             [
-              (Kernels.Picachu, Compiler.picachu_options ());
+              (Kernels.picachu, Compiler.picachu_options ());
               (Kernels.Baseline, Compiler.baseline_options ());
             ]
         in
@@ -232,14 +233,14 @@ let lint_cmd =
       | [] ->
           List.concat_map
             (fun variant -> List.map (fun k -> (variant, k)) (library variant))
-            [ Kernels.Picachu; Kernels.Baseline ]
+            [ Kernels.picachu; Kernels.Baseline ]
       | names ->
           List.map
             (fun name ->
               match
-                List.find_opt (fun k -> k.Kernel.name = name) (library Kernels.Picachu)
+                List.find_opt (fun k -> k.Kernel.name = name) (library Kernels.picachu)
               with
-              | Some k -> (Kernels.Picachu, k)
+              | Some k -> (Kernels.picachu, k)
               | None ->
                   Printf.eprintf "unknown kernel %s\n" name;
                   exit 2)
@@ -261,12 +262,12 @@ let lint_cmd =
     in
     List.iter
       (fun (variant, (k : Kernel.t)) ->
-        let vname = match variant with Kernels.Picachu -> "picachu" | Kernels.Baseline -> "baseline" in
+        let vname = Kernels.variant_name variant in
         Printf.printf "%s (%s)\n" k.Kernel.name vname;
         report (Verify.lint_kernel k);
         let opts =
           match variant with
-          | Kernels.Picachu -> Compiler.picachu_options ()
+          | Kernels.Picachu _ -> Compiler.picachu_options ()
           | Kernels.Baseline -> Compiler.baseline_options ()
         in
         (match Compiler.compile_result opts k with
@@ -326,7 +327,7 @@ let formats_cmd =
            ~doc:"Also print every candidate format's proven bound.")
   in
   let run names budget verbose =
-    let library = Kernels.all Kernels.Picachu @ Kernels.extras Kernels.Picachu in
+    let library = Kernels.all Kernels.picachu @ Kernels.extras Kernels.picachu in
     let roster =
       match names with
       | [] -> library
@@ -384,7 +385,7 @@ let dump_cmd =
   in
   let baseline = Arg.(value & flag & info [ "baseline" ] ~doc:"Baseline variant.") in
   let run name baseline =
-    let variant = if baseline then Kernels.Baseline else Kernels.Picachu in
+    let variant = if baseline then Kernels.Baseline else Kernels.picachu in
     match Kernels.by_name variant name with
     | k -> print_string (Picachu_ir.Kernel_text.to_string k)
     | exception Not_found ->
@@ -417,7 +418,7 @@ let hw_run_cmd =
           exit 1
       end
       else
-        try Kernels.by_name Kernels.Picachu source
+        try Kernels.by_name Kernels.picachu source
         with Not_found ->
           Printf.eprintf "no such file or library kernel: %s
 " source;
@@ -708,6 +709,18 @@ let cluster_cmd =
     Term.(const run $ model_arg $ replicas $ router $ fault_profile $ mttf $ mttr
           $ rps $ requests $ seed $ slots $ queue $ no_defenses $ timeout $ retries)
 
+(* --------------------------------------------------------------- backends *)
+
+let backends_cmd =
+  let run () = Experiments.print "backends" in
+  Cmd.v
+    (Cmd.info "backends"
+       ~doc:"Head-to-head of the approximation backends (Taylor expansion \
+             vs non-uniform linear interpolation) per operator: proven \
+             FP16 error bound or surrogate-PPL delta, achieved II per \
+             loop, and resident LUT ROM bytes.")
+    Term.(const run $ const ())
+
 (* --------------------------------------------------------------- simulate *)
 
 let simulate_cmd =
@@ -759,4 +772,4 @@ let simulate_cmd =
 let () =
   let doc = "PICACHU: plug-in CGRA for nonlinear operations in LLMs (ASPLOS'25 reproduction)" in
   let info = Cmd.info "picachu" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; stats_cmd; lint_cmd; formats_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd; serve_cmd; cluster_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; stats_cmd; lint_cmd; formats_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd; serve_cmd; cluster_cmd; backends_cmd ]))

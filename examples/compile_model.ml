@@ -44,7 +44,7 @@ let () =
   List.iter
     (function
       | Offload.Nonlinear { op; rows; dim; _ } ->
-          let compiled = Compiler.cached opts Kernels.Picachu (Registry.name op) in
+          let compiled = Compiler.cached opts Kernels.picachu (Registry.name op) in
           let per_channel = Compiler.per_channel_cycles compiled ~dim in
           Printf.printf "  %s: UF=%d, %d cycles/channel, %d channels -> %.2f Mcycles\n"
             (Registry.name op) compiled.Compiler.unroll per_channel rows
@@ -53,7 +53,7 @@ let () =
     plan;
 
   (* 5. and verify one of them on the cycle-accurate fabric *)
-  let compiled = Compiler.cached opts Kernels.Picachu "rmsnorm" in
+  let compiled = Compiler.cached opts Kernels.picachu "rmsnorm" in
   let xs = Array.init 64 (fun i -> (float_of_int i /. 7.0) -. 4.0) in
   let env =
     { Picachu_ir.Interp.arrays = [ ("x", xs) ]; scalars = [ ("n", 64.0) ] }

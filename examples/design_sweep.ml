@@ -37,7 +37,7 @@ let () =
   let opts = Compiler.picachu_options () in
   List.iter
     (fun (k : Picachu_ir.Kernel.t) ->
-      let c = Compiler.cached opts Kernels.Picachu k.Picachu_ir.Kernel.name in
+      let c = Compiler.cached opts Kernels.picachu k.Picachu_ir.Kernel.name in
       let worst_link, worst_rf =
         List.fold_left
           (fun (wl, wr) (cl : Compiler.compiled_loop) ->
@@ -51,4 +51,4 @@ let () =
         k.Picachu_ir.Kernel.name worst_link worst_rf)
     (List.filter
        (fun (k : Picachu_ir.Kernel.t) -> k.Picachu_ir.Kernel.name <> "softmax_online")
-       (Kernels.all Kernels.Picachu))
+       (Kernels.all Kernels.picachu))

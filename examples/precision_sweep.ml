@@ -29,7 +29,7 @@ let () =
   let opts = Compiler.picachu_options () in
   List.iter
     (fun order ->
-      let k = Kernels.exp_kernel ~order Kernels.Picachu in
+      let k = Kernels.exp_kernel ~order Kernels.picachu in
       let c = Compiler.compile_with_unroll opts 1 k in
       let nodes =
         List.fold_left (fun acc cl -> acc + Dfg.node_count cl.Compiler.dfg) 0
@@ -60,8 +60,8 @@ let () =
   let vec = Compiler.picachu_options ~vector:4 () in
   List.iter
     (fun name ->
-      let s = Compiler.pass_cycles (Compiler.cached scalar Kernels.Picachu name) ~n:1024 in
-      let v = Compiler.pass_cycles (Compiler.cached vec Kernels.Picachu name) ~n:1024 in
+      let s = Compiler.pass_cycles (Compiler.cached scalar Kernels.picachu name) ~n:1024 in
+      let v = Compiler.pass_cycles (Compiler.cached vec Kernels.picachu name) ~n:1024 in
       Printf.printf "  %-10s FP %5d cyc  INT16 %5d cyc  (%.2fx)\n" name s v
         (float_of_int s /. float_of_int v))
     [ "softmax"; "gelu"; "silu"; "layernorm"; "rope" ]

@@ -13,7 +13,7 @@ open Picachu
 let () =
   (* 1. Pick a kernel from the Table 1 library: softmax, in its PICACHU
      form (FP2FX special unit + Taylor expansion). *)
-  let kernel = Kernels.softmax Kernels.Picachu in
+  let kernel = Kernels.softmax Kernels.picachu in
   Format.printf "Kernel IR:@.%a@." Kernel.pp kernel;
 
   (* 2. Compile it: vectorize/unroll -> DFG -> fuse -> modulo-schedule onto

@@ -10,8 +10,14 @@ type t = {
   lanes : int;
   mem_cols : int list;
   route_slots : int;
+  lut_capacity_bytes : int;
   name : string;
 }
+
+(* Per-tile LUT ROM budget (bytes).  8 KiB comfortably holds the 1024-entry
+   FP16 CoT table (2 KiB) plus several non-uniform NLI segment tables; the
+   mapper rejects kernels whose resident tables exceed it. *)
+let default_lut_capacity_bytes = 8192
 
 let is_corner rows cols idx =
   let r = idx / cols and c = idx mod cols in
@@ -30,7 +36,7 @@ let hetero_kinds rows cols =
         k
       end)
 
-let picachu ?(rows = 4) ?(cols = 4) () =
+let picachu ?(rows = 4) ?(cols = 4) ?(lut_capacity_bytes = default_lut_capacity_bytes) () =
   {
     rows;
     cols;
@@ -39,6 +45,7 @@ let picachu ?(rows = 4) ?(cols = 4) () =
     lanes = 4;
     mem_cols = [ 0; cols - 1 ];
     route_slots = 2;
+    lut_capacity_bytes;
     name = Printf.sprintf "picachu-%dx%d" rows cols;
   }
 
@@ -78,10 +85,11 @@ let hetero_mix ~rows ~cols ~cot_share =
     lanes = 4;
     mem_cols = [ 0; cols - 1 ];
     route_slots = 2;
+    lut_capacity_bytes = default_lut_capacity_bytes;
     name = Printf.sprintf "mix-%dx%d-cot%.0f%%" rows cols (100.0 *. cot_share);
   }
 
-let universal ?(rows = 4) ?(cols = 4) () =
+let universal ?(rows = 4) ?(cols = 4) ?(lut_capacity_bytes = default_lut_capacity_bytes) () =
   {
     rows;
     cols;
@@ -90,10 +98,11 @@ let universal ?(rows = 4) ?(cols = 4) () =
     lanes = 4;
     mem_cols = [ 0; cols - 1 ];
     route_slots = 2;
+    lut_capacity_bytes;
     name = Printf.sprintf "universal-%dx%d" rows cols;
   }
 
-let baseline ?(rows = 4) ?(cols = 4) () =
+let baseline ?(rows = 4) ?(cols = 4) ?(lut_capacity_bytes = default_lut_capacity_bytes) () =
   {
     rows;
     cols;
@@ -102,8 +111,13 @@ let baseline ?(rows = 4) ?(cols = 4) () =
     lanes = 1;
     mem_cols = [ 0; cols - 1 ];
     route_slots = 2;
+    lut_capacity_bytes;
     name = Printf.sprintf "baseline-%dx%d" rows cols;
   }
+
+let with_lut_capacity bytes a =
+  if bytes < 0 then invalid_arg "Arch.with_lut_capacity";
+  { a with lut_capacity_bytes = bytes }
 
 let tiles a = a.rows * a.cols
 let tile_kind a i = a.kinds.(i)
@@ -165,12 +179,12 @@ let count_supporting a op =
    with the same grid, tile kinds, ports and lanes behave identically no
    matter how they were constructed or labeled. *)
 let canonical_string a =
-  Printf.sprintf "%dx%d;%s;%s;lanes=%d;mem=%s;route=%d" a.rows a.cols
+  Printf.sprintf "%dx%d;%s;%s;lanes=%d;mem=%s;route=%d;lutcap=%d" a.rows a.cols
     (match a.flavor with Heterogeneous -> "het" | Homogeneous -> "hom")
     (String.concat "" (Array.to_list (Array.map Fu.kind_name a.kinds)))
     a.lanes
     (String.concat "," (List.map string_of_int a.mem_cols))
-    a.route_slots
+    a.route_slots a.lut_capacity_bytes
 
 let structural_digest a = Digest.to_hex (Digest.string (canonical_string a))
 

@@ -20,14 +20,22 @@ type t = {
   lanes : int;  (** INT16 lanes per tile (4 in PICACHU, 1 in baseline) *)
   mem_cols : int list;  (** columns with a Shared Buffer port *)
   route_slots : int;  (** pass-through routing capacity per tile per cycle *)
+  lut_capacity_bytes : int;
+      (** per-tile LUT ROM budget: total bytes of distinct tables a mapped
+          kernel may keep resident (CoT uniform tables and NLI non-uniform
+          segment tables alike) *)
   name : string;
 }
 
-val picachu : ?rows:int -> ?cols:int -> unit -> t
+val default_lut_capacity_bytes : int
+(** 8192 — holds the 2 KiB Gaussian-CDF CoT table plus several NLI
+    segment tables. *)
+
+val picachu : ?rows:int -> ?cols:int -> ?lut_capacity_bytes:int -> unit -> t
 (** Heterogeneous PICACHU CGRA (default 4x4): corners BrT, remaining tiles
     alternating CoT-heavy; ports on the left and right columns. *)
 
-val baseline : ?rows:int -> ?cols:int -> unit -> t
+val baseline : ?rows:int -> ?cols:int -> ?lut_capacity_bytes:int -> unit -> t
 (** Homogeneous scalar CGRA of the same size. *)
 
 val hetero_mix : rows:int -> cols:int -> cot_share:float -> t
@@ -35,9 +43,13 @@ val hetero_mix : rows:int -> cols:int -> cot_share:float -> t
     [cot_share] of the remaining tiles are CoT (deterministically
     interleaved), the rest BaT. [picachu] corresponds to a share of 2/3. *)
 
-val universal : ?rows:int -> ?cols:int -> unit -> t
+val universal : ?rows:int -> ?cols:int -> ?lut_capacity_bytes:int -> unit -> t
 (** Ablation architecture: every tile is a [UniT] carrying all FUs — an
     upper bound on mapping freedom, at a large area premium. *)
+
+val with_lut_capacity : int -> t -> t
+(** Functional update of [lut_capacity_bytes] (for constructors without the
+    optional argument, and for shrinking the budget in tests). *)
 
 val tiles : t -> int
 val tile_kind : t -> int -> Fu.tile_kind

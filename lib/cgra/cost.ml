@@ -70,6 +70,18 @@ let cgra_cost (arch : Arch.t) =
 let sram_cost ~kb =
   { area_mm2 = kb *. sram_area_per_kb; power_mw = kb *. sram_power_per_kb }
 
+(* The Table 7 "lut" overhead prices the 2 KiB uniform CoT table; ROM
+   scales linearly in capacity at this granularity, so a kernel's resident
+   table bytes (e.g. the NLI segment tables) are charged pro rata against
+   that calibrated point. *)
+let lut_rom_cost ~bytes =
+  let frac = float_of_int bytes /. 2048.0 in
+  let oa, op = overhead_of [ "lut" ] in
+  {
+    area_mm2 = basic_tile.area_mm2 *. oa *. frac;
+    power_mw = basic_tile.power_mw *. op *. frac;
+  }
+
 let systolic_cost ~dim ~sram_kb =
   let macs = dim * dim in
   {

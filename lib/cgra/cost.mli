@@ -34,6 +34,11 @@ val cgra_cost : Arch.t -> component
 val sram_cost : kb:float -> component
 (** On-chip SRAM (shared buffer or systolic SRAMs) per capacity. *)
 
+val lut_rom_cost : bytes:int -> component
+(** Per-tile cost of keeping [bytes] of LUT tables resident, scaled
+    linearly from the Table 7 "lut" overhead (which prices the 2 KiB CoT
+    table) — how the backend comparison charges NLI segment tables. *)
+
 val systolic_cost : dim:int -> sram_kb:float -> component
 
 val picachu_breakdown :

@@ -1,4 +1,5 @@
 module Op = Picachu_ir.Op
+module Nm = Picachu_numerics
 module Dfg = Picachu_dfg.Dfg
 module Analysis = Picachu_dfg.Analysis
 module Parallel = Picachu_parallel.Parallel
@@ -737,8 +738,38 @@ let rebuild_hint arch ctx (g : Dfg.t) (h : mapping) =
 
 (* --------------------------------------------------------------- search *)
 
+(* Distinct LUT tables the loop references (fusion may have subsumed the
+   lookup into a fused node, so scan members).  Their summed ROM bytes are
+   tile-resident state: every tile that can execute the lookup keeps its own
+   copy of the table, so the whole set must fit one tile's ROM budget. *)
+let lut_names g =
+  let names = ref [] in
+  Array.iter
+    (fun (n : Dfg.node) ->
+      List.iter
+        (function
+          | Op.Lut name when not (List.mem name !names) -> names := name :: !names
+          | _ -> ())
+        n.Dfg.members)
+    g.Dfg.nodes;
+  List.rev !names
+
+let lut_rom_bytes g = Nm.Lut_catalog.footprint_bytes (lut_names g)
+
+let check_lut_capacity arch g =
+  let rom = lut_rom_bytes g in
+  if rom > arch.Arch.lut_capacity_bytes then
+    raise
+      (Unmappable
+         (Printf.sprintf
+            "%s: LUT tables (%s) need %d ROM bytes, tile capacity is %d"
+            g.Dfg.label
+            (String.concat ", " (lut_names g))
+            rom arch.Arch.lut_capacity_bytes))
+
 let map_dfg ?(max_ii = 128) ?hint ?(validate = fun (_ : mapping) -> true) arch g
     =
+  check_lut_capacity arch g;
   let ctx = make_ctx arch g in
   let start = min_ii arch g in
   let cold ?ceiling () =

@@ -62,6 +62,17 @@ val transport_mii : Arch.t -> Dfg.t -> int
 val min_ii : Arch.t -> Dfg.t -> int
 (** [max (res_mii, rec_mii, transport_mii)]. *)
 
+val lut_names : Dfg.t -> string list
+(** Distinct LUT tables the loop references ([Op.Lut] operands, including
+    ops subsumed into fused nodes), in first-reference order. *)
+
+val lut_rom_bytes : Dfg.t -> int
+(** Summed ROM bytes of {!lut_names} per {!Picachu_numerics.Lut_catalog} —
+    the tile-resident table state the loop's mapping keeps loaded.  Every
+    tile able to execute the lookup holds its own copy, so {!map_dfg}
+    rejects the DFG ([Unmappable]) when this exceeds
+    [Arch.lut_capacity_bytes]. *)
+
 val map_dfg :
   ?max_ii:int ->
   ?hint:mapping ->

@@ -14,9 +14,10 @@ exception Runtime_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
 
-let lookup_lut = function
-  | "phi" -> Lazy.force Nm.Lut.gauss_cdf
-  | name -> fail "unknown LUT %s" name
+let lookup_lut name =
+  match Nm.Lut_catalog.find_opt name with
+  | Some t -> t
+  | None -> fail "unknown LUT %s" name
 
 let eval_binop (op : Op.binop) a b =
   match op with

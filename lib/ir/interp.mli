@@ -24,8 +24,10 @@ type result = {
 exception Runtime_error of string
 
 val lookup_lut : string -> Picachu_numerics.Lut.t
-(** The tables shipped with the CoTs; currently ["phi"] (Gaussian CDF).
-    Raises [Runtime_error] on an unknown table. *)
+(** The tables shipped with the CoTs, resolved through
+    {!Picachu_numerics.Lut_catalog}: ["phi"] (uniform Gaussian CDF) and the
+    ["nli.*"] non-uniform segment tables.  Raises [Runtime_error] on an
+    unknown table. *)
 
 val run :
   ?round:(Kernel.loop -> Instr.t -> float -> float) -> Kernel.t -> env -> result

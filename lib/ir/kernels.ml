@@ -1,7 +1,23 @@
-type variant = Picachu | Baseline
+type backend = Taylor | Nli
+type variant = Picachu of backend | Baseline
+
+let picachu = Picachu Taylor
+let picachu_nli = Picachu Nli
+let backend_name = function Taylor -> "taylor" | Nli -> "nli"
+
+let variant_name = function
+  | Picachu Taylor -> "picachu"
+  | Picachu Nli -> "picachu-nli"
+  | Baseline -> "baseline"
 
 let taylor_order = 6
-let use_fp2fx = function Picachu -> true | Baseline -> false
+let use_fp2fx = function Picachu _ -> true | Baseline -> false
+
+(* the softmax-family exponential: argument is max-shifted (<= 0) *)
+let exp_shifted_body b variant d =
+  match variant with
+  | Picachu Nli -> Builder.lut b "nli.exp" d
+  | Picachu Taylor | Baseline -> Builder.exp_taylor b ~order:taylor_order d
 
 let mk ~name ~klass ~loops ~inputs ~outputs ?(scalar_inputs = [ "n" ]) () =
   let k =
@@ -22,7 +38,6 @@ let relu variant =
   mk ~name:"relu" ~klass:Kernel.EO ~loops:[ loop ] ~inputs:[ "x" ] ~outputs:[ "y" ] ()
 
 let softmax variant =
-  let order = taylor_order in
   let fp2fx = use_fp2fx variant in
   (* loop 1: running maximum *)
   let b1 = Builder.create ~use_fp2fx:fp2fx () in
@@ -38,7 +53,7 @@ let softmax variant =
   let x = Builder.load b2 "x" in
   let m = Builder.input b2 "m" in
   let d = Builder.sub b2 x m in
-  let e = Builder.exp_taylor b2 ~order d in
+  let e = exp_shifted_body b2 variant d in
   Builder.store b2 "e" e;
   let _, s_next = Builder.reduce_simple b2 Op.Add ~init:(Builder.const b2 0.0) e in
   let l2 =
@@ -56,7 +71,6 @@ let softmax variant =
     ~outputs:[ "e"; "y" ] ()
 
 let softmax_online variant =
-  let order = taylor_order in
   let fp2fx = use_fp2fx variant in
   (* loop 1: online max + rescaled sum.
        m' = max(m, x);  s' = s * exp(m - m') + exp(x - m')
@@ -68,8 +82,8 @@ let softmax_online variant =
   let m = Builder.phi b1 ~init:seed in
   let s = Builder.phi b1 ~init:(Builder.const b1 0.0) in
   let m' = Builder.fmax b1 m x in
-  let p = Builder.exp_taylor b1 ~order (Builder.sub b1 x m') in
-  let corr = Builder.exp_taylor b1 ~order (Builder.sub b1 m m') in
+  let p = exp_shifted_body b1 variant (Builder.sub b1 x m') in
+  let corr = exp_shifted_body b1 variant (Builder.sub b1 m m') in
   let s' = Builder.add b1 (Builder.mul b1 s corr) p in
   Builder.set_phi_next b1 m m';
   Builder.set_phi_next b1 s s';
@@ -82,7 +96,7 @@ let softmax_online variant =
   let x = Builder.load b2 "x" in
   let m = Builder.input b2 "m" in
   let s = Builder.input b2 "s" in
-  let e = Builder.exp_taylor b2 ~order (Builder.sub b2 x m) in
+  let e = exp_shifted_body b2 variant (Builder.sub b2 x m) in
   let y = Builder.div b2 e s in
   Builder.store b2 "y" y;
   let l2 = Builder.finish b2 ~label:"softmax_online.2" ~trip_input:"n" () in
@@ -91,11 +105,19 @@ let softmax_online variant =
 
 let gelu variant =
   match variant with
-  | Picachu ->
+  | Picachu Taylor ->
       let b = Builder.create () in
       let x = Builder.load b "x" in
       let p = Builder.lut b "phi" x in
       let y = Builder.mul b x p in
+      Builder.store b "y" y;
+      let loop = Builder.finish b ~label:"gelu.1" ~trip_input:"n" () in
+      mk ~name:"gelu" ~klass:Kernel.EO ~loops:[ loop ] ~inputs:[ "x" ] ~outputs:[ "y" ] ()
+  | Picachu Nli ->
+      (* the non-uniform table holds GeLU itself, not Phi: a single lookup *)
+      let b = Builder.create () in
+      let x = Builder.load b "x" in
+      let y = Builder.lut b "nli.gelu" x in
       Builder.store b "y" y;
       let loop = Builder.finish b ~label:"gelu.1" ~trip_input:"n" () in
       mk ~name:"gelu" ~klass:Kernel.EO ~loops:[ loop ] ~inputs:[ "x" ] ~outputs:[ "y" ] ()
@@ -121,9 +143,11 @@ let gelu variant =
       mk ~name:"gelu" ~klass:Kernel.EO ~loops:[ loop ] ~inputs:[ "x" ] ~outputs:[ "y" ] ()
 
 let silu_body b variant x =
-  ignore variant;
-  let sg = Builder.sigmoid_taylor b ~order:taylor_order x in
-  Builder.mul b x sg
+  match variant with
+  | Picachu Nli -> Builder.lut b "nli.silu" x
+  | Picachu Taylor | Baseline ->
+      let sg = Builder.sigmoid_taylor b ~order:taylor_order x in
+      Builder.mul b x sg
 
 let silu variant =
   let b = Builder.create ~use_fp2fx:(use_fp2fx variant) () in
@@ -149,9 +173,10 @@ let geglu variant =
   let g = Builder.load b "b" in
   let ge =
     match variant with
-    | Picachu ->
+    | Picachu Taylor ->
         let p = Builder.lut b "phi" a in
         Builder.mul b a p
+    | Picachu Nli -> Builder.lut b "nli.gelu" a
     | Baseline ->
         let x2 = Builder.mul b a a in
         let x3 = Builder.mul b x2 a in
@@ -239,8 +264,17 @@ let rope variant =
   let x1 = Builder.load b "x1" in
   let x2 = Builder.load b "x2" in
   let a = Builder.load b "angle" in
-  let s = Builder.sin_taylor b ~order:7 a in
-  let c = Builder.cos_taylor b ~order:8 a in
+  let s, c =
+    match variant with
+    | Picachu Nli ->
+        let s = Builder.lut b "nli.sin" a in
+        let c = Builder.lut b "nli.cos" a in
+        (s, c)
+    | Picachu Taylor | Baseline ->
+        let s = Builder.sin_taylor b ~order:7 a in
+        let c = Builder.cos_taylor b ~order:8 a in
+        (s, c)
+  in
   let y1 = Builder.sub b (Builder.mul b x1 c) (Builder.mul b x2 s) in
   let y2 = Builder.add b (Builder.mul b x1 s) (Builder.mul b x2 c) in
   Builder.store b "y1" y1;
@@ -253,12 +287,17 @@ let softcap ?(cap = 30.0) variant =
   let b = Builder.create ~use_fp2fx:(use_fp2fx variant) () in
   let x = Builder.load b "x" in
   let scaled = Builder.mul b x (Builder.const b (1.0 /. cap)) in
-  (* tanh(z) = (e^{2z} - 1) / (e^{2z} + 1) *)
-  let two_z = Builder.mul b scaled (Builder.const b 2.0) in
-  let e = Builder.exp_taylor b ~order:taylor_order two_z in
-  let num = Builder.sub b e (Builder.const b 1.0) in
-  let den = Builder.add b e (Builder.const b 1.0) in
-  let th = Builder.div b num den in
+  let th =
+    match variant with
+    | Picachu Nli -> Builder.lut b "nli.tanh" scaled
+    | Picachu Taylor | Baseline ->
+        (* tanh(z) = (e^{2z} - 1) / (e^{2z} + 1) *)
+        let two_z = Builder.mul b scaled (Builder.const b 2.0) in
+        let e = Builder.exp_taylor b ~order:taylor_order two_z in
+        let num = Builder.sub b e (Builder.const b 1.0) in
+        let den = Builder.add b e (Builder.const b 1.0) in
+        Builder.div b num den
+  in
   let y = Builder.mul b th (Builder.const b cap) in
   Builder.store b "y" y;
   let loop = Builder.finish b ~label:"softcap.1" ~trip_input:"n" () in

@@ -1,10 +1,13 @@
 (** The nonlinear-operation kernel library (paper Table 1).
 
-    Every kernel is authored twice via the [use_fp2fx] switch: the PICACHU
-    form uses the FP2FX special unit and CoT LUTs, the baseline form expands
-    the same mathematics with primitive ops only (floor-based splits, tanh
-    form of GeLU) — the configuration the homogeneous baseline CGRA of
-    §5.3.2 must run.
+    Every kernel is authored per {!variant}: the PICACHU forms use the FP2FX
+    special unit plus an approximation {!backend} — [Taylor] expands
+    operators around reduced ranges (the paper's algorithm, CoT LUT for
+    Phi), [Nli] replaces the expansions with single lookups into non-uniform
+    error-equalized segment tables ({!Picachu_numerics.Nli}).  The baseline
+    form expands the same mathematics with primitive ops only (floor-based
+    splits, tanh form of GeLU) — the configuration the homogeneous baseline
+    CGRA of §5.3.2 must run.
 
     Loop structure follows §3.1: element-wise operations are one loop;
     softmax is three loops (max-reduce, exp-and-sum-reduce, divide);
@@ -15,7 +18,27 @@
     ["n"] as the number of rotated pairs and expects its angle stream
     pre-reduced into [-pi/2, pi/2]. *)
 
-type variant = Picachu | Baseline
+type backend = Taylor | Nli
+(** Approximation backend for the Picachu kernel forms.  [Taylor]: the
+    paper's range-reduced polynomial expansions.  [Nli]: non-uniform linear
+    interpolation — one [Op.Lut] per operator into an error-equalized
+    segment table ("nli.*" names resolved by
+    {!Picachu_numerics.Lut_catalog}). *)
+
+type variant = Picachu of backend | Baseline
+
+val picachu : variant
+(** [Picachu Taylor] — the paper's configuration and the default
+    everywhere a variant used to be just "Picachu". *)
+
+val picachu_nli : variant
+(** [Picachu Nli]. *)
+
+val backend_name : backend -> string
+(** ["taylor"] / ["nli"]. *)
+
+val variant_name : variant -> string
+(** ["picachu"], ["picachu-nli"], ["baseline"]. *)
 
 val taylor_order : int
 (** Polynomial order used in kernel expansions (6, matching

@@ -25,8 +25,10 @@ let name = function
   | Rmsnorm -> "rmsnorm"
   | Rope -> "rope"
 
+let of_name_opt s = List.find_opt (fun k -> name k = s) all
+
 let of_name s =
-  match List.find_opt (fun k -> name k = s) all with
+  match of_name_opt s with
   | Some k -> k
   | None -> invalid_arg ("Registry.of_name: " ^ s)
 

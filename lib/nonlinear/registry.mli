@@ -21,6 +21,10 @@ val name : opkind -> string
 val of_name : string -> opkind
 (** Raises [Invalid_argument] on unknown names. *)
 
+val of_name_opt : string -> opkind option
+(** Total lookup for user-facing boundaries (CLI arguments, experiment
+    rosters): [None] instead of an exception on unknown names. *)
+
 val klass : opkind -> Kernel.klass
 (** EO or RE (Table 1's black/blue split). *)
 

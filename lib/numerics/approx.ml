@@ -71,49 +71,102 @@ let int8_format xs =
     (fun x -> float_of_int (Quant.quantize_value ~bits:8 ~scale x) *. scale)
     xs
 
-let ours_fp ?(order = 6) () =
-  let cfg = { Taylor.order } in
+(* ----------------------------------------------- pluggable PICACHU prims *)
+
+(* The shared backend signature: one scalar primitive per Table 1 building
+   block, at the backend's fidelity (rounding included — the FP instances
+   round products through FP32, the INT instances ride the quantized grid).
+   [of_prims] supplies the vector plumbing every instance shares: apply the
+   I/O format, shift the softmax numerator by the running maximum, map. *)
+type prims = {
+  p_name : string;
+  p_format : float array -> float array;
+  p_exp_shifted : float -> float;  (** [exp d] for a max-shifted [d <= 0] *)
+  p_gelu : float -> float;  (** on an already-formatted input *)
+  p_silu : float -> float;
+  p_sin : float -> float;
+  p_cos : float -> float;
+  p_div : float -> float -> float;
+  p_isqrt : float -> float;
+}
+
+let of_prims p =
   {
-    name = Printf.sprintf "ours-fp16(order %d)" order;
-    format = fp16_format;
+    name = p.p_name;
+    format = p.p_format;
     exp_shifted =
       (fun xs ->
-        let xs = fp16_format xs in
+        let xs = p.p_format xs in
         let m = max_of xs in
-        Array.map (fun x -> Taylor.exp ~cfg (x -. m)) xs);
-    gelu =
-      (fun xs ->
-        let lut = Lazy.force Lut.gauss_cdf in
-        Array.map (fun x -> Fp16.round32 (x *. Lut.eval lut x)) (fp16_format xs));
-    silu =
-      (fun xs -> Array.map (fun x -> Fp16.round32 (x *. Taylor.sigmoid ~cfg x)) (fp16_format xs));
-    relu = (fun xs -> relu_v (fp16_format xs));
-    sin = Taylor.sin ~cfg;
-    cos = Taylor.cos ~cfg;
-    div = Taylor.div;
-    isqrt = (fun x -> Taylor.isqrt x);
+        Array.map (fun x -> p.p_exp_shifted (x -. m)) xs);
+    gelu = (fun xs -> Array.map p.p_gelu (p.p_format xs));
+    silu = (fun xs -> Array.map p.p_silu (p.p_format xs));
+    relu = (fun xs -> relu_v (p.p_format xs));
+    sin = p.p_sin;
+    cos = p.p_cos;
+    div = p.p_div;
+    isqrt = p.p_isqrt;
   }
 
-let ours_int ?order:(_ = 6) () =
+let taylor_fp_prims ?(order = 6) () =
+  let cfg = { Taylor.order } in
+  let lut = Lazy.force Lut.gauss_cdf in
   {
-    name = "ours-int16";
-    format = int16_format;
-    exp_shifted =
-      (fun xs ->
-        let xs = int16_format xs in
-        let m = max_of xs in
-        Array.map (fun x -> Int_ops.exp (x -. m)) xs);
-    gelu =
-      (fun xs ->
-        let lut = Lazy.force Lut.gauss_cdf in
-        Array.map (fun x -> x *. Lut.eval lut x) (int16_format xs));
-    silu = (fun xs -> Array.map (fun x -> x *. Int_ops.sigmoid x) (int16_format xs));
-    relu = (fun xs -> relu_v (int16_format xs));
-    sin = Int_ops.sin;
-    cos = Int_ops.cos;
-    div = Int_ops.div;
-    isqrt = Int_ops.isqrt;
+    p_name = Printf.sprintf "ours-fp16(order %d)" order;
+    p_format = fp16_format;
+    p_exp_shifted = Taylor.exp ~cfg;
+    p_gelu = (fun x -> Fp16.round32 (x *. Lut.eval lut x));
+    p_silu = (fun x -> Fp16.round32 (x *. Taylor.sigmoid ~cfg x));
+    p_sin = Taylor.sin ~cfg;
+    p_cos = Taylor.cos ~cfg;
+    p_div = Taylor.div;
+    p_isqrt = (fun x -> Taylor.isqrt x);
   }
+
+let taylor_int_prims () =
+  let lut = Lazy.force Lut.gauss_cdf in
+  {
+    p_name = "ours-int16";
+    p_format = int16_format;
+    p_exp_shifted = Int_ops.exp;
+    p_gelu = (fun x -> x *. Lut.eval lut x);
+    p_silu = (fun x -> x *. Int_ops.sigmoid x);
+    p_sin = Int_ops.sin;
+    p_cos = Int_ops.cos;
+    p_div = Int_ops.div;
+    p_isqrt = Int_ops.isqrt;
+  }
+
+let nli_fp_prims () =
+  {
+    p_name = "nli-fp16";
+    p_format = fp16_format;
+    p_exp_shifted = (fun d -> Fp16.round32 (Nli.exp_neg d));
+    p_gelu = (fun x -> Fp16.round32 (Nli.gelu x));
+    p_silu = (fun x -> Fp16.round32 (Nli.silu x));
+    p_sin = (fun x -> Fp16.round32 (Nli.sin x));
+    p_cos = (fun x -> Fp16.round32 (Nli.cos x));
+    p_div = (fun a b -> Fp16.round32 (Nli.div a b));
+    p_isqrt = (fun x -> Fp16.round32 (Nli.isqrt x));
+  }
+
+let nli_int_prims () =
+  {
+    p_name = "nli-int16";
+    p_format = int16_format;
+    p_exp_shifted = Nli.exp_neg;
+    p_gelu = Nli.gelu;
+    p_silu = Nli.silu;
+    p_sin = Nli.sin;
+    p_cos = Nli.cos;
+    p_div = Nli.div;
+    p_isqrt = Nli.isqrt;
+  }
+
+let ours_fp ?(order = 6) () = of_prims (taylor_fp_prims ~order ())
+let ours_int ?order:(_ = 6) () = of_prims (taylor_int_prims ())
+let nli_fp () = of_prims (nli_fp_prims ())
+let nli_int () = of_prims (nli_int_prims ())
 
 let ibert =
   {
@@ -152,7 +205,8 @@ let gemmlowp =
     isqrt = (fun x -> Fixed_point.round (Fixed_point.fmt ~total_bits:32 ~frac_bits:16) (1.0 /. sqrt x));
   }
 
-let all_backends = [ exact; ours_fp (); ours_int (); ibert; gemmlowp ]
+let all_backends =
+  [ exact; ours_fp (); ours_int (); nli_fp (); nli_int (); ibert; gemmlowp ]
 
 let hybrid ~name ~base ~damaged ~only =
   match only with

@@ -23,6 +23,32 @@ type t = {
   isqrt : float -> float;
 }
 
+type prims = {
+  p_name : string;
+  p_format : float array -> float array;
+  p_exp_shifted : float -> float;
+      (** [exp d] for a max-shifted argument [d <= 0] *)
+  p_gelu : float -> float;  (** on an already-formatted input *)
+  p_silu : float -> float;
+  p_sin : float -> float;
+  p_cos : float -> float;
+  p_div : float -> float -> float;
+  p_isqrt : float -> float;
+}
+(** The pluggable backend signature: one scalar primitive per Table 1
+    building block at the backend's fidelity (rounding included).  The
+    Taylor engine and the NLI interpolation engine are both instances. *)
+
+val of_prims : prims -> t
+(** Lift the scalar primitives into a full backend: [of_prims] supplies the
+    vector plumbing every instance shares (apply the I/O format, shift the
+    softmax numerator by the running maximum, map element-wise). *)
+
+val taylor_fp_prims : ?order:int -> unit -> prims
+val taylor_int_prims : unit -> prims
+val nli_fp_prims : unit -> prims
+val nli_int_prims : unit -> prims
+
 val exact : t
 (** Float64 software reference (exact Phi for GeLU). *)
 
@@ -39,6 +65,14 @@ val ours_int : ?order:int -> unit -> t
     intermediates. [order] is accepted for interface symmetry; the fixed
     datapath uses order 6. *)
 
+val nli_fp : unit -> t
+(** NLI backend, FP16 I/O, FP32 intermediates: non-uniform error-equalized
+    segment tables ({!Nli.standard}) with range-reduced lookups instead of
+    Taylor expansions. *)
+
+val nli_int : unit -> t
+(** NLI backend over the dynamic per-tensor INT16 I/O grid. *)
+
 val ibert : t
 (** I-BERT INT8 baseline. *)
 
@@ -46,7 +80,8 @@ val gemmlowp : t
 (** gemmlowp fixed-point baseline (static INT16 grid). *)
 
 val all_backends : t list
-(** The five backends above, in presentation order. *)
+(** The seven backends above, in presentation order (exact, the two Taylor
+    instances, the two NLI instances, the two baselines). *)
 
 val hybrid : name:string -> base:t -> damaged:t -> only:[ `Softmax | `Activation | `Norm | `Rope ] -> t
 (** Attribution tool: [base] everywhere except the chosen operator family,

@@ -1,0 +1,67 @@
+(* 4-bit minifloat in the OCP MX E2M1 layout: 1 sign, 2 exponent, 1
+   mantissa, bias 1.  Every one of the 16 codes is finite — there is no
+   infinity and no NaN row; the positive magnitudes are
+   0, 0.5, 1, 1.5, 2, 3, 4, 6.
+
+   Conversion is round-to-nearest-even with saturating overflow, the same
+   accelerator convention as the FP8 codec; NaN input maps to 0 (the
+   Fixed_point convention for formats with nothing better to encode it). *)
+
+let exp_bits = 2
+let mant_bits = 1
+let bias = 1
+let mant_mask = (1 lsl mant_bits) - 1
+let exp_mask = (1 lsl exp_bits) - 1
+
+(* exponent of the subnormal quantum: value of the mantissa ulp at e = 0 *)
+let sub_exp = 1 - bias - mant_bits
+
+(* largest finite magnitude encoding: 0.111 = 1.1b * 2^(3-1) = 6 *)
+let max_code = (exp_mask lsl mant_bits) lor mant_mask
+
+let to_float code =
+  let code = code land 0xF in
+  let sign = if code land 0x8 <> 0 then -1.0 else 1.0 in
+  let e = (code lsr mant_bits) land exp_mask in
+  let m = code land mant_mask in
+  if e = 0 then sign *. Float.ldexp (float_of_int m) sub_exp
+  else sign *. Float.ldexp (float_of_int (m lor (1 lsl mant_bits))) (e - bias - mant_bits)
+
+let max_value = to_float max_code
+let min_positive_subnormal = Float.ldexp 1.0 sub_exp
+
+let of_float x =
+  if Float.is_nan x then 0
+  else
+    let sign = if 1.0 /. x < 0.0 || x < 0.0 then 0x8 else 0 in
+    let a = Float.abs x in
+    if a > max_value then sign lor max_code (* includes infinity *)
+    else if a = 0.0 then sign
+    else
+      (* scale [a] into integer units of the quantum at its binade; the
+         quotient is a small exact float, so RNE reduces to integer
+         rounding with ties-to-even *)
+      let _, e = Float.frexp a in
+      let shift = Stdlib.max (e - 1 - mant_bits) sub_exp in
+      let q = a /. Float.ldexp 1.0 shift in
+      let fl = Float.floor q in
+      let rem = q -. fl in
+      let qi = int_of_float fl in
+      let qi =
+        if rem > 0.5 then qi + 1
+        else if rem < 0.5 then qi
+        else if qi land 1 = 1 then qi + 1
+        else qi
+      in
+      (* a mantissa carry moves the value up one binade *)
+      let qi, shift =
+        if qi = 1 lsl (mant_bits + 1) then (1 lsl mant_bits, shift + 1)
+        else (qi, shift)
+      in
+      if qi < 1 lsl mant_bits then sign lor qi (* subnormal (shift = sub_exp) *)
+      else
+        let e_field = shift + mant_bits + bias in
+        let code = (e_field lsl mant_bits) lor (qi land mant_mask) in
+        if code > max_code then sign lor max_code else sign lor code
+
+let round x = to_float (of_float x)

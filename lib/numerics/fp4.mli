@@ -1,0 +1,23 @@
+(** 4-bit minifloat (OCP MX FP4, E2M1 layout).
+
+    1 sign, 2 exponent, 1 mantissa, bias 1.  All 16 codes are finite — no
+    infinity and no NaN: the positive magnitudes are 0, 0.5, 1, 1.5, 2, 3,
+    4, 6.  Conversions round to nearest, ties to even, and saturate finite
+    and infinite inputs past ±6 to ±6; NaN maps to (positive) zero, the
+    convention of formats with no better encoding. *)
+
+val max_value : float
+(** 6.0 — the largest finite magnitude. *)
+
+val min_positive_subnormal : float
+(** 0.5. *)
+
+val of_float : float -> int
+(** RNE into the 4-bit encoding (0..0xF), saturating; sign of zero
+    preserved. *)
+
+val to_float : int -> float
+(** Decode; only the low 4 bits are read. *)
+
+val round : float -> float
+(** Quantize a float through the format. *)

@@ -1,0 +1,46 @@
+(* Single name -> table authority for every LUT a kernel can reference
+   through Op.Lut: the interpreter, the hardware executor, the verifier's
+   transfer rules and the mapper's ROM-capacity check all resolve here, so
+   a table added for one backend is visible to every layer at once.
+
+   "phi" is the uniform Gaussian-CDF table the CoTs ship for exact GeLU;
+   "nli.*" are the fitted non-uniform segment tables of the NLI backend. *)
+
+let find_opt name =
+  match name with
+  | "phi" -> Some (Lazy.force Lut.gauss_cdf)
+  | _ -> Nli.table_of_name name
+
+let known name = find_opt name <> None
+
+(* ROM bytes of the named tables, deduplicated — two references to one
+   table share the one copy resident in a CoT's ROM *)
+let footprint_bytes names =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc name ->
+      if Hashtbl.mem seen name then acc
+      else begin
+        Hashtbl.add seen name ();
+        match find_opt name with
+        | Some t -> acc + Lut.size_bytes t
+        | None -> acc
+      end)
+    0 names
+
+(* Lipschitz constant for the PWL error-transfer rule.  Phi keeps its
+   historical hand-derived constant (sup Phi' = 1/sqrt(2pi) ~ 0.3989,
+   rounded up) so existing proofs replay identically; fitted tables use
+   their measured max |segment slope|, nudged up a last-ulp so the
+   constant stays an upper bound of the float arithmetic. *)
+let lipschitz = function
+  | "phi" -> Some 0.4
+  | name ->
+      Option.map
+        (fun t -> Lut.max_abs_slope t *. (1.0 +. 1e-9))
+        (find_opt name)
+
+let interval name a b =
+  match find_opt name with
+  | Some t -> Lut.interval t a b
+  | None -> (neg_infinity, infinity)

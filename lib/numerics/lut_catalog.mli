@@ -1,0 +1,21 @@
+(** Name resolution for every LUT a kernel can reference via [Op.Lut].
+
+    One authority shared by the interpreter, the hardware executor, the
+    verifier's PWL transfer rules and the mapper's ROM-capacity check:
+    ["phi"] is the uniform Gaussian-CDF CoT table, ["nli.*"] are the
+    fitted non-uniform NLI segment tables ({!Nli.standard}). *)
+
+val find_opt : string -> Lut.t option
+val known : string -> bool
+
+val footprint_bytes : string list -> int
+(** Total ROM bytes of the named tables, deduplicated by name (references
+    to one table share one resident copy); unknown names contribute 0. *)
+
+val lipschitz : string -> float option
+(** Sound Lipschitz constant of the named table's clamped interpolant
+    (["phi"] keeps its historical 0.4), or [None] for unknown tables. *)
+
+val interval : string -> float -> float -> float * float
+(** Sound output range of the named table over a query interval;
+    [(-inf, +inf)] for unknown tables. *)

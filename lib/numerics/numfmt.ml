@@ -2,6 +2,7 @@ module Fx = Fixed_point
 
 type t =
   | Fixed of Fx.fmt
+  | Fp4
   | Fp8 of Fp8.fmt
   | Bf16
   | Fp16
@@ -13,6 +14,7 @@ let e5m2 = Fp8 Fp8.e5m2
 
 let name = function
   | Fixed f -> Printf.sprintf "q%d.%d" (f.Fx.total_bits - f.Fx.frac_bits) f.Fx.frac_bits
+  | Fp4 -> "fp4_e2m1"
   | Fp8 f -> f.Fp8.name
   | Bf16 -> "bf16"
   | Fp16 -> "fp16"
@@ -20,12 +22,14 @@ let name = function
 
 let bits = function
   | Fixed f -> f.Fx.total_bits
+  | Fp4 -> 4
   | Fp8 _ -> 8
   | Bf16 | Fp16 -> 16
   | Fp32 -> 32
 
 let max_value = function
   | Fixed f -> Fx.to_float f (Fx.max_int_value f)
+  | Fp4 -> Fp4.max_value
   | Fp8 f -> Fp8.max_value f
   | Bf16 -> Bfloat16.max_value
   | Fp16 -> Fp16.max_value
@@ -38,6 +42,7 @@ let quantize t x =
       let q =
         match t with
         | Fixed _ -> assert false
+        | Fp4 -> Fp4.round x
         | Fp8 f -> Fp8.round f x
         | Bf16 -> Bfloat16.round x
         | Fp16 -> Fp16.round x
@@ -54,6 +59,7 @@ let quantize t x =
 (* (explicit mantissa bits, unbiased exponent of the smallest normal) *)
 let float_params = function
   | Fixed _ -> invalid_arg "Numfmt.float_params: fixed format"
+  | Fp4 -> (1, 0) (* E2M1: one explicit mantissa bit, min normal 2^0 *)
   | Fp8 f -> (f.Fp8.mant_bits, 1 - f.Fp8.bias)
   | Bf16 -> (7, -126)
   | Fp16 -> (10, -14)
@@ -77,6 +83,7 @@ let exact_sums = function Fixed _ -> true | _ -> false
 
 let catalogue =
   [
+    Fp4;
     e4m3;
     e5m2;
     fixed ~total_bits:8 ~frac_bits:4;
@@ -90,6 +97,7 @@ let catalogue =
 
 let of_string s =
   match s with
+  | "fp4_e2m1" | "e2m1" -> Some Fp4
   | "fp8_e4m3" | "e4m3" -> Some e4m3
   | "fp8_e5m2" | "e5m2" -> Some e5m2
   | "bf16" -> Some Bf16

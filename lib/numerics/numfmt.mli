@@ -11,6 +11,7 @@
 
 type t =
   | Fixed of Fixed_point.fmt
+  | Fp4  (** OCP MX FP4, E2M1 *)
   | Fp8 of Fp8.fmt
   | Bf16
   | Fp16
@@ -47,5 +48,5 @@ val exact_sums : t -> bool
 
 val catalogue : t list
 (** The candidate ladder format selection walks, cheapest (narrowest)
-    first: fp8_e4m3, fp8_e5m2, q4.4, q4.8, bf16, fp16, q8.8, q16.16,
-    fp32. *)
+    first: fp4_e2m1, fp8_e4m3, fp8_e5m2, q4.4, q4.8, bf16, fp16, q8.8,
+    q16.16, fp32. *)

@@ -132,7 +132,7 @@ let tab3 () =
 (* ------------------------------------------------------------------ tab4 *)
 
 let tab4 () =
-  let kernels = Kernels.all Kernels.Picachu in
+  let kernels = Kernels.all Kernels.picachu in
   let patterns =
     Op.[ Phi_add_add; Phi_add; Add_add; Cmp_sel; Mul_add_add; Mul_add; Cmp_br ]
   in
@@ -244,7 +244,7 @@ let fig7a () =
   List.concat_map
     (fun (k : Kernel.t) ->
       let base = Compiler.cached base_opts Kernels.Baseline k.Kernel.name in
-      let pic = Compiler.cached pic_opts Kernels.Picachu k.Kernel.name in
+      let pic = Compiler.cached pic_opts Kernels.picachu k.Kernel.name in
       List.map2
         (fun bl pl ->
           let bc = loop_pass_cycles bl ~n:seq and pc = loop_pass_cycles pl ~n:seq in
@@ -256,7 +256,7 @@ let fig7a () =
             f7_speedup = float_of_int bc /. float_of_int pc;
           })
         base.Compiler.loops pic.Compiler.loops)
-    (table1_kernels Kernels.Picachu)
+    (table1_kernels Kernels.picachu)
 
 let fig7a_summary rows =
   let speedups = List.map (fun r -> r.f7_speedup) rows in
@@ -270,7 +270,7 @@ let fig7b () =
     (fun (k : Kernel.t) ->
       let cycles_for rows cols =
         let opts = Compiler.picachu_options ~arch:(Arch.picachu ~rows ~cols ()) () in
-        Compiler.pass_cycles (Compiler.cached opts Kernels.Picachu k.Kernel.name) ~n:seq
+        Compiler.pass_cycles (Compiler.cached opts Kernels.picachu k.Kernel.name) ~n:seq
       in
       let base = cycles_for 3 3 in
       let entries =
@@ -283,7 +283,7 @@ let fig7b () =
          ranges, double-buffered through the Shared Buffer (§5.3.4) *)
       let split = 2.0 *. (float_of_int base /. float_of_int (cycles_for 4 4)) in
       (k.Kernel.name, entries @ [ ("4x8-split", split) ]))
-    (Kernels.all Kernels.Picachu)
+    (Kernels.all Kernels.picachu)
 
 (* ----------------------------------------------------------------- fig7c *)
 
@@ -316,16 +316,16 @@ let fig7d () =
   List.filter_map
     (fun (k : Kernel.t) ->
       let vectorizable =
-        match Picachu_nonlinear.Registry.of_name k.Kernel.name with
-        | op -> Picachu_nonlinear.Registry.vectorizable op
-        | exception Invalid_argument _ -> true (* library extras, e.g. softmax_online *)
+        match Picachu_nonlinear.Registry.of_name_opt k.Kernel.name with
+        | Some op -> Picachu_nonlinear.Registry.vectorizable op
+        | None -> true (* library extras, e.g. softmax_online *)
       in
       if vectorizable then
-        let s = Compiler.pass_cycles (Compiler.cached scalar Kernels.Picachu k.Kernel.name) ~n:seq in
-        let v = Compiler.pass_cycles (Compiler.cached vec Kernels.Picachu k.Kernel.name) ~n:seq in
+        let s = Compiler.pass_cycles (Compiler.cached scalar Kernels.picachu k.Kernel.name) ~n:seq in
+        let v = Compiler.pass_cycles (Compiler.cached vec Kernels.picachu k.Kernel.name) ~n:seq in
         Some (k.Kernel.name, float_of_int s /. float_of_int v)
       else None)
-    (Kernels.all Kernels.Picachu)
+    (Kernels.all Kernels.picachu)
 
 (* ------------------------------------------------------------- fig8/fig9 *)
 
@@ -431,7 +431,7 @@ let supp_mapper () =
           let lower, achieved, verdict = Picachu_cgra.Mapper_exact.heuristic_gap arch g in
           (loop.Kernel.label, Dfg.node_count g, lower, achieved, verdict))
         k.Kernel.loops)
-    (table1_kernels Kernels.Picachu)
+    (table1_kernels Kernels.picachu)
 
 (* -------------------------------------------- supplementary: energy/op *)
 
@@ -444,7 +444,7 @@ let supp_energy () =
   List.map
     (fun op ->
       let name = Picachu_nonlinear.Registry.name op in
-      let c = Compiler.cached opts Kernels.Picachu name in
+      let c = Compiler.cached opts Kernels.picachu name in
       let n = 4096 in
       let cyc_per_elem = float_of_int (Compiler.pass_cycles c ~n) /. float_of_int n in
       let cgra_pj = cyc_per_elem *. cgra_power_mw (* mW * ns = pJ *) in
@@ -558,14 +558,14 @@ let supp_noc () =
   let opts = Compiler.picachu_options () in
   List.concat_map
     (fun (k : Kernel.t) ->
-      let c = Compiler.cached opts Kernels.Picachu k.Kernel.name in
+      let c = Compiler.cached opts Kernels.picachu k.Kernel.name in
       List.map
         (fun (cl : Compiler.compiled_loop) ->
           let r = Picachu_cgra.Noc.analyze c.Compiler.arch cl.Compiler.dfg cl.Compiler.mapping in
           let rf = Picachu_cgra.Rf.analyze c.Compiler.arch cl.Compiler.dfg cl.Compiler.mapping in
           (cl.Compiler.source.Kernel.label, cl.Compiler.mapping.Mapper.ii, r, rf))
         c.Compiler.loops)
-    (table1_kernels Kernels.Picachu)
+    (table1_kernels Kernels.picachu)
 
 (* ------------------------------------------------- supplementary: decode *)
 
@@ -595,13 +595,13 @@ let ablation_fusion () =
       let c_on = Compiler.pass_cycles (Compiler.compile on k) ~n:seq in
       let c_off = Compiler.pass_cycles (Compiler.compile off k) ~n:seq in
       (k.Kernel.name, float_of_int c_off /. float_of_int c_on))
-    (table1_kernels Kernels.Picachu)
+    (table1_kernels Kernels.picachu)
 
 let ablation_fp2fx () =
   let opts = Compiler.picachu_options () in
   List.map
     (fun name ->
-      let special = Compiler.pass_cycles (Compiler.cached opts Kernels.Picachu name) ~n:seq in
+      let special = Compiler.pass_cycles (Compiler.cached opts Kernels.picachu name) ~n:seq in
       let plain =
         Compiler.pass_cycles
           (Compiler.compile opts (Kernels.by_name Kernels.Baseline name))
@@ -617,10 +617,10 @@ let ablation_hetero () =
   let premium = area (Arch.universal ()) /. area (Arch.picachu ()) in
   List.map
     (fun (k : Kernel.t) ->
-      let c_h = Compiler.pass_cycles (Compiler.cached het Kernels.Picachu k.Kernel.name) ~n:seq in
-      let c_u = Compiler.pass_cycles (Compiler.cached uni Kernels.Picachu k.Kernel.name) ~n:seq in
+      let c_h = Compiler.pass_cycles (Compiler.cached het Kernels.picachu k.Kernel.name) ~n:seq in
+      let c_u = Compiler.pass_cycles (Compiler.cached uni Kernels.picachu k.Kernel.name) ~n:seq in
       (k.Kernel.name, float_of_int c_h /. float_of_int c_u, premium))
-    (table1_kernels Kernels.Picachu)
+    (table1_kernels Kernels.picachu)
 
 let ablation_dbuf () =
   List.map
@@ -667,7 +667,7 @@ let ablation_online_softmax () =
         ((sm.Workload.dim + per - 1) / per) * cl.Compiler.mapping.Mapper.ii
       in
       (* standard: all three loops run channel-at-a-time after production *)
-      let std = Compiler.cached opts Kernels.Picachu "softmax" in
+      let std = Compiler.cached opts Kernels.picachu "softmax" in
       let std_cycles =
         Picachu_memory.Dataflow.case2_cycles dma buf ~rows:sm.Workload.rows
           ~dim:sm.Workload.dim ~element_bytes:2
@@ -676,7 +676,7 @@ let ablation_online_softmax () =
       in
       (* online: the reduce loop overlaps the producing GEMM; only the
          normalize pass is buffer traffic *)
-      let onl = Compiler.cached opts Kernels.Picachu "softmax_online" in
+      let onl = Compiler.cached opts Kernels.picachu "softmax_online" in
       let reduce = per_loop_channel onl 0 * sm.Workload.rows in
       let overlap = Stdlib.max producer reduce - producer in
       let normalize =
@@ -696,7 +696,7 @@ let ablation_order () =
         max_rel ~lo:(-20.0) ~hi:3.0 ~reference:Stdlib.exp
           ~candidate:(Nm.Taylor.exp ~cfg:{ Nm.Taylor.order })
       in
-      let k = Kernels.exp_kernel ~order Kernels.Picachu in
+      let k = Kernels.exp_kernel ~order Kernels.picachu in
       let c = Compiler.compile_with_unroll opts 1 k in
       let nodes =
         List.fold_left (fun acc cl -> acc + Dfg.node_count cl.Compiler.dfg) 0
@@ -1130,7 +1130,7 @@ let print_pipeline () =
             ignore (Compiler.cached_result opts variant k.Kernel.name))
           (roster variant))
       [
-        (Kernels.Picachu, Compiler.picachu_options ());
+        (Kernels.picachu, Compiler.picachu_options ());
         (Kernels.Baseline, Compiler.baseline_options ());
       ]
   in
@@ -1156,7 +1156,7 @@ let print_pipeline () =
    chosen format share a delta; the proven bound is the per-kernel
    quantity. *)
 let supp_precision () =
-  let roster = Kernels.all Kernels.Picachu @ Kernels.extras Kernels.Picachu in
+  let roster = Kernels.all Kernels.picachu @ Kernels.extras Kernels.picachu in
   let sur = surrogate_for Mz.llama2_7b in
   let rng = Picachu_tensor.Rng.create stream_seed in
   let stream =
@@ -1214,6 +1214,159 @@ let print_precision () =
          ])
        (supp_precision ()))
 
+(* -------------------------------------------------------------- backends *)
+
+(* Head-to-head of the two Picachu approximation backends — Taylor
+   expansion vs non-uniform linear interpolation — per operator.  Three
+   axes: accuracy, achieved II per loop, and resident LUT ROM bytes (the
+   tile state the mapper charges against [Arch.lut_capacity_bytes]).
+
+   Accuracy is the verifier's proven FP16 error bound where the
+   affine/PWL transfer rules prove one; where no finite bound exists
+   (division, inverse square root and other unbounded denominators), the
+   honest fallback is the surrogate-PPL delta of damaging just that
+   operator's family with the backend's arithmetic, the Table 5
+   protocol. *)
+let backend_family = function
+  | "softmax" | "softmax_online" -> Some `Softmax
+  | "relu" | "gelu" | "geglu" | "swiglu" | "silu" | "relu_squared" ->
+      Some `Activation
+  | "layernorm" | "rmsnorm" -> Some `Norm
+  | "rope" -> Some `Rope
+  | _ -> None
+
+let backends_roster =
+  [
+    "softmax"; "softmax_online"; "relu"; "gelu"; "geglu"; "swiglu"; "silu";
+    "layernorm"; "rmsnorm"; "rope"; "softcap"; "relu_squared";
+  ]
+
+type backend_cell = {
+  bc_iis : int list;
+  bc_rom : int;
+  bc_bound : float;
+  bc_ppl : float option;  (** fallback when the bound is infinite *)
+}
+
+let backends_cells () =
+  let sur = surrogate_for Mz.llama2_7b in
+  let rng = Picachu_tensor.Rng.create stream_seed in
+  let stream =
+    Surrogate.sample sur rng ~temperature:sample_temperature ~len:stream_len ()
+  in
+  let base = lazy (Ppl.ppl sur Nm.Approx.exact stream) in
+  let ppl_memo = Hashtbl.create 8 in
+  let ppl_delta backend family =
+    let fam_tag =
+      match family with
+      | `Softmax -> "softmax"
+      | `Activation -> "act"
+      | `Norm -> "norm"
+      | `Rope -> "rope"
+    in
+    let damaged =
+      match backend with
+      | Kernels.Taylor -> Nm.Approx.ours_fp ()
+      | Kernels.Nli -> Nm.Approx.nli_fp ()
+    in
+    let key = Kernels.backend_name backend ^ "/" ^ fam_tag in
+    match Hashtbl.find_opt ppl_memo key with
+    | Some d -> d
+    | None ->
+        let b =
+          Nm.Approx.hybrid ~name:key ~base:Nm.Approx.exact ~damaged
+            ~only:family
+        in
+        let d = Ppl.ppl sur b stream -. Lazy.force base in
+        Hashtbl.add ppl_memo key d;
+        d
+  in
+  let opts = Compiler.picachu_options () in
+  let cell backend name =
+    let variant = Kernels.Picachu backend in
+    let k =
+      List.find
+        (fun (k : Kernel.t) -> k.Kernel.name = name)
+        (Kernels.all variant @ Kernels.extras variant)
+    in
+    let c =
+      match Compiler.memo_result opts k with
+      | Ok c -> c
+      | Error e -> raise (Picachu_error.Error e)
+    in
+    let bc_iis =
+      List.map
+        (fun (cl : Compiler.compiled_loop) -> cl.Compiler.mapping.Mapper.ii)
+        c.Compiler.loops
+    in
+    let bc_rom =
+      let names =
+        List.concat_map
+          (fun (cl : Compiler.compiled_loop) -> Mapper.lut_names cl.Compiler.dfg)
+          c.Compiler.loops
+      in
+      Nm.Lut_catalog.footprint_bytes names
+    in
+    let bc_bound =
+      (Picachu_verify.Precision.analyze ~fmt:Nm.Numfmt.Fp16 k)
+        .Picachu_verify.Precision.bound
+    in
+    let bc_ppl =
+      if Float.is_finite bc_bound then None
+      else Option.map (ppl_delta backend) (backend_family name)
+    in
+    { bc_iis; bc_rom; bc_bound; bc_ppl }
+  in
+  List.map
+    (fun name -> (name, cell Kernels.Taylor name, cell Kernels.Nli name))
+    backends_roster
+
+let print_backends () =
+  Report.section
+    "Backend head-to-head: Taylor expansion vs non-uniform interpolation";
+  let fmt_acc c =
+    if Float.is_finite c.bc_bound then Printf.sprintf "%.2e bound" c.bc_bound
+    else
+      match c.bc_ppl with
+      | Some d -> Printf.sprintf "%+.4f ppl" d
+      | None -> "unbounded"
+  in
+  let fmt_iis c =
+    String.concat "," (List.map string_of_int c.bc_iis)
+  in
+  let cells = backends_cells () in
+  let rows =
+    List.map
+      (fun (name, t, n) ->
+        [
+          name;
+          fmt_iis t;
+          fmt_iis n;
+          string_of_int t.bc_rom;
+          string_of_int n.bc_rom;
+          fmt_acc t;
+          fmt_acc n;
+        ])
+      cells
+  in
+  Report.table
+    ~header:
+      [
+        "operator"; "taylor II"; "nli II"; "taylor ROM B"; "nli ROM B";
+        "taylor accuracy"; "nli accuracy";
+      ]
+    rows;
+  let sum_ii c = List.fold_left ( + ) 0 c.bc_iis in
+  let wins =
+    List.length (List.filter (fun (_, t, n) -> sum_ii n < sum_ii t) cells)
+  in
+  Printf.printf
+    "nli lowers the summed II on %d/%d operators; every nli table fits the \
+     %d-byte tile ROM budget\n"
+    wins
+    (List.length backends_roster)
+    Arch.default_lut_capacity_bytes
+
 let printers =
   [
     ("fig1", print_fig1);
@@ -1252,6 +1405,7 @@ let extra_printers =
     ("resilience", print_resilience);
     ("pipeline", print_pipeline);
     ("precision", print_precision);
+    ("backends", print_backends);
   ]
 
 let ids = List.map fst printers @ List.map fst extra_printers

@@ -10,6 +10,7 @@ type point = {
   rows : int;
   cols : int;
   cot_share : float;
+  backend : Kernels.backend;
   arch_name : string;
   area_mm2 : float;
   geomean_throughput : float;
@@ -18,19 +19,20 @@ type point = {
 
 let pass_elements = 1024
 
-let kernel_roster () =
+let kernel_roster ?(backend = Kernels.Taylor) () =
   List.filter
     (fun (k : Kernel.t) -> k.Kernel.name <> "softmax_online")
-    (Kernels.all Kernels.Picachu)
+    (Kernels.all (Kernels.Picachu backend))
 
-let evaluate ?(cold = false) ?hints ~rows ~cols ~cot_share () =
+let evaluate ?(cold = false) ?hints ?(backend = Kernels.Taylor) ~rows ~cols
+    ~cot_share () =
   let arch = Arch.hetero_mix ~rows ~cols ~cot_share in
   let opts = Compiler.picachu_options ~arch () in
   (* the roster is deduplicated by structural digest before fan-out: two
      kernels that canonicalize identically compile once and share the
      result, independent of (and cheaper than) the content-addressed cache
      doing the same across repeat visits *)
-  let roster = Array.of_list (kernel_roster ()) in
+  let roster = Array.of_list (kernel_roster ~backend ()) in
   let digests = Array.map Kernel.structural_digest roster in
   let first_idx = Hashtbl.create 16 in
   Array.iteri
@@ -75,20 +77,19 @@ let evaluate ?(cold = false) ?hints ~rows ~cols ~cot_share () =
     rows;
     cols;
     cot_share;
+    backend;
     arch_name = arch.Arch.name;
     area_mm2;
     geomean_throughput;
     perf_per_area = geomean_throughput /. area_mm2;
   }
 
-let eval_opt ?cold ?hints ~rows ~cols ~cot_share () =
-  match evaluate ?cold ?hints ~rows ~cols ~cot_share () with
+let eval_opt ?cold ?hints ?backend ~rows ~cols ~cot_share () =
+  match evaluate ?cold ?hints ?backend ~rows ~cols ~cot_share () with
   | p -> Some p
   | exception (Mapper.Unmappable _ | Picachu_error.Error _) -> None
 
-let sweep ?(sizes = [ (3, 3); (4, 4); (4, 8); (5, 5) ])
-    ?(cot_shares = [ 1.0 /. 3.0; 0.5; 2.0 /. 3.0; 5.0 /. 6.0 ]) ?(warm = false)
-    () =
+let sweep_one ~sizes ~cot_shares ~backend ~warm () =
   if warm then
     (* Warm mode: parallel across grid sizes, sequential along the CoT-share
        axis within a size, threading a per-size hint store so each point's
@@ -100,7 +101,7 @@ let sweep ?(sizes = [ (3, 3); (4, 4); (4, 8); (5, 5) ])
       (fun (rows, cols) ->
         let hints = Compiler.hints_create () in
         List.filter_map
-          (fun cot_share -> eval_opt ~hints ~rows ~cols ~cot_share ())
+          (fun cot_share -> eval_opt ~hints ~backend ~rows ~cols ~cot_share ())
           cot_shares)
       (Array.of_list sizes)
     |> Array.to_list |> List.concat
@@ -134,7 +135,7 @@ let sweep ?(sizes = [ (3, 3); (4, 4); (4, 8); (5, 5) ])
       Parallel.parallel_map_array
         (fun i ->
           let rows, cols, cot_share = grid.(i) in
-          eval_opt ~rows ~cols ~cot_share ())
+          eval_opt ~backend ~rows ~cols ~cot_share ())
         uniq
     in
     let by_digest = Hashtbl.create 16 in
@@ -156,6 +157,13 @@ let sweep ?(sizes = [ (3, 3); (4, 4); (4, 8); (5, 5) ])
          grid)
     |> List.filter_map Fun.id
   end
+
+let sweep ?(sizes = [ (3, 3); (4, 4); (4, 8); (5, 5) ])
+    ?(cot_shares = [ 1.0 /. 3.0; 0.5; 2.0 /. 3.0; 5.0 /. 6.0 ])
+    ?(backends = [ Kernels.Taylor ]) ?(warm = false) () =
+  List.concat_map
+    (fun backend -> sweep_one ~sizes ~cot_shares ~backend ~warm ())
+    backends
 
 let dominates a b =
   a.geomean_throughput >= b.geomean_throughput

@@ -13,6 +13,8 @@ type point = {
   rows : int;
   cols : int;
   cot_share : float;
+  backend : Picachu_ir.Kernels.backend;
+      (** approximation backend the roster was authored with *)
   arch_name : string;
   area_mm2 : float;
   geomean_throughput : float;  (** elements/cycle, geomean over kernels *)
@@ -22,6 +24,7 @@ type point = {
 val evaluate :
   ?cold:bool ->
   ?hints:Compiler.hints ->
+  ?backend:Picachu_ir.Kernels.backend ->
   rows:int ->
   cols:int ->
   cot_share:float ->
@@ -41,10 +44,14 @@ val evaluate :
 val sweep :
   ?sizes:(int * int) list ->
   ?cot_shares:float list ->
+  ?backends:Picachu_ir.Kernels.backend list ->
   ?warm:bool ->
   unit ->
   point list
-(** Default: sizes {3x3, 4x4, 4x8, 5x5} x CoT shares {1/3, 1/2, 2/3, 5/6}.
+(** Default: sizes {3x3, 4x4, 4x8, 5x5} x CoT shares {1/3, 1/2, 2/3, 5/6},
+    Taylor backend only.  [backends] adds an outer per-operator-backend
+    axis: the full grid is swept once per backend, each sweep compiling the
+    roster authored with that backend's kernels.
     Design points that share an architecture digest (CoT shares rounding to
     the same tile mix) evaluate once and are relabeled per share.
 

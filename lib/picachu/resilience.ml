@@ -138,7 +138,7 @@ let campaign ?(budget = 3) ?(trials = 8) ?(n = 24) ?(kernels = default_kernels)
     ~fault () =
   let opts = Compiler.picachu_options () in
   let roster =
-    List.map (fun name -> (name, Compiler.cached opts Kernels.Picachu name)) kernels
+    List.map (fun name -> (name, Compiler.cached opts Kernels.picachu name)) kernels
   in
   let descs =
     Array.of_list

@@ -29,7 +29,7 @@ let default_config ?(buffer_kb = 40.0) ?(vector = 1) () =
     vector;
     double_buffering = true;
     nl_parallel = 1;
-    variant = Kernels.Picachu;
+    variant = Kernels.picachu;
   }
 
 let a100_scale_config () =
@@ -74,7 +74,7 @@ let find_gemm (w : Workload.t) tag =
 let nl_op_time cfg (w : Workload.t) (nl : Workload.nl) =
   let opts =
     match cfg.variant with
-    | Kernels.Picachu -> Compiler.picachu_options ~arch:cfg.arch ~vector:cfg.vector ()
+    | Kernels.Picachu _ -> Compiler.picachu_options ~arch:cfg.arch ~vector:cfg.vector ()
     | Kernels.Baseline -> Compiler.baseline_options ~arch:cfg.arch ()
   in
   let compiled = Compiler.cached opts cfg.variant (Registry.name nl.op) in

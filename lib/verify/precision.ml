@@ -3,6 +3,7 @@ module Instr = Picachu_ir.Instr
 module Kernel = Picachu_ir.Kernel
 module Numfmt = Picachu_numerics.Numfmt
 module Lut = Picachu_numerics.Lut
+module Lut_catalog = Picachu_numerics.Lut_catalog
 
 (* Static precision analysis: abstractly execute a kernel over pairs
    (affine form of the ideal value, error radius), where "ideal" means the
@@ -102,18 +103,13 @@ let slack = 1e-9
 
 let inflate x = if Float.is_finite x then x *. (1.0 +. slack) else x
 
-(* Lipschitz constants of the shipped LUTs over their clamped domain (the
-   interpolant of a smooth monotone function is bounded by the sup of its
-   derivative; Phi' peaks at 1/sqrt(2pi) ~ 0.3989) *)
-let lut_lipschitz = function "phi" -> Some 0.4 | _ -> None
+(* Lipschitz constants of the shipped LUTs over their clamped domain,
+   from the catalogue (a PWL interpolant's constant is its max segment
+   slope; for "phi" the historical 0.4 bound — sup Phi' = 1/sqrt(2pi)
+   ~ 0.3989 — is preserved exactly) *)
+let lut_lipschitz = Lut_catalog.lipschitz
 
-let lut_interval name lo hi =
-  match name with
-  | "phi" ->
-      let t = Lazy.force Lut.gauss_cdf in
-      let a = Lut.eval t lo and b = Lut.eval t hi in
-      (Float.min a b, Float.max a b)
-  | _ -> (neg_infinity, infinity)
+let lut_interval = Lut_catalog.interval
 
 (* ------------------------------------------------------------ op transfer *)
 

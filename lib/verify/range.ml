@@ -3,6 +3,7 @@ module Instr = Picachu_ir.Instr
 module Kernel = Picachu_ir.Kernel
 module Fx = Picachu_numerics.Fixed_point
 module Lut = Picachu_numerics.Lut
+module Lut_catalog = Picachu_numerics.Lut_catalog
 
 (* ----------------------------------------------------------- interval domain *)
 
@@ -150,12 +151,12 @@ let skeleton_ids (body : Instr.t array) =
       | _ -> [ br.Instr.id ])
 
 let lut_i name a =
-  match name with
-  | "phi" ->
-      (* the Gaussian CDF is monotone; evaluate the table at the endpoints *)
-      let t = Lazy.force Lut.gauss_cdf in
-      guard (make (Lut.eval t a.lo) (Lut.eval t a.hi))
-  | _ -> top
+  if Lut_catalog.known name then
+    (* sound output range of the clamped PWL interpolant: interior nodes
+       included, which reduces to the endpoint scan for monotone tables *)
+    let lo, hi = Lut_catalog.interval name a.lo a.hi in
+    guard (make lo hi)
+  else top
 
 (* One abstract iteration of the loop body.  [phi_value] supplies the value
    a phi observes this iteration. *)

@@ -133,7 +133,7 @@ let test_mappings_valid_picachu () =
   let arch = Arch.picachu () in
   List.iter
     (fun g -> assert_valid_mapping arch g (Mapper.map_dfg arch g))
-    (all_loop_dfgs Kernels.Picachu ~fuse:true)
+    (all_loop_dfgs Kernels.picachu ~fuse:true)
 
 let test_mappings_valid_baseline () =
   let arch = Arch.baseline () in
@@ -150,11 +150,11 @@ let test_mappings_valid_unrolled () =
           let g = Fuse.fuse (Dfg.of_loop (Transform.unroll 2 loop)) in
           assert_valid_mapping arch g (Mapper.map_dfg arch g))
         k.Kernel.loops)
-    [ Kernels.softmax Kernels.Picachu; Kernels.layernorm Kernels.Picachu ]
+    [ Kernels.softmax Kernels.picachu; Kernels.layernorm Kernels.picachu ]
 
 let test_unmappable_raises () =
   (* a LUT node cannot be placed on the homogeneous baseline *)
-  let g = Dfg.of_loop (List.hd (Kernels.gelu Kernels.Picachu).Kernel.loops) in
+  let g = Dfg.of_loop (List.hd (Kernels.gelu Kernels.picachu).Kernel.loops) in
   Alcotest.(check bool) "raises Unmappable" true
     (try
        ignore (Mapper.map_dfg (Arch.baseline ()) g);
@@ -163,7 +163,7 @@ let test_unmappable_raises () =
 
 let test_loop_cycles () =
   let arch = Arch.picachu () in
-  let g = Fuse.fuse (Dfg.of_loop (List.hd (Kernels.relu Kernels.Picachu).Kernel.loops)) in
+  let g = Fuse.fuse (Dfg.of_loop (List.hd (Kernels.relu Kernels.picachu).Kernel.loops)) in
   let m = Mapper.map_dfg arch g in
   Alcotest.(check int) "zero trips" 0 (Mapper.loop_cycles m ~trips:0);
   Alcotest.(check int) "one trip = makespan" m.Mapper.makespan
@@ -179,7 +179,7 @@ let test_res_mii_lower_bound () =
       let bound = (Dfg.node_count g + 15) / 16 in
       Alcotest.(check bool) "res_mii >= aggregate bound" true
         (Mapper.res_mii arch g >= bound))
-    (all_loop_dfgs Kernels.Picachu ~fuse:true)
+    (all_loop_dfgs Kernels.picachu ~fuse:true)
 
 let test_utilization_bounded () =
   let arch = Arch.picachu () in
@@ -188,7 +188,7 @@ let test_utilization_bounded () =
       let m = Mapper.map_dfg arch g in
       let u = Mapper.utilization m g arch in
       Alcotest.(check bool) "0 < util <= 1" true (u > 0.0 && u <= 1.0 +. 1e-9))
-    (all_loop_dfgs Kernels.Picachu ~fuse:true)
+    (all_loop_dfgs Kernels.picachu ~fuse:true)
 
 (* ------------------------------------------------------------------- noc *)
 
@@ -204,10 +204,10 @@ let test_noc_report_consistency () =
       Alcotest.(check bool) "mean <= max" true
         (r.Noc.mean_link_load <= float_of_int (Stdlib.max 1 r.Noc.max_link_load));
       Alcotest.(check bool) "contention bounded" true (r.Noc.max_link_load <= 10))
-    (all_loop_dfgs Kernels.Picachu ~fuse:true)
+    (all_loop_dfgs Kernels.picachu ~fuse:true)
 
 let test_noc_empty_graph () =
-  let g = Picachu_dfg.Dfg.of_loop (List.hd (Kernels.relu Kernels.Picachu).Kernel.loops) in
+  let g = Picachu_dfg.Dfg.of_loop (List.hd (Kernels.relu Kernels.picachu).Kernel.loops) in
   let arch = Arch.picachu () in
   let m = Mapper.map_dfg arch g in
   let r = Noc.analyze arch g m in
@@ -230,13 +230,13 @@ let test_exact_probe_consistency () =
              artifact of the bounded window — and then only above it *)
           Alcotest.(check bool) "heuristic beyond probe window" true (achieved > b)
       | Mapper_exact.Unknown -> ())
-    (all_loop_dfgs Kernels.Picachu ~fuse:true)
+    (all_loop_dfgs Kernels.picachu ~fuse:true)
 
 let test_exact_probe_small_graphs_conclusive () =
   let arch = Arch.picachu () in
   let small =
     List.filter (fun g -> Picachu_dfg.Dfg.node_count g <= 8)
-      (all_loop_dfgs Kernels.Picachu ~fuse:true)
+      (all_loop_dfgs Kernels.picachu ~fuse:true)
   in
   Alcotest.(check bool) "have small graphs" true (List.length small >= 5);
   List.iter
@@ -264,7 +264,7 @@ let test_rf_pressure_bounded () =
       Alcotest.(check bool) "sanity ceiling" true (r.Rf.max_tile_registers <= 64);
       if r.Rf.max_tile_registers > 16 then incr over_16;
       Alcotest.(check bool) "lifetime positive" true (r.Rf.longest_lifetime >= 1))
-    (all_loop_dfgs Kernels.Picachu ~fuse:true);
+    (all_loop_dfgs Kernels.picachu ~fuse:true);
   Alcotest.(check bool) "most loops fit a 16-entry RF" true
     (!over_16 * 3 <= !loops)
 

@@ -25,10 +25,10 @@ let test_no_const_input_nodes () =
               | _ -> ())
             g.Dfg.nodes)
         k.Kernel.loops)
-    (Kernels.all Kernels.Picachu)
+    (Kernels.all Kernels.picachu)
 
 let test_relu_structure () =
-  let g = dfg_of "relu" Kernels.Picachu 0 in
+  let g = dfg_of "relu" Kernels.picachu 0 in
   (* load, cmp, select, store, iv phi, iv add, loop cmp, br *)
   Alcotest.(check int) "node count" 8 (Dfg.node_count g);
   let back = List.filter (fun (e : Dfg.edge) -> e.Dfg.distance = 1) g.Dfg.edges in
@@ -47,7 +47,7 @@ let test_back_edges_target_phis () =
                   (g.Dfg.nodes.(e.Dfg.dst).Dfg.op = Op.Phi))
             g.Dfg.edges)
         k.Kernel.loops)
-    (Kernels.all Kernels.Picachu)
+    (Kernels.all Kernels.picachu)
 
 let test_topo_order_valid () =
   List.iter
@@ -68,7 +68,7 @@ let test_topo_order_valid () =
     (Kernels.all Kernels.Baseline)
 
 let test_vector_flags () =
-  let k = Transform.vectorize_kernel 4 (Kernels.softmax Kernels.Picachu) in
+  let k = Transform.vectorize_kernel 4 (Kernels.softmax Kernels.picachu) in
   let g = Dfg.of_loop (List.nth k.Kernel.loops 2) in
   Array.iter
     (fun (node : Dfg.node) ->
@@ -88,7 +88,7 @@ let test_fuse_shrinks () =
           Alcotest.(check bool) "fused graph is smaller" true
             (Dfg.node_count f < Dfg.node_count g))
         k.Kernel.loops)
-    (Kernels.all Kernels.Picachu)
+    (Kernels.all Kernels.picachu)
 
 let test_fuse_preserves_members () =
   List.iter
@@ -106,10 +106,10 @@ let test_fuse_preserves_members () =
             (loop.Kernel.label ^ ": members account for every node")
             (Dfg.node_count g) members_total)
         k.Kernel.loops)
-    (Kernels.all Kernels.Picachu)
+    (Kernels.all Kernels.picachu)
 
 let test_relu_patterns () =
-  let f = Fuse.fuse (dfg_of "relu" Kernels.Picachu 0) in
+  let f = Fuse.fuse (dfg_of "relu" Kernels.picachu 0) in
   let counts = Fuse.pattern_counts f in
   Alcotest.(check (option int)) "cmp+select" (Some 1) (List.assoc_opt Op.Cmp_sel counts);
   Alcotest.(check (option int)) "cmp+br" (Some 1) (List.assoc_opt Op.Cmp_br counts);
@@ -117,14 +117,14 @@ let test_relu_patterns () =
     (List.assoc_opt Op.Phi_add counts)
 
 let test_horner_mul_add_chains () =
-  let f = Fuse.fuse (dfg_of "softmax" Kernels.Picachu 1) in
+  let f = Fuse.fuse (dfg_of "softmax" Kernels.picachu 1) in
   let counts = Fuse.pattern_counts f in
   match List.assoc_opt Op.Mul_add counts with
   | Some n -> Alcotest.(check bool) "taylor horner produces mul+add chains" true (n >= 5)
   | None -> Alcotest.fail "no mul+add in the exp loop"
 
 let test_unrolled_reduction_phi_add_add () =
-  let k = Kernels.rmsnorm Kernels.Picachu in
+  let k = Kernels.rmsnorm Kernels.picachu in
   let l2 = Transform.unroll 2 (List.hd k.Kernel.loops) in
   let f = Fuse.fuse (Dfg.of_loop l2) in
   Alcotest.(check bool) "phi+add+add appears" true
@@ -132,7 +132,7 @@ let test_unrolled_reduction_phi_add_add () =
 
 let test_fused_self_loop () =
   (* the fused induction update must carry a distance-1 self edge *)
-  let f = Fuse.fuse (dfg_of "relu" Kernels.Picachu 0) in
+  let f = Fuse.fuse (dfg_of "relu" Kernels.picachu 0) in
   let self =
     List.exists
       (fun (e : Dfg.edge) -> e.Dfg.src = e.Dfg.dst && e.Dfg.distance = 1)
@@ -141,7 +141,7 @@ let test_fused_self_loop () =
   Alcotest.(check bool) "self loop present" true self
 
 let test_fuse_idempotent_on_fused () =
-  let f = Fuse.fuse (dfg_of "softmax" Kernels.Picachu 1) in
+  let f = Fuse.fuse (dfg_of "softmax" Kernels.picachu 1) in
   let f2 = Fuse.fuse f in
   Alcotest.(check int) "second pass finds nothing new" (Dfg.node_count f)
     (Dfg.node_count f2)
@@ -191,12 +191,12 @@ let test_intensity_infinite_without_memory () =
   Alcotest.(check bool) "infinite" true (Analysis.computational_intensity g = infinity)
 
 let test_rec_mii_unfused_vs_fused () =
-  let g = dfg_of "rmsnorm" Kernels.Picachu 0 in
+  let g = dfg_of "rmsnorm" Kernels.picachu 0 in
   Alcotest.(check int) "unfused accumulator recurrence" 2 (Analysis.rec_mii g);
   Alcotest.(check int) "fused accumulator recurrence" 1 (Analysis.rec_mii (Fuse.fuse g))
 
 let test_critical_path_shrinks_under_fusion () =
-  let g = dfg_of "softmax" Kernels.Picachu 1 in
+  let g = dfg_of "softmax" Kernels.picachu 1 in
   let f = Fuse.fuse g in
   Alcotest.(check bool) "critical path shrinks" true
     (Analysis.critical_path f < Analysis.critical_path g)
@@ -205,7 +205,7 @@ let prop_fusion_never_raises_recmii =
   QCheck.Test.make ~name:"fusion never increases RecMII" ~count:30
     (QCheck.oneofl [ "softmax"; "relu"; "gelu"; "layernorm"; "rmsnorm"; "rope"; "silu" ])
     (fun name ->
-      let k = Kernels.by_name Kernels.Picachu name in
+      let k = Kernels.by_name Kernels.picachu name in
       List.for_all
         (fun loop ->
           let g = Dfg.of_loop loop in

@@ -11,7 +11,7 @@ module Mz = Picachu_llm.Model_zoo
 
 let test_mapper_pins () =
   let opts = Compiler.picachu_options () in
-  let cycles name = Compiler.pass_cycles (Compiler.cached opts Kernels.Picachu name) ~n:1024 in
+  let cycles name = Compiler.pass_cycles (Compiler.cached opts Kernels.picachu name) ~n:1024 in
   (* pinned from the calibrated run recorded in EXPERIMENTS.md *)
   Alcotest.(check int) "relu pass" 519 (cycles "relu");
   Alcotest.(check int) "gelu pass" 522 (cycles "gelu");

@@ -62,7 +62,7 @@ let test_executor_matches_interpreter_picachu () =
   let opts = Compiler.picachu_options () in
   List.iter
     (fun k -> assert_bit_identical k (Compiler.compile opts k))
-    (Kernels.all Kernels.Picachu)
+    (Kernels.all Kernels.picachu)
 
 let test_executor_matches_interpreter_baseline () =
   let opts = Compiler.baseline_options () in
@@ -76,24 +76,24 @@ let test_executor_matches_under_fixed_unroll () =
     (fun uf ->
       List.iter
         (fun name ->
-          let k = Kernels.by_name Kernels.Picachu name in
+          let k = Kernels.by_name Kernels.picachu name in
           assert_bit_identical k (Compiler.compile_with_unroll opts uf k))
         [ "softmax"; "layernorm"; "rope" ])
     [ 1; 2; 4 ]
 
 let test_executor_rejects_vectorized () =
   let opts = Compiler.picachu_options ~vector:4 () in
-  let compiled = Compiler.compile opts (Kernels.relu Kernels.Picachu) in
+  let compiled = Compiler.compile opts (Kernels.relu Kernels.picachu) in
   Alcotest.(check bool) "vector mode rejected" true
     (try
-       ignore (Hw_sim.run compiled (env_for (Kernels.relu Kernels.Picachu)));
+       ignore (Hw_sim.run compiled (env_for (Kernels.relu Kernels.picachu)));
        false
      with Invalid_argument _ -> true)
 
 let test_timing_violation_detected () =
   (* corrupt a valid mapping: pull one non-trivial node earlier than its
      operands allow; the executor must notice *)
-  let k = Kernels.layernorm Kernels.Picachu in
+  let k = Kernels.layernorm Kernels.picachu in
   let loop = List.hd k.Kernel.loops in
   let arch = Arch.picachu () in
   let g = Fuse.fuse (Dfg.of_loop loop) in
@@ -137,11 +137,11 @@ let test_config_words_bounds () =
           Alcotest.(check bool) "fits the config memory" true
             (words <= 16 * cfg.Config.ii))
         compiled.Compiler.loops)
-    (Kernels.all Kernels.Picachu)
+    (Kernels.all Kernels.picachu)
 
 let test_config_routed_operands_positive () =
   let opts = Compiler.picachu_options () in
-  let compiled = Compiler.compile opts (Kernels.softmax Kernels.Picachu) in
+  let compiled = Compiler.compile opts (Kernels.softmax Kernels.picachu) in
   let cl = List.nth compiled.Compiler.loops 1 in
   let cfg =
     Config.generate compiled.Compiler.arch cl.Compiler.source cl.Compiler.dfg
@@ -154,7 +154,7 @@ let test_config_sources_classified () =
   (* the exp loop reads an immediate (taylor coefficient), a scalar register
      (the running max), and routed values *)
   let opts = Compiler.picachu_options () in
-  let compiled = Compiler.compile_with_unroll opts 1 (Kernels.softmax Kernels.Picachu) in
+  let compiled = Compiler.compile_with_unroll opts 1 (Kernels.softmax Kernels.picachu) in
   let cl = List.nth compiled.Compiler.loops 1 in
   let cfg =
     Config.generate compiled.Compiler.arch cl.Compiler.source cl.Compiler.dfg
@@ -184,7 +184,7 @@ let test_hw_cycles_close_to_model () =
   (* the executor's measured completion should track the analytical
      loop-cycles model *)
   let opts = Compiler.picachu_options () in
-  let k = Kernels.rmsnorm Kernels.Picachu in
+  let k = Kernels.rmsnorm Kernels.picachu in
   let compiled = Compiler.compile opts k in
   let hw = Hw_sim.run compiled (env_for k) in
   let model = Compiler.pass_cycles compiled ~n in

@@ -48,7 +48,7 @@ let test_all_kernels_validate () =
           | Ok () -> ()
           | Error e -> Alcotest.failf "%s: %s" k.Kernel.name e)
         (Kernels.all variant))
-    [ Kernels.Picachu; Kernels.Baseline ]
+    [ Kernels.picachu; Kernels.Baseline ]
 
 let test_validate_rejects_bad_ids () =
   let bad =
@@ -106,7 +106,7 @@ let test_validate_rejects_undeclared_stream () =
 let test_relu_interp () =
   let n = 12 in
   let xs = test_xs n in
-  let res = run_kernel (Kernels.relu Kernels.Picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
+  let res = run_kernel (Kernels.relu Kernels.picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
   let y = List.assoc "y" res.Interp.out_arrays in
   Array.iteri
     (fun i v -> check_close 1e-12 "relu" (Float.max 0.0 xs.(i)) v)
@@ -115,7 +115,7 @@ let test_relu_interp () =
 let test_softmax_interp () =
   let n = 16 in
   let xs = test_xs n in
-  let res = run_kernel (Kernels.softmax Kernels.Picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
+  let res = run_kernel (Kernels.softmax Kernels.picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
   let y = List.assoc "y" res.Interp.out_arrays in
   let m = Array.fold_left Float.max neg_infinity xs in
   let es = Array.map (fun x -> exp (x -. m)) xs in
@@ -129,7 +129,7 @@ let test_softmax_baseline_variant_interp () =
   (* the floor-based split must compute the same values *)
   let n = 16 in
   let xs = test_xs n in
-  let p = run_kernel (Kernels.softmax Kernels.Picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
+  let p = run_kernel (Kernels.softmax Kernels.picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
   let b = run_kernel (Kernels.softmax Kernels.Baseline) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
   let yp = List.assoc "y" p.Interp.out_arrays and yb = List.assoc "y" b.Interp.out_arrays in
   Alcotest.(check bool) "variants agree" true (max_delta yp yb < 1e-6)
@@ -137,7 +137,7 @@ let test_softmax_baseline_variant_interp () =
 let test_gelu_lut_interp () =
   let n = 10 in
   let xs = test_xs n in
-  let res = run_kernel (Kernels.gelu Kernels.Picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
+  let res = run_kernel (Kernels.gelu Kernels.picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
   let y = List.assoc "y" res.Interp.out_arrays in
   Array.iteri
     (fun i v ->
@@ -160,7 +160,7 @@ let test_silu_swiglu_interp () =
   let n = 12 in
   let a = test_xs n in
   let g = Array.init n (fun i -> 1.0 -. (float_of_int i /. 10.0)) in
-  let silu = run_kernel (Kernels.silu Kernels.Picachu) ~arrays:[ ("x", a) ] ~scalars:(input_n n) in
+  let silu = run_kernel (Kernels.silu Kernels.picachu) ~arrays:[ ("x", a) ] ~scalars:(input_n n) in
   let ys = List.assoc "y" silu.Interp.out_arrays in
   Array.iteri
     (fun i v ->
@@ -168,7 +168,7 @@ let test_silu_swiglu_interp () =
       Alcotest.(check bool) "silu" true (Float.abs (v -. expect) < 1e-5))
     ys;
   let sw =
-    run_kernel (Kernels.swiglu Kernels.Picachu)
+    run_kernel (Kernels.swiglu Kernels.picachu)
       ~arrays:[ ("a", a); ("b", g) ]
       ~scalars:(input_n n)
   in
@@ -182,7 +182,7 @@ let test_silu_swiglu_interp () =
 let test_layernorm_interp () =
   let n = 16 in
   let xs = test_xs n in
-  let res = run_kernel (Kernels.layernorm Kernels.Picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
+  let res = run_kernel (Kernels.layernorm Kernels.picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
   let y = List.assoc "y" res.Interp.out_arrays in
   let mu = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
   let var = Array.fold_left (fun a x -> a +. ((x -. mu) ** 2.0)) 0.0 xs /. float_of_int n in
@@ -192,7 +192,7 @@ let test_layernorm_interp () =
 let test_rmsnorm_interp () =
   let n = 16 in
   let xs = test_xs n in
-  let res = run_kernel (Kernels.rmsnorm Kernels.Picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
+  let res = run_kernel (Kernels.rmsnorm Kernels.picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
   let y = List.assoc "y" res.Interp.out_arrays in
   let ms = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 xs /. float_of_int n in
   let expect = Array.map (fun x -> x /. sqrt (ms +. 1e-5)) xs in
@@ -204,7 +204,7 @@ let test_rope_interp () =
   let x2 = Array.init n (fun i -> 0.7 -. (float_of_int i /. 9.0)) in
   let angle = Array.init n (fun i -> (float_of_int i /. float_of_int n *. 2.8) -. 1.4) in
   let res =
-    run_kernel (Kernels.rope Kernels.Picachu)
+    run_kernel (Kernels.rope Kernels.picachu)
       ~arrays:[ ("x1", x1); ("x2", x2); ("angle", angle) ]
       ~scalars:(input_n n)
   in
@@ -223,7 +223,7 @@ let test_softmax_online_interp () =
   let n = 32 in
   let xs = Array.init n (fun i -> (float_of_int i /. 3.0) -. 5.0) in
   let res =
-    run_kernel (Kernels.softmax_online Kernels.Picachu) ~arrays:[ ("x", xs) ]
+    run_kernel (Kernels.softmax_online Kernels.picachu) ~arrays:[ ("x", xs) ]
       ~scalars:(input_n n)
   in
   let y = List.assoc "y" res.Interp.out_arrays in
@@ -239,10 +239,10 @@ let test_softmax_online_agrees_with_three_loop () =
   let n = 24 in
   let xs = test_xs n in
   let a =
-    run_kernel (Kernels.softmax Kernels.Picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n)
+    run_kernel (Kernels.softmax Kernels.picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n)
   in
   let b =
-    run_kernel (Kernels.softmax_online Kernels.Picachu) ~arrays:[ ("x", xs) ]
+    run_kernel (Kernels.softmax_online Kernels.picachu) ~arrays:[ ("x", xs) ]
       ~scalars:(input_n n)
   in
   let ya = List.assoc "y" a.Interp.out_arrays and yb = List.assoc "y" b.Interp.out_arrays in
@@ -251,18 +251,18 @@ let test_softmax_online_agrees_with_three_loop () =
 let test_interp_exports () =
   let n = 8 in
   let xs = test_xs n in
-  let res = run_kernel (Kernels.softmax Kernels.Picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
+  let res = run_kernel (Kernels.softmax Kernels.picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
   let m = List.assoc "m" res.Interp.out_scalars in
   check_close 1e-12 "max exported" (Array.fold_left Float.max neg_infinity xs) m
 
 let test_interp_missing_stream () =
   Alcotest.check_raises "missing stream"
     (Interp.Runtime_error "relu.1: missing input stream x") (fun () ->
-      ignore (run_kernel (Kernels.relu Kernels.Picachu) ~arrays:[] ~scalars:(input_n 4)))
+      ignore (run_kernel (Kernels.relu Kernels.picachu) ~arrays:[] ~scalars:(input_n 4)))
 
 let test_interp_missing_scalar () =
   try
-    ignore (run_kernel (Kernels.relu Kernels.Picachu) ~arrays:[ ("x", test_xs 4) ] ~scalars:[]);
+    ignore (run_kernel (Kernels.relu Kernels.picachu) ~arrays:[ ("x", test_xs 4) ] ~scalars:[]);
     Alcotest.fail "missing trip scalar not caught"
   with Interp.Runtime_error _ -> ()
 
@@ -271,14 +271,14 @@ let test_future_op_kernels () =
      architecture change — validate their mathematics and their mappings *)
   let n = 16 in
   let xs = Array.init n (fun i -> (float_of_int i *. 5.0) -. 40.0) in
-  let sc = run_kernel (Kernels.softcap Kernels.Picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
+  let sc = run_kernel (Kernels.softcap Kernels.picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
   let y = List.assoc "y" sc.Interp.out_arrays in
   Array.iteri
     (fun i v ->
       let expect = 30.0 *. tanh (xs.(i) /. 30.0) in
       Alcotest.(check bool) "softcap" true (Float.abs (v -. expect) < 1e-3))
     y;
-  let r2 = run_kernel (Kernels.relu_squared Kernels.Picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
+  let r2 = run_kernel (Kernels.relu_squared Kernels.picachu) ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
   let y = List.assoc "y" r2.Interp.out_arrays in
   Array.iteri
     (fun i v ->
@@ -290,14 +290,14 @@ let test_future_op_kernels () =
       match Kernel.validate k with
       | Ok () -> ()
       | Error e -> Alcotest.failf "%s: %s" k.Kernel.name e)
-    (Kernels.extras Kernels.Picachu @ Kernels.extras Kernels.Baseline)
+    (Kernels.extras Kernels.picachu @ Kernels.extras Kernels.Baseline)
 
 let test_exp_kernel_orders () =
   let n = 8 in
   let xs = Array.init n (fun i -> (float_of_int i /. 2.0) -. 2.0) in
   List.iter
     (fun order ->
-      let k = Kernels.exp_kernel ~order Kernels.Picachu in
+      let k = Kernels.exp_kernel ~order Kernels.picachu in
       let res = run_kernel k ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
       let y = List.assoc "y" res.Interp.out_arrays in
       let tolerance = match order with 2 -> 0.1 | 4 -> 3e-3 | _ -> 1e-4 in
@@ -360,28 +360,28 @@ let test_unroll_equivalence_all_kernels () =
                 true
                 (max_delta a b < 1e-9))
             base got)
-        (Kernels.all Kernels.Picachu))
+        (Kernels.all Kernels.picachu))
     [ 2; 4 ]
 
 let test_unroll_updates_step () =
-  let k = Transform.unroll_kernel 4 (Kernels.relu Kernels.Picachu) in
+  let k = Transform.unroll_kernel 4 (Kernels.relu Kernels.picachu) in
   List.iter (fun l -> Alcotest.(check int) "step" 4 l.Kernel.step) k.Kernel.loops
 
 let test_unroll_identity () =
-  let k = Kernels.relu Kernels.Picachu in
+  let k = Kernels.relu Kernels.picachu in
   let k1 = Transform.unroll_kernel 1 k in
   Alcotest.(check int) "uf=1 unchanged" (Kernel.kernel_instr_count k)
     (Kernel.kernel_instr_count k1)
 
 let test_unroll_twice_rejected () =
-  let l = List.hd (Kernels.relu Kernels.Picachu).Kernel.loops in
+  let l = List.hd (Kernels.relu Kernels.picachu).Kernel.loops in
   let l2 = Transform.unroll 2 l in
   Alcotest.check_raises "already unrolled"
     (Invalid_argument "Transform.unroll: loop already unrolled") (fun () ->
       ignore (Transform.unroll 2 l2))
 
 let test_vectorize_splits_divs () =
-  let k = Kernels.softmax Kernels.Picachu in
+  let k = Kernels.softmax Kernels.picachu in
   let count_divs (k : Kernel.t) =
     List.fold_left
       (fun acc l ->
@@ -401,7 +401,7 @@ let test_vectorize_splits_divs () =
 let test_vectorize_preserves_semantics () =
   let n = 16 in
   let xs = test_xs n in
-  let k = Kernels.softmax Kernels.Picachu in
+  let k = Kernels.softmax Kernels.picachu in
   let base = interp_outputs k ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
   let kv = Transform.vectorize_kernel 4 k in
   let got = interp_outputs kv ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
@@ -416,7 +416,7 @@ let prop_unroll_random_inputs =
     (fun xs ->
       let xs = Array.of_list xs in
       let n = Array.length xs in
-      let k = Kernels.layernorm Kernels.Picachu in
+      let k = Kernels.layernorm Kernels.picachu in
       let base = interp_outputs k ~arrays:[ ("x", xs) ] ~scalars:(input_n n) in
       let got =
         interp_outputs (Transform.unroll_kernel 2 k) ~arrays:[ ("x", xs) ]

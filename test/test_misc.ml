@@ -57,7 +57,7 @@ let test_report_formatters () =
 
 let test_interp_zero_trip () =
   (* n = 0: no iterations, outputs empty, exports default to 0 *)
-  let k = Kernels.rmsnorm Kernels.Picachu in
+  let k = Kernels.rmsnorm Kernels.picachu in
   let res =
     Interp.run k { Interp.arrays = [ ("x", [||]) ]; scalars = [ ("n", 0.0) ] }
   in
@@ -66,7 +66,7 @@ let test_interp_zero_trip () =
     res.Interp.out_arrays
 
 let test_interp_single_element () =
-  let k = Kernels.softmax Kernels.Picachu in
+  let k = Kernels.softmax Kernels.picachu in
   let res =
     Interp.run k { Interp.arrays = [ ("x", [| 3.7 |]) ]; scalars = [ ("n", 1.0) ] }
   in
@@ -75,7 +75,7 @@ let test_interp_single_element () =
 
 let test_unroll_non_divisible_trip () =
   (* 10 elements under UF=4: the interpreter must not read out of bounds *)
-  let k = Picachu_ir.Transform.unroll_kernel 4 (Kernels.relu Kernels.Picachu) in
+  let k = Picachu_ir.Transform.unroll_kernel 4 (Kernels.relu Kernels.picachu) in
   Alcotest.(check bool) "out-of-bounds load detected" true
     (try
        ignore

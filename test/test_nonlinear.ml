@@ -181,7 +181,7 @@ let test_kernel_vs_tensor_softmax () =
   let n = 24 in
   let xs = Array.init n (fun i -> ((float_of_int i *. 7.3) -. 80.0) /. 11.0) in
   let res =
-    Interp.run (Kernels.softmax Kernels.Picachu)
+    Interp.run (Kernels.softmax Kernels.picachu)
       { Interp.arrays = [ ("x", xs) ]; scalars = [ ("n", float_of_int n) ] }
   in
   let y = List.assoc "y" res.Interp.out_arrays in
@@ -196,7 +196,7 @@ let test_kernel_vs_tensor_rmsnorm () =
   let n = 24 in
   let xs = Array.init n (fun i -> ((float_of_int i *. 3.1) -. 30.0) /. 7.0) in
   let res =
-    Interp.run (Kernels.rmsnorm Kernels.Picachu)
+    Interp.run (Kernels.rmsnorm Kernels.picachu)
       { Interp.arrays = [ ("x", xs) ]; scalars = [ ("n", float_of_int n) ] }
   in
   let y = List.assoc "y" res.Interp.out_arrays in
@@ -227,7 +227,7 @@ let test_registry_classes () =
 
 let test_registry_kernels_exist () =
   List.iter
-    (fun op -> ignore (Registry.kernel Kernels.Picachu op))
+    (fun op -> ignore (Registry.kernel Kernels.picachu op))
     Registry.all
 
 let test_registry_math_operators () =

@@ -347,6 +347,77 @@ let test_gauss_cdf_exact () =
   check_close 1e-6 "symmetry" 1.0
     (Lut.gauss_cdf_exact 1.3 +. Lut.gauss_cdf_exact (-1.3))
 
+(* ------------------------------------------------------------------- Nli *)
+
+let tanh_family a x = Float.tanh (a *. x)
+
+let test_nli_gelu_golden () =
+  (* the shipped nli.gelu table, pinned: the fitter is deterministic, so a
+     drift here means the fitting algorithm changed *)
+  match Nli.fit_of_name "nli.gelu" with
+  | None -> Alcotest.fail "nli.gelu missing from the standard tables"
+  | Some f ->
+      Alcotest.(check int) "segments" 64 f.Nli.segments;
+      Alcotest.(check int) "entries" 65 (Lut.entries f.Nli.table);
+      Alcotest.(check int) "rom bytes" 260 (Lut.size_bytes f.Nli.table);
+      Alcotest.(check bool) "non-uniform" false (Lut.is_uniform f.Nli.table);
+      check_float "lo" (-8.0) (Lut.lo f.Nli.table);
+      check_float "hi" 8.0 (Lut.hi f.Nli.table);
+      let bp = Lut.breakpoints f.Nli.table in
+      check_float "first interior cut" (-3.71875) bp.(1);
+      check_float "center cut" 0.0 bp.(Array.length bp / 2);
+      check_close 1e-8 "max err" 1.017671e-3 f.Nli.max_err;
+      Alcotest.(check bool) "threshold below measured sup" true
+        (f.Nli.target_err <= f.Nli.max_err)
+
+let prop_nli_equalized =
+  QCheck.Test.make ~name:"nli per-segment errors equalized under max_err"
+    ~count:50
+    (QCheck.float_range 0.3 4.0)
+    (fun a ->
+      let f = tanh_family a in
+      let fit = Nli.fit ~segments:24 ~lo:(-4.0) ~hi:4.0 f in
+      let errs = Nli.per_segment_errors fit f in
+      let mx = Array.fold_left Float.max 0.0 errs in
+      (* the witness samples each segment on its own dense grid, so it
+         agrees with the fit's global sup only up to sampling noise *)
+      Array.for_all (fun e -> e <= (fit.Nli.max_err *. 1.02) +. 1e-9) errs
+      && mx >= fit.Nli.max_err *. 0.98)
+
+let prop_nli_budget_monotone =
+  QCheck.Test.make ~name:"nli doubling the budget never fits worse" ~count:25
+    QCheck.(pair (float_range 0.3 4.0) (int_range 4 48))
+    (fun (a, s) ->
+      let f = tanh_family a in
+      let small = Nli.fit ~segments:s ~lo:(-4.0) ~hi:4.0 f in
+      let big = Nli.fit ~segments:(2 * s) ~lo:(-4.0) ~hi:4.0 f in
+      big.Nli.max_err <= small.Nli.max_err +. 1e-12)
+
+let prop_nli_exact_at_breakpoints =
+  QCheck.Test.make ~name:"nli eval exact at every breakpoint" ~count:50
+    (QCheck.float_range 0.3 4.0)
+    (fun a ->
+      let f = tanh_family a in
+      let fit = Nli.fit ~segments:16 ~lo:(-4.0) ~hi:4.0 f in
+      (* node values are the function samples rounded through the FP16 ROM
+         word, and interpolation returns the stored value at a node *)
+      Array.for_all
+        (fun x -> Lut.eval fit.Nli.table x = Fp16.round (f x))
+        (Lut.breakpoints fit.Nli.table))
+
+let test_nli_scalar_evaluators () =
+  (* the range-reduced software datapath tracks libm within table error *)
+  check_close 2e-3 "exp_neg" (Float.exp (-3.2)) (Nli.exp_neg (-3.2));
+  check_close 2e-3 "gelu" (1.7 *. Lut.gauss_cdf_exact 1.7) (Nli.gelu 1.7);
+  check_close 2e-3 "silu" (2.5 /. (1.0 +. Float.exp (-2.5))) (Nli.silu 2.5);
+  check_close 2e-3 "tanh" (Float.tanh 0.8) (Nli.tanh 0.8);
+  check_close 2e-3 "sin" (Float.sin 10.0) (Nli.sin 10.0);
+  check_close 2e-3 "cos" (Float.cos (-7.0)) (Nli.cos (-7.0));
+  (* frexp reduction covers every positive binade with one table *)
+  check_close 1e-2 "recip 300" (1.0 /. 300.0 *. 300.0) (Nli.recip 300.0 *. 300.0);
+  check_close 1e-2 "isqrt 5e4" (1.0) (Nli.isqrt 5e4 *. Float.sqrt 5e4);
+  check_close 1e-2 "div" (17.0 /. 3.0 /. 5.666) (Nli.div 17.0 3.0 /. 5.666)
+
 (* ----------------------------------------------------------------- Ibert *)
 
 let test_ibert_i_exp_accuracy () =
@@ -640,6 +711,62 @@ let prop_fp8_nearest fmt =
       in
       Float.abs (Fp8.round fmt x -. x) <= q)
 
+(* ------------------------------------------------------------------- Fp4 *)
+
+let test_fp4_known_values () =
+  check_float "max" 6.0 Fp4.max_value;
+  check_float "min subnormal" 0.5 Fp4.min_positive_subnormal;
+  check_float "1.0" 1.0 (Fp4.round 1.0);
+  check_float "-1.5" (-1.5) (Fp4.round (-1.5));
+  check_float "0.5" 0.5 (Fp4.round 0.5)
+
+let test_fp4_saturation () =
+  (* the encoding has no infinity and no NaN: overflow saturates to +/-6
+     and NaN falls to zero *)
+  check_float "7 -> 6" 6.0 (Fp4.round 7.0);
+  check_float "inf -> 6" 6.0 (Fp4.round infinity);
+  check_float "-inf -> -6" (-6.0) (Fp4.round neg_infinity);
+  check_float "-5 -> -4" (-4.0) (Fp4.round (-5.0));
+  check_float "nan -> 0" 0.0 (Fp4.round Float.nan)
+
+let test_fp4_round_to_nearest_even () =
+  (* positive magnitudes are 0 0.5 1 1.5 2 3 4 6; ties go to the even
+     mantissa code *)
+  check_float "0.25 ties to 0" 0.0 (Fp4.round 0.25);
+  check_float "0.75 ties to 1" 1.0 (Fp4.round 0.75);
+  check_float "1.25 ties to 1" 1.0 (Fp4.round 1.25);
+  check_float "2.5 ties to 2" 2.0 (Fp4.round 2.5);
+  check_float "3.5 ties to 4" 4.0 (Fp4.round 3.5);
+  check_float "5 ties to 4" 4.0 (Fp4.round 5.0)
+
+let test_fp4_all_codes_roundtrip () =
+  (* all 16 encodings are finite and decode/re-encode is the identity,
+     including the signed zero at 0x8 *)
+  for code = 0 to 15 do
+    let v = Fp4.to_float code in
+    Alcotest.(check bool)
+      (Printf.sprintf "code %#x finite" code)
+      true
+      (Float.is_finite v);
+    Alcotest.(check int) (Printf.sprintf "code %#x" code) code (Fp4.of_float v)
+  done;
+  Alcotest.(check bool) "0x8 is negative zero" true
+    (Fp4.to_float 0x8 = 0.0 && 1.0 /. Fp4.to_float 0x8 = neg_infinity)
+
+let prop_fp4_idempotent =
+  QCheck.Test.make ~name:"fp4 round is idempotent" ~count:1000
+    (QCheck.float_range (-100.0) 100.0)
+    (fun x ->
+      let r = Fp4.round x in
+      Fp4.round r = r)
+
+let prop_fp4_nearest =
+  QCheck.Test.make ~name:"fp4 rounds to nearest" ~count:1000
+    (QCheck.float_range (-6.0) 6.0)
+    (fun x ->
+      let q = Numfmt.quantum Numfmt.Fp4 ~mag:(Float.max (Float.abs x) 1e-12) in
+      Float.abs (Fp4.round x -. x) <= q)
+
 (* ---------------------------------------------------------------- Numfmt *)
 
 let test_numfmt_names_roundtrip () =
@@ -748,6 +875,14 @@ let suite =
         Alcotest.test_case "gauss cdf table" `Quick test_lut_gauss_cdf;
         Alcotest.test_case "gauss cdf exact" `Quick test_gauss_cdf_exact;
       ] );
+    ( "nli",
+      [
+        Alcotest.test_case "gelu table golden" `Quick test_nli_gelu_golden;
+        Alcotest.test_case "scalar evaluators" `Quick test_nli_scalar_evaluators;
+        qtest prop_nli_equalized;
+        qtest prop_nli_budget_monotone;
+        qtest prop_nli_exact_at_breakpoints;
+      ] );
     ( "ibert",
       [
         Alcotest.test_case "i-exp accuracy" `Quick test_ibert_i_exp_accuracy;
@@ -795,6 +930,17 @@ let suite =
         qtest (prop_fp8_idempotent Fp8.e5m2);
         qtest (prop_fp8_nearest Fp8.e4m3);
         qtest (prop_fp8_nearest Fp8.e5m2);
+      ] );
+    ( "fp4",
+      [
+        Alcotest.test_case "known values" `Quick test_fp4_known_values;
+        Alcotest.test_case "saturation" `Quick test_fp4_saturation;
+        Alcotest.test_case "round to nearest even" `Quick
+          test_fp4_round_to_nearest_even;
+        Alcotest.test_case "all 16 codes roundtrip" `Quick
+          test_fp4_all_codes_roundtrip;
+        qtest prop_fp4_idempotent;
+        qtest prop_fp4_nearest;
       ] );
     ( "numfmt",
       [

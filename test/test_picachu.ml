@@ -62,7 +62,7 @@ let test_compile_all_kernels () =
       let c = Compiler.compile opts k in
       Alcotest.(check bool) "has loops" true (List.length c.Compiler.loops > 0);
       Alcotest.(check bool) "positive cycles" true (Compiler.pass_cycles c ~n:256 > 0))
-    (Kernels.all Kernels.Picachu)
+    (Kernels.all Kernels.picachu)
 
 let test_compile_unroll_tuning () =
   (* the tuner never does worse than UF=1 *)
@@ -72,24 +72,24 @@ let test_compile_unroll_tuning () =
       let tuned = Compiler.pass_cycles (Compiler.compile opts k) ~n:1024 in
       let uf1 = Compiler.pass_cycles (Compiler.compile_with_unroll opts 1 k) ~n:1024 in
       Alcotest.(check bool) (k.Kernel.name ^ " tuned <= uf1") true (tuned <= uf1))
-    (Kernels.all Kernels.Picachu)
+    (Kernels.all Kernels.picachu)
 
 let test_pass_cycles_monotone () =
   let opts = Compiler.picachu_options () in
-  let c = Compiler.compile opts (Kernels.softmax Kernels.Picachu) in
+  let c = Compiler.compile opts (Kernels.softmax Kernels.picachu) in
   Alcotest.(check bool) "monotone in n" true
     (Compiler.pass_cycles c ~n:2048 > Compiler.pass_cycles c ~n:256)
 
 let test_per_channel_excludes_prologue () =
   let opts = Compiler.picachu_options () in
-  let c = Compiler.compile opts (Kernels.rmsnorm Kernels.Picachu) in
+  let c = Compiler.compile opts (Kernels.rmsnorm Kernels.picachu) in
   Alcotest.(check bool) "steady-state below full pass" true
     (Compiler.per_channel_cycles c ~dim:512 < Compiler.pass_cycles c ~n:512)
 
 let test_cached_memoizes () =
   let opts = Compiler.picachu_options () in
-  let a = Compiler.cached opts Kernels.Picachu "relu" in
-  let b = Compiler.cached opts Kernels.Picachu "relu" in
+  let a = Compiler.cached opts Kernels.picachu "relu" in
+  let b = Compiler.cached opts Kernels.picachu "relu" in
   Alcotest.(check bool) "physically shared" true (a == b)
 
 let test_vector_mode_faster () =
@@ -97,8 +97,8 @@ let test_vector_mode_faster () =
   let vec = Compiler.picachu_options ~vector:4 () in
   List.iter
     (fun name ->
-      let s = Compiler.pass_cycles (Compiler.cached scalar Kernels.Picachu name) ~n:1024 in
-      let v = Compiler.pass_cycles (Compiler.cached vec Kernels.Picachu name) ~n:1024 in
+      let s = Compiler.pass_cycles (Compiler.cached scalar Kernels.picachu name) ~n:1024 in
+      let v = Compiler.pass_cycles (Compiler.cached vec Kernels.picachu name) ~n:1024 in
       Alcotest.(check bool) (name ^ " vector mode faster") true (v < s))
     [ "relu"; "gelu"; "layernorm"; "softmax" ]
 
@@ -415,7 +415,7 @@ let test_extras_compile_and_execute () =
         (fun i v ->
           if v <> b.(i) then Alcotest.failf "%s: hw/interp diverge" k.Kernel.name)
         a)
-    (Kernels.extras Kernels.Picachu)
+    (Kernels.extras Kernels.picachu)
 
 let test_outlier_sweep_monotone_collapse () =
   let rows = Experiments.supp_outliers () in

@@ -43,7 +43,7 @@ let string_of_compiled (c : Compiler.compiled) =
 (* ------------------------------------------------------------- caching *)
 
 let test_memo_bit_identical () =
-  let k = Kernels.softmax Kernels.Picachu in
+  let k = Kernels.softmax Kernels.picachu in
   let fresh =
     match Compiler.compile_result (opts ()) k with
     | Ok c -> c
@@ -65,7 +65,7 @@ let test_memo_bit_identical () =
   | _ -> Alcotest.fail "memoized softmax compile failed"
 
 let test_renamed_clone_shares_entry () =
-  let k = Kernels.softmax Kernels.Picachu in
+  let k = Kernels.softmax Kernels.picachu in
   let clone = { k with Kernel.name = "softmax_clone_for_cache_test" } in
   Alcotest.(check string) "kernel name is not part of the address"
     (Compiler.cache_key (opts ()) k)
@@ -80,7 +80,7 @@ let test_renamed_clone_shares_entry () =
     (Compiler.compile_count ())
 
 let test_options_change_address () =
-  let k = Kernels.softmax Kernels.Picachu in
+  let k = Kernels.softmax Kernels.picachu in
   let base = Compiler.cache_key (opts ()) k in
   Alcotest.(check bool) "vector width is part of the address" true
     (base <> Compiler.cache_key (Compiler.picachu_options ~vector:4 ()) k);
@@ -94,7 +94,7 @@ let test_options_change_address () =
     (Compiler.cache_key (Compiler.picachu_options ~arch:(Arch.picachu ()) ()) k)
 
 let test_digest_stable_across_pools () =
-  let k = Kernels.softmax Kernels.Picachu in
+  let k = Kernels.softmax Kernels.picachu in
   let digests =
     List.map
       (fun size ->
@@ -111,9 +111,75 @@ let test_digest_stable_across_pools () =
         rest
   | [] -> assert false
 
+let contains_sub s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_backend_changes_address () =
+  (* the approximation backend rewrites kernel bodies (Taylor chains vs LUT
+     references), so it must be part of the cache address: a Taylor compile
+     primed in the cache may never answer for the NLI kernel *)
+  let taylor = Kernels.gelu Kernels.picachu in
+  let nli = Kernels.gelu Kernels.picachu_nli in
+  Alcotest.(check bool) "backend is part of the address" true
+    (Compiler.cache_key (opts ()) taylor <> Compiler.cache_key (opts ()) nli);
+  ignore (Compiler.memo_result (opts ()) taylor);
+  let runs = Compiler.compile_count () in
+  (match Compiler.memo_result (opts ()) nli with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "nli gelu failed: %s" (Picachu_error.to_string e));
+  Alcotest.(check bool) "nli compile was not served from the taylor entry"
+    true
+    (Compiler.compile_count () > runs)
+
+let test_nli_roster_compiles () =
+  (* every library kernel compiles under the NLI backend on the default
+     PICACHU architecture — the tables all fit the tile ROM budget *)
+  List.iter
+    (fun (k : Kernel.t) ->
+      match Compiler.memo_result (opts ()) k with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "nli %s failed: %s" k.Kernel.name
+            (Picachu_error.to_string e))
+    (Kernels.all Kernels.picachu_nli @ Kernels.extras Kernels.picachu_nli)
+
+let test_lut_capacity_rejection () =
+  (* a tile ROM budget smaller than the referenced segment tables must be
+     a mapping failure naming the tables, not a silent success *)
+  let arch = Arch.with_lut_capacity 128 (Arch.picachu ()) in
+  let o = Compiler.picachu_options ~arch () in
+  (match Compiler.compile_result o (Kernels.gelu Kernels.picachu_nli) with
+  | Ok _ -> Alcotest.fail "gelu nli mapped into a 128-byte LUT budget"
+  | Error (Picachu_error.Unmappable { reasons; _ }) ->
+      Alcotest.(check bool) "reason names the LUT tables" true
+        (List.exists
+           (fun (_, msg) ->
+             contains_sub msg "LUT tables" && contains_sub msg "nli.gelu")
+           reasons)
+  | Error e ->
+      Alcotest.failf "unexpected error: %s" (Picachu_error.to_string e));
+  (* the Taylor form of the same kernel references only the 2 KiB phi
+     table, which a 2 KiB budget admits and the 128-byte one rejects *)
+  (match
+     Compiler.compile_result
+       (Compiler.picachu_options
+          ~arch:(Arch.with_lut_capacity 2048 (Arch.picachu ())) ())
+       (Kernels.gelu Kernels.picachu)
+   with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "taylor gelu at 2 KiB failed: %s"
+        (Picachu_error.to_string e));
+  match Compiler.compile_result o (Kernels.gelu Kernels.picachu) with
+  | Ok _ -> Alcotest.fail "taylor gelu mapped into a 128-byte LUT budget"
+  | Error (Picachu_error.Unmappable _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Picachu_error.to_string e)
+
 let test_unknown_kernel_no_miss () =
   let before = Compiler.cache_stats () in
-  (match Compiler.cached_result (opts ()) Kernels.Picachu "nope" with
+  (match Compiler.cached_result (opts ()) Kernels.picachu "nope" with
   | Error (Picachu_error.Unknown_kernel "nope") -> ()
   | _ -> Alcotest.fail "expected Unknown_kernel");
   let after = Compiler.cache_stats () in
@@ -138,13 +204,13 @@ let test_roster_digests_unique () =
           | None -> ());
           Hashtbl.add tbl d k.Kernel.name)
         roster)
-    [ Kernels.Picachu; Kernels.Baseline ]
+    [ Kernels.picachu; Kernels.picachu_nli; Kernels.Baseline ]
 
 (* ----------------------------------------------------- instrumentation *)
 
 let test_per_pass_stats () =
   Compiler.reset_stats ();
-  let k = Kernels.softmax Kernels.Picachu in
+  let k = Kernels.softmax Kernels.picachu in
   let t0 = Unix.gettimeofday () in
   (match Compiler.compile_result (opts ()) k with
   | Ok _ -> ()
@@ -190,7 +256,7 @@ let test_per_pass_stats () =
     (summed <= elapsed +. 1e-3)
 
 let test_dump_after_roundtrip () =
-  let k = Kernels.softmax Kernels.Picachu in
+  let k = Kernels.softmax Kernels.picachu in
   let dumps = ref [] in
   Pipeline.set_dump_after
     ~sink:(fun ~pass s -> dumps := (pass, s) :: !dumps)
@@ -209,7 +275,7 @@ let test_dump_after_roundtrip () =
   | l -> Alcotest.failf "expected exactly one unroll dump, got %d" (List.length l)
 
 let test_pass_failure_names_pass () =
-  let k = Kernels.relu Kernels.Picachu in
+  let k = Kernels.relu Kernels.picachu in
   let bad = { k with Kernel.outputs = [] } in
   match Compiler.compile_result (opts ()) bad with
   | Error (Picachu_error.Verification_failed { findings; _ }) ->
@@ -331,9 +397,9 @@ let test_golden_mappings_digest () =
           add (prefix ^ "/" ^ k.Kernel.name) (Compiler.compile_result o k))
         (roster variant))
     [
-      ("picachu", Kernels.Picachu, Compiler.picachu_options ());
+      ("picachu", Kernels.picachu, Compiler.picachu_options ());
       ("baseline", Kernels.Baseline, Compiler.baseline_options ());
-      ("picachu-v4", Kernels.Picachu, Compiler.picachu_options ~vector:4 ());
+      ("picachu-v4", Kernels.picachu, Compiler.picachu_options ~vector:4 ());
     ];
   Alcotest.(check string) "all emitted mappings byte-identical to the seed"
     mappings_digest_pin
@@ -353,6 +419,11 @@ let suite =
           test_digest_stable_across_pools;
         Alcotest.test_case "unknown kernel adds no miss" `Quick
           test_unknown_kernel_no_miss;
+        Alcotest.test_case "backend changes the cache address" `Quick
+          test_backend_changes_address;
+        Alcotest.test_case "nli roster compiles" `Slow test_nli_roster_compiles;
+        Alcotest.test_case "lut capacity rejects oversized tables" `Quick
+          test_lut_capacity_rejection;
         Alcotest.test_case "library roster structurally distinct" `Quick
           test_roster_digests_unique;
         Alcotest.test_case "per-pass stats account for the auto-tune" `Quick

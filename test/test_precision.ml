@@ -26,7 +26,7 @@ module Parallel = Picachu_parallel.Parallel
 open Picachu
 
 let qtest = QCheck_alcotest.to_alcotest
-let roster = Kernels.all Kernels.Picachu @ Kernels.extras Kernels.Picachu
+let roster = Kernels.all Kernels.picachu @ Kernels.extras Kernels.picachu
 
 (* ---------------------------------------------------------- affine domain *)
 
@@ -97,13 +97,13 @@ let test_rope_fits_narrower_than_intervals () =
 let select name = Compiler.select_format ~budget:1e-2
     (List.find (fun k -> k.Kernel.name = name) roster)
 
-let test_select_relu_fp8 () =
+let test_select_relu_fp4 () =
   (* relu is exact in every format on in-range inputs: max(x, 0) introduces
-     no rounding on an already-quantized value — the 8-bit E4M3 proves
+     no rounding on an already-quantized value — the 4-bit E2M1 proves
      bound 0 and wins the ladder *)
   let c = select "relu" in
-  Alcotest.(check string) "chosen" "fp8_e4m3" (Numfmt.name c.Precision.fmt);
-  Alcotest.(check int) "8 bits" 8 (Numfmt.bits c.Precision.fmt);
+  Alcotest.(check string) "chosen" "fp4_e2m1" (Numfmt.name c.Precision.fmt);
+  Alcotest.(check int) "4 bits" 4 (Numfmt.bits c.Precision.fmt);
   Alcotest.(check (float 0.0)) "proven bound 0" 0.0 c.Precision.bound;
   Alcotest.(check bool) "no fallback" false c.Precision.fallback
 
@@ -272,8 +272,8 @@ let suite =
         qtest prop_affine_mul_sound;
         Alcotest.test_case "rope fits q4.8 where intervals cannot" `Quick
           test_rope_fits_narrower_than_intervals;
-        Alcotest.test_case "relu selects fp8_e4m3 at bound 0" `Quick
-          test_select_relu_fp8;
+        Alcotest.test_case "relu selects fp4_e2m1 at bound 0" `Quick
+          test_select_relu_fp4;
         Alcotest.test_case "gelu selects sub-q16 format" `Quick
           test_select_gelu_sub_q16;
         Alcotest.test_case "softmax falls back honestly" `Quick

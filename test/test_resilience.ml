@@ -37,7 +37,7 @@ let test_none_injector_invisible () =
   let opts = Compiler.picachu_options () in
   List.iter
     (fun name ->
-      let compiled = Compiler.cached opts Kernels.Picachu name in
+      let compiled = Compiler.cached opts Kernels.picachu name in
       let env = env_for compiled.Compiler.kernel in
       let plain = (Hw_sim.run compiled env).Hw_sim.result in
       let inj = Fault.injector ~salt:3 Fault.none in
@@ -68,7 +68,7 @@ let test_unmappable_carries_reasons () =
      baseline fabric has none, so every unroll candidate must fail and say
      why *)
   let opts = Compiler.picachu_options ~arch:(Arch.baseline ()) () in
-  match Compiler.compile_result opts (Kernels.by_name Kernels.Picachu "gelu") with
+  match Compiler.compile_result opts (Kernels.by_name Kernels.picachu "gelu") with
   | Ok _ -> Alcotest.fail "picachu gelu should not map on the baseline fabric"
   | Error (Picachu_error.Unmappable { kernel; reasons }) ->
       Alcotest.(check string) "kernel name" "gelu" kernel;
@@ -82,7 +82,7 @@ let test_unmappable_carries_reasons () =
   | Error e -> Alcotest.failf "unexpected error: %s" (Picachu_error.to_string e)
 
 let test_unknown_kernel_typed () =
-  match Compiler.cached_result (Compiler.picachu_options ()) Kernels.Picachu "nope" with
+  match Compiler.cached_result (Compiler.picachu_options ()) Kernels.picachu "nope" with
   | Error (Picachu_error.Unknown_kernel "nope") -> ()
   | Error e -> Alcotest.failf "unexpected error: %s" (Picachu_error.to_string e)
   | Ok _ -> Alcotest.fail "unknown kernel compiled?"
@@ -94,9 +94,9 @@ let test_negative_caching () =
     | Error e -> Alcotest.failf "unexpected error: %s" (Picachu_error.to_string e)
     | Ok _ -> Alcotest.fail "expected an unmappable kernel"
   in
-  expect_unmappable (Compiler.cached_result opts Kernels.Picachu "softmax");
+  expect_unmappable (Compiler.cached_result opts Kernels.picachu "softmax");
   let before = Compiler.compile_count () in
-  expect_unmappable (Compiler.cached_result opts Kernels.Picachu "softmax");
+  expect_unmappable (Compiler.cached_result opts Kernels.picachu "softmax");
   Alcotest.(check int)
     "failure answered from the cache, no recompilation" before
     (Compiler.compile_count ())
@@ -179,7 +179,7 @@ let test_transient_errors_retried () =
 
 let test_zero_rate_never_corrected =
   let compiled =
-    Compiler.cached (Compiler.picachu_options ()) Kernels.Picachu "gelu"
+    Compiler.cached (Compiler.picachu_options ()) Kernels.picachu "gelu"
   in
   let env = env_for compiled.Compiler.kernel in
   qtest

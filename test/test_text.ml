@@ -32,13 +32,13 @@ let test_roundtrip_library () =
           let back = Kernel_text.of_string text in
           Alcotest.(check bool) (k.Kernel.name ^ " roundtrips") true (kernels_equal k back))
         (Kernels.all variant @ Kernels.extras variant))
-    [ Kernels.Picachu; Kernels.Baseline ]
+    [ Kernels.picachu; Kernels.Baseline ]
 
 let test_roundtrip_transformed () =
-  let k = Transform.unroll_kernel 4 (Kernels.layernorm Kernels.Picachu) in
+  let k = Transform.unroll_kernel 4 (Kernels.layernorm Kernels.picachu) in
   let back = Kernel_text.of_string (Kernel_text.to_string k) in
   Alcotest.(check bool) "unrolled roundtrips" true (kernels_equal k back);
-  let kv = Transform.vectorize_kernel 4 (Kernels.relu Kernels.Picachu) in
+  let kv = Transform.vectorize_kernel 4 (Kernels.relu Kernels.picachu) in
   let back = Kernel_text.of_string (Kernel_text.to_string kv) in
   Alcotest.(check bool) "vectorized roundtrips" true (kernels_equal kv back)
 
@@ -108,7 +108,7 @@ endkernel
 
 let test_pre_expressions_roundtrip () =
   (* layernorm's glue exercises nested Sbin and Sisqrt *)
-  let k = Kernels.layernorm Kernels.Picachu in
+  let k = Kernels.layernorm Kernels.picachu in
   let back = Kernel_text.of_string (Kernel_text.to_string k) in
   let pre_of (kk : Kernel.t) = (List.nth kk.Kernel.loops 1).Kernel.pre in
   Alcotest.(check bool) "glue preserved" true (pre_of k = pre_of back)

@@ -30,12 +30,10 @@ open Picachu
 let library variant = Kernels.all variant @ Kernels.extras variant
 
 let options_of = function
-  | Kernels.Picachu -> Compiler.picachu_options ()
+  | Kernels.Picachu _ -> Compiler.picachu_options ()
   | Kernels.Baseline -> Compiler.baseline_options ()
 
-let variant_name = function
-  | Kernels.Picachu -> "picachu"
-  | Kernels.Baseline -> "baseline"
+let variant_name = Kernels.variant_name
 
 (* All structural (non-range) findings for one compiled kernel. *)
 let structural_findings (opts : Compiler.options) (c : Compiler.compiled) =
@@ -72,7 +70,7 @@ let test_library_clean () =
             (Printf.sprintf "%s (%s)" k.Kernel.name (variant_name variant))
             fs)
         (library variant))
-    [ Kernels.Picachu; Kernels.Baseline ];
+    [ Kernels.picachu; Kernels.Baseline ];
   Alcotest.(check int) "structural findings across library" 0 !total
 
 (* The range pass may warn but must never produce Error-severity findings
@@ -84,7 +82,7 @@ let test_library_range_no_errors () =
         (fun (k : Kernel.t) ->
           fail_findings k.Kernel.name (Finding.errors (Range.analyze k)))
         (library variant))
-    [ Kernels.Picachu; Kernels.Baseline ]
+    [ Kernels.picachu; Kernels.Baseline ]
 
 (* Every mapping produced across the default Explore sweep grid validates:
    the acceptance bar is 100% of Mapper.map_dfg results, every sweep
@@ -101,7 +99,7 @@ let test_sweep_architectures_validate () =
   let roster =
     List.filter
       (fun (k : Kernel.t) -> k.Kernel.name <> "softmax_online")
-      (Kernels.all Kernels.Picachu)
+      (Kernels.all Kernels.picachu)
   in
   let results =
     Parallel.parallel_map_array
@@ -147,7 +145,7 @@ let test_knob_preserves_mappings () =
       ~finally:(fun () -> Unix.putenv "PICACHU_VERIFY" "1")
       (fun () ->
         Compiler.compile (Compiler.picachu_options ())
-          (Kernels.gelu Kernels.Picachu))
+          (Kernels.gelu Kernels.picachu))
   in
   let off = fingerprint (compile_with "0") in
   let on = fingerprint (compile_with "1") in
@@ -159,7 +157,7 @@ let test_knob_preserves_mappings () =
 let victim =
   lazy
     (let opts = Compiler.picachu_options () in
-     let c = Compiler.compile_with_unroll opts 1 (Kernels.gelu Kernels.Picachu) in
+     let c = Compiler.compile_with_unroll opts 1 (Kernels.gelu Kernels.picachu) in
      let cl = List.hd c.Compiler.loops in
      (opts.Compiler.arch, cl.Compiler.dfg, cl.Compiler.mapping))
 
@@ -325,7 +323,7 @@ let test_dfg_mutant_forward_cycle () =
 
 let test_dfg_mutant_origin_coverage () =
   let opts = Compiler.picachu_options () in
-  let c = Compiler.compile_with_unroll opts 1 (Kernels.gelu Kernels.Picachu) in
+  let c = Compiler.compile_with_unroll opts 1 (Kernels.gelu Kernels.picachu) in
   let cl = List.hd c.Compiler.loops in
   let g = cl.Compiler.dfg and source = cl.Compiler.source in
   fail_findings "unmutated origins" (Verify.check_dfg ~source g);
@@ -349,7 +347,7 @@ let map_first_loop f (k : Kernel.t) =
   | [] -> k
 
 let test_lint_mutant_forward_ref () =
-  let k = Kernels.relu Kernels.Picachu in
+  let k = Kernels.relu Kernels.picachu in
   (* make some non-phi instruction consume its own (not yet computed) result *)
   let mutate (l : Kernel.loop) =
     let body =
@@ -366,7 +364,7 @@ let test_lint_mutant_forward_ref () =
     (List.mem "forward-ref" (lint_codes (map_first_loop mutate k)))
 
 let test_lint_mutant_arity () =
-  let k = Kernels.relu Kernels.Picachu in
+  let k = Kernels.relu Kernels.picachu in
   let mutate (l : Kernel.loop) =
     let body =
       List.map
@@ -382,7 +380,7 @@ let test_lint_mutant_arity () =
     (List.mem "arity" (lint_codes (map_first_loop mutate k)))
 
 let test_lint_mutant_branch_count () =
-  let k = Kernels.relu Kernels.Picachu in
+  let k = Kernels.relu Kernels.picachu in
   let mutate (l : Kernel.loop) =
     (* the branch is the last instruction; dropping it keeps ids dense *)
     let body =
@@ -394,12 +392,12 @@ let test_lint_mutant_branch_count () =
     (List.mem "branch-count" (lint_codes (map_first_loop mutate k)))
 
 let test_lint_mutant_undeclared_stream () =
-  let k = Kernels.relu Kernels.Picachu in
+  let k = Kernels.relu Kernels.picachu in
   Alcotest.(check bool) "undeclared-stream reported" true
     (List.mem "undeclared-stream" (lint_codes { k with Kernel.inputs = [] }))
 
 let test_lint_mutant_undeclared_output () =
-  let k = Kernels.relu Kernels.Picachu in
+  let k = Kernels.relu Kernels.picachu in
   Alcotest.(check bool) "undeclared output store reported" true
     (List.mem "undeclared-stream" (lint_codes { k with Kernel.outputs = [] }))
 
@@ -439,7 +437,7 @@ let test_unroll_no_dead_consts () =
               (Verify.lint_kernel u)
           in
           fail_findings (Printf.sprintf "%s UF%d" k.Kernel.name uf) dead)
-        (library Kernels.Picachu))
+        (library Kernels.picachu))
     [ 2; 4 ]
 
 (* ----------------------------------------------------------- range analysis *)
@@ -535,13 +533,13 @@ let test_range_verdicts () =
     (fun name ->
       Alcotest.(check bool)
         (name ^ " safe") true
-        (Range.safe (Kernels.by_name Kernels.Picachu name)))
+        (Range.safe (Kernels.by_name Kernels.picachu name)))
     [ "relu"; "gelu"; "silu"; "swiglu"; "geglu"; "rope" ];
   List.iter
     (fun name ->
       Alcotest.(check bool)
         (name ^ " flagged") false
-        (Range.safe (Kernels.by_name Kernels.Picachu name)))
+        (Range.safe (Kernels.by_name Kernels.picachu name)))
     [ "softmax"; "softmax_online"; "layernorm"; "rmsnorm" ]
 
 let test_range_flags_overflow () =
@@ -604,14 +602,14 @@ let test_range_consistent_with_interp () =
               r.Interp.out_arrays
           end)
         (library variant))
-    [ Kernels.Picachu; Kernels.Baseline ]
+    [ Kernels.picachu; Kernels.Baseline ]
 
 (* --------------------------------------------------------------- gate wiring *)
 
 let test_gate_rejects_bad_kernel () =
   (* the env knob is on (test/main.ml); a kernel whose IR fails the linter
      must come back as Verification_failed, not Ok *)
-  let k = Kernels.relu Kernels.Picachu in
+  let k = Kernels.relu Kernels.picachu in
   let bad = { k with Kernel.outputs = [] } in
   match Compiler.compile_result (Compiler.picachu_options ()) bad with
   | Error (Picachu_error.Verification_failed { findings; _ }) ->
