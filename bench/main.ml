@@ -24,6 +24,7 @@ module Surrogate = Picachu_llm.Surrogate
 module Zero_shot = Picachu_llm.Zero_shot
 module Gemmini = Picachu_baselines.Gemmini
 module Tandem = Picachu_baselines.Tandem
+module One_sa = Picachu_baselines.One_sa
 module Approx = Picachu_numerics.Approx
 module Taylor = Picachu_numerics.Taylor
 open Picachu
@@ -87,6 +88,10 @@ let bench_tests =
     Test.make ~name:"fig8:tandem-gpt2xl"
       (Staged.stage (fun () ->
            ignore (Tandem.run Tandem.default (Workload.of_model Mz.gpt2_xl ~seq:1024))));
+    (* baseline: nonlinear ops time-multiplexed onto the systolic array *)
+    Test.make ~name:"baseline:one-sa"
+      (Staged.stage (fun () ->
+           ignore (One_sa.run One_sa.default (Workload.of_model Mz.llama2_7b ~seq:1024))));
     (* frontend: pattern matching a full transformer block *)
     Test.make ~name:"frontend:match-llama-block"
       (Staged.stage (fun () ->
@@ -145,6 +150,15 @@ let bench_tests =
       (Staged.stage (fun () ->
            Compiler.cache_clear ();
            ignore (Explore.sweep ~warm:true ())));
+    (* dse: a tiny seeded annealing run on the warm cache — tracks the
+       per-candidate overhead of the co-design search machinery itself
+       (move generation, hint seeding, batched evaluation, acceptance) *)
+    Test.make ~name:"dse:codesign-anneal"
+      (Staged.stage (fun () ->
+           ignore
+             (Codesign.run
+                ~config:{ Codesign.default_config with Codesign.iters = 8 }
+                ())));
     (* compile: one cold pipeline run (auto-tuned softmax), no memoization *)
     Test.make ~name:"compile:pipeline-softmax"
       (Staged.stage (fun () ->

@@ -55,6 +55,24 @@ echo "$backends_out" | grep -Eq "nli lowers the summed II on [1-9][0-9]*/" || {
 echo "$backends_out" | grep -q "every nli table fits" || {
   echo "backends smoke: an nli table exceeds the tile ROM budget"; exit 1; }
 
+echo "== codesign smoke =="
+# a small seeded annealing run must walk off the hand-designed 4x4 point:
+# the verdict line asserts best perf/area >= the Explore.reference_point
+codesign_out="$(dune exec bin/picachu_cli.exe -- codesign --iters 16 --seed 7)"
+echo "$codesign_out"
+echo "$codesign_out" | grep -q "beats reference" || {
+  echo "codesign smoke: search did not beat the 4x4 reference point"; exit 1; }
+
+echo "== one-sa baseline smoke =="
+# the third Figure 8 philosophy must run end to end and keep the narrative:
+# no scalar cliff (covers llama), but PICACHU stays ahead on geomean
+onesa_out="$(dune exec bin/picachu_cli.exe -- experiments onesa)"
+echo "$onesa_out"
+echo "$onesa_out" | grep -q "ONE-SA" || {
+  echo "one-sa smoke: baseline column missing"; exit 1; }
+echo "$onesa_out" | grep -q "PICACHU vs ONE-SA geomean" || {
+  echo "one-sa smoke: geomean summary line missing"; exit 1; }
+
 echo "== fault campaign smoke =="
 dune exec examples/fault_campaign.exe -- 0.002 7
 

@@ -721,6 +721,41 @@ let backends_cmd =
              loop, and resident LUT ROM bytes.")
     Term.(const run $ const ())
 
+(* --------------------------------------------------------------- codesign *)
+
+let codesign_cmd =
+  let iters =
+    Arg.(value & opt int Codesign.default_config.Codesign.iters
+         & info [ "iters" ] ~docv:"N" ~doc:"Candidate evaluation budget.")
+  in
+  let seed =
+    Arg.(value & opt int Codesign.default_config.Codesign.seed
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Search seed (the trace is a pure function of it).")
+  in
+  let area_cap =
+    Arg.(value & opt (some float) None
+         & info [ "area-cap" ] ~docv:"MM2"
+             ~doc:"Constrained mode: maximize geomean throughput subject to \
+                   area <= $(docv) instead of maximizing perf/area.")
+  in
+  let run iters seed area_cap =
+    let objective =
+      match area_cap with
+      | None -> Codesign.Perf_per_area
+      | Some cap -> Codesign.Throughput_under_cap cap
+    in
+    let config = { Codesign.default_config with Codesign.iters; seed; objective } in
+    Report.codesign_table (Codesign.run ~config ())
+  in
+  Cmd.v
+    (Cmd.info "codesign"
+       ~doc:"Automated HW/SW co-design: seeded simulated annealing over grid \
+             dims, tile FU mix, CoT share, and LUT ROM capacity, scoring \
+             each candidate's full-roster geomean throughput and area; \
+             reports the discovered architecture against the hand-designed \
+             4x4 reference point.")
+    Term.(const run $ iters $ seed $ area_cap)
+
 (* --------------------------------------------------------------- simulate *)
 
 let simulate_cmd =
@@ -772,4 +807,4 @@ let simulate_cmd =
 let () =
   let doc = "PICACHU: plug-in CGRA for nonlinear operations in LLMs (ASPLOS'25 reproduction)" in
   let info = Cmd.info "picachu" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; stats_cmd; lint_cmd; formats_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd; serve_cmd; cluster_cmd; backends_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; stats_cmd; lint_cmd; formats_cmd; dump_cmd; hw_run_cmd; frontend_cmd; arch_cmd; models_cmd; simulate_cmd; serve_cmd; cluster_cmd; backends_cmd; codesign_cmd ]))

@@ -1,0 +1,53 @@
+module Registry = Picachu_nonlinear.Registry
+module Workload = Picachu_llm.Workload
+module Systolic = Picachu_systolic.Systolic
+
+type t = { systolic : Systolic.t; nl_lanes : float; switch_cycles : int }
+
+(* Effective nonlinear SIMD width: a PE row could hold dim elements, but
+   each element needs its own segment's three quadratic coefficients from
+   the weight bus, which broadcasts one coefficient set per cycle — the
+   select + two Horner steps leave ~dim/4 elements in flight.  Mode switch:
+   drain + refill the dim-deep pipeline, plus a fixed coefficient-table
+   reload for the incoming operator's piecewise segments. *)
+let default =
+  {
+    systolic = Systolic.default;
+    nl_lanes = float_of_int (Systolic.default.Systolic.dim / 4);
+    switch_cycles = (2 * Systolic.default.Systolic.dim) + 32;
+  }
+
+(* Piecewise-quadratic evaluation on the MAC datapath: segment compare +
+   two Horner MACs for one polynomial; exp/reciprocal/rsqrt cost one
+   polynomial each; reduction passes (max, sum, mean, var) stream through
+   the array and fold to ~1 MAC op per element per pass. *)
+let mac_ops_per_elem = function
+  | Registry.Relu -> 1.0
+  | Registry.Gelu | Registry.Silu -> 5.0
+  | Registry.Swiglu | Registry.Geglu -> 6.0
+  | Registry.Softmax -> 8.0 (* max pass, exp, sum pass, reciprocal + mul *)
+  | Registry.Layernorm -> 6.0 (* mean, var, rsqrt, scale *)
+  | Registry.Rmsnorm -> 5.0
+  | Registry.Rope -> 6.0 (* sin + cos polynomials + rotation muls *)
+
+let nl_cycles t (nl : Workload.nl) =
+  let elems = nl.rows * nl.dim in
+  let compute =
+    int_of_float
+      (ceil (float_of_int elems *. mac_ops_per_elem nl.op /. t.nl_lanes))
+  in
+  nl.nl_count * (compute + t.switch_cycles)
+
+type result = { gemm_cycles : int; nl_cycles_total : int; total_cycles : int }
+
+let run t (w : Workload.t) =
+  let gemm_cycles =
+    List.fold_left
+      (fun acc (g : Workload.gemm) ->
+        acc + (g.count * Systolic.gemm_cycles t.systolic ~m:g.m ~k:g.k ~n:g.n))
+      0 w.gemms
+  in
+  let nl_cycles_total =
+    List.fold_left (fun acc nl -> acc + nl_cycles t nl) 0 w.nls
+  in
+  { gemm_cycles; nl_cycles_total; total_cycles = gemm_cycles + nl_cycles_total }

@@ -1,0 +1,47 @@
+(** Behavioural model of ONE-SA (Sun et al., DATE'24) — the third
+    architectural philosophy in the Figure 8 comparison.
+
+    ONE-SA executes nonlinear operations *inside* the systolic array: the PE
+    grid is reconfigured between GEMM tiles and evaluates piecewise-quadratic
+    approximations on the MAC datapath itself.  Coverage is universal and the
+    silicon premium is zero (no dedicated nonlinear unit, no near-core vector
+    processor, no plug-in CGRA), but the array time-multiplexes between GEMM
+    and nonlinear modes — every nonlinear instance pays a drain + reconfigure
+    penalty, and the approximation runs on plain MACs with per-row segment
+    coefficient broadcast, so only one PE row's worth of lanes is effective.
+
+    Against Gemmini it removes the scalar-core cliff; against Tandem it
+    trades the dedicated pipeline's overlap for area; against PICACHU it
+    isolates what the plug-in CGRA buys *beyond* coverage: concurrency with
+    the GEMM engine and operator-level parallelism. *)
+
+module Registry = Picachu_nonlinear.Registry
+module Workload = Picachu_llm.Workload
+
+type t = {
+  systolic : Picachu_systolic.Systolic.t;
+  nl_lanes : float;
+      (** effective SIMD width in nonlinear mode — coefficient-broadcast
+          limited to ~dim/4, far below the dim^2 PEs doing GEMM *)
+  switch_cycles : int;
+      (** GEMM <-> nonlinear mode switch: pipeline drain/refill plus
+          coefficient-table reload, paid once per nonlinear instance *)
+}
+
+val default : t
+
+val mac_ops_per_elem : Registry.opkind -> float
+(** MAC-datapath operations per element of the piecewise-quadratic
+    evaluation (segment select, Horner steps, and any reduction passes
+    folded in per element). *)
+
+val nl_cycles : t -> Workload.nl -> int
+(** Compute at [nl_lanes] effective lanes plus the per-instance mode
+    switch.  No DMA term: operands are already resident in the array's
+    SRAM from the producing GEMM — the whole point of executing
+    in-array. *)
+
+type result = { gemm_cycles : int; nl_cycles_total : int; total_cycles : int }
+
+val run : t -> Workload.t -> result
+(** GEMM and nonlinear phases strictly serialize (one array, two modes). *)

@@ -16,6 +16,7 @@ module Ppl = Picachu_llm.Ppl
 module Zero_shot = Picachu_llm.Zero_shot
 module Gemmini = Picachu_baselines.Gemmini
 module Tandem = Picachu_baselines.Tandem
+module One_sa = Picachu_baselines.One_sa
 module Systolic = Picachu_systolic.Systolic
 module Stats = Picachu_tensor.Stats
 module Fault = Picachu_cgra.Fault
@@ -1367,6 +1368,52 @@ let print_backends () =
     (List.length backends_roster)
     Arch.default_lut_capacity_bytes
 
+(* ------------------------------------- supplementary: ONE-SA + codesign *)
+
+(* Figure 8a extended with the third architectural philosophy: nonlinear
+   ops executed *inside* the systolic array (ONE-SA), vs Gemmini's
+   dedicated-unit/scalar-fallback split and PICACHU's plug-in CGRA.  Same
+   CPU-offload numerator as fig8a, so rows are comparable side by side. *)
+let onesa () =
+  let sys = Systolic.default in
+  List.map
+    (fun m ->
+      let w = Workload.of_model m ~seq in
+      let gemm_s =
+        List.fold_left
+          (fun acc (g : Workload.gemm) ->
+            acc +. (float_of_int g.count *. Systolic.gemm_seconds sys ~m:g.m ~k:g.k ~n:g.n))
+          0.0 w.Workload.gemms
+      in
+      let cpu_s = gemm_s +. Cpu.total_nl_seconds Cpu.i7_11370h w in
+      let gem = Gemmini.run Gemmini.default w in
+      let gem_s = float_of_int gem.Gemmini.total_cycles *. 1e-9 in
+      let osa = One_sa.run One_sa.default w in
+      let osa_s = float_of_int osa.One_sa.total_cycles *. 1e-9 in
+      let cfg = Simulator.default_config ~vector:4 () in
+      let pic_s = Simulator.seconds cfg (Simulator.run cfg w) in
+      (m.Mz.name, cpu_s /. gem_s, cpu_s /. osa_s, cpu_s /. pic_s))
+    fig8a_models
+
+let print_onesa () =
+  Report.section
+    "Figure 8a extended: ONE-SA (nonlinear ops inside the systolic array)";
+  Report.table
+    ~header:[ "model"; "Gemmini"; "ONE-SA"; "PICACHU" ]
+    (List.map
+       (fun (m, g, o, p) ->
+         [ m; Report.fmt_x g; Report.fmt_x o; Report.fmt_x p ])
+       (onesa ()));
+  let rows = onesa () in
+  Printf.printf "PICACHU vs ONE-SA geomean: %s (coverage without a plug-in: no area, but the array time-multiplexes)\n"
+    (Report.fmt_x (Stats.geomean (List.map (fun (_, _, o, p) -> p /. o) rows)))
+
+(* Small pinned-seed co-design run: enough budget to walk off the
+   hand-designed 4x4 point, small enough to stay interactive *)
+let print_codesign () =
+  let config = { Codesign.default_config with Codesign.iters = 32; seed = 7 } in
+  Report.codesign_table (Codesign.run ~config ())
+
 let printers =
   [
     ("fig1", print_fig1);
@@ -1406,6 +1453,8 @@ let extra_printers =
     ("pipeline", print_pipeline);
     ("precision", print_precision);
     ("backends", print_backends);
+    ("onesa", print_onesa);
+    ("codesign", print_codesign);
   ]
 
 let ids = List.map fst printers @ List.map fst extra_printers

@@ -102,6 +102,11 @@ val fig8b : unit -> (string * float * float) list
 (** Per model (BigBird standing in for BERT, GPT2-XL): (Tandem speedup vs
     A100, PICACHU speedup vs A100), at the A100-throughput-matched scale. *)
 
+val onesa : unit -> (string * float * float * float) list
+(** Figure 8a extended with the ONE-SA baseline — per model: (Gemmini,
+    ONE-SA, PICACHU) speedups over the CPU-offload configuration.  Opt-in
+    ([experiments onesa]); the default transcript predates the baseline. *)
+
 val fig9a : unit -> (string * float * float) list
 (** Per OPT/LLaMA model: (PICACHU speedup vs A100, energy reduction). *)
 

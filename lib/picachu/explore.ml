@@ -1,5 +1,6 @@
 module Arch = Picachu_cgra.Arch
 module Cost = Picachu_cgra.Cost
+module Fu = Picachu_cgra.Fu
 module Mapper = Picachu_cgra.Mapper
 module Kernels = Picachu_ir.Kernels
 module Kernel = Picachu_ir.Kernel
@@ -24,9 +25,44 @@ let kernel_roster ?(backend = Kernels.Taylor) () =
     (fun (k : Kernel.t) -> k.Kernel.name <> "softmax_online")
     (Kernels.all (Kernels.Picachu backend))
 
-let evaluate ?(cold = false) ?hints ?(backend = Kernels.Taylor) ~rows ~cols
-    ~cot_share () =
-  let arch = Arch.hetero_mix ~rows ~cols ~cot_share in
+let cot_share_of (arch : Arch.t) =
+  let noncorner = ref 0 and cot = ref 0 in
+  Array.iteri
+    (fun i k ->
+      let r, c = Arch.coords arch i in
+      let corner =
+        (r = 0 || r = arch.Arch.rows - 1) && (c = 0 || c = arch.Arch.cols - 1)
+      in
+      if not corner then begin
+        incr noncorner;
+        match k with Fu.CoT | Fu.UniT -> incr cot | Fu.BaT | Fu.BrT -> ()
+      end)
+    arch.Arch.kinds;
+  if !noncorner = 0 then 0.0
+  else float_of_int !cot /. float_of_int !noncorner
+
+let arch_area (arch : Arch.t) =
+  (* [Cost.cgra_cost] prices each LUT-bearing tile at the calibrated table
+     cost regardless of the declared [lut_capacity_bytes]; charge the
+     capacity delta against the default budget pro-rata so shrinking the ROM
+     is a real area saving the co-design search can exploit.  At the default
+     capacity the delta is exactly 0.0, keeping every pinned figure
+     bit-identical. *)
+  let base = (Cost.cgra_cost arch).Cost.area_mm2 in
+  let lut_tiles =
+    Array.fold_left
+      (fun acc k ->
+        match k with Fu.CoT | Fu.UniT -> acc + 1 | Fu.BaT | Fu.BrT -> acc)
+      0 arch.Arch.kinds
+  in
+  let delta =
+    (Cost.lut_rom_cost ~bytes:arch.Arch.lut_capacity_bytes).Cost.area_mm2
+    -. (Cost.lut_rom_cost ~bytes:Arch.default_lut_capacity_bytes).Cost.area_mm2
+  in
+  base +. (float_of_int lut_tiles *. delta)
+
+let evaluate_arch ?(cold = false) ?hints ?(backend = Kernels.Taylor)
+    (arch : Arch.t) =
   let opts = Compiler.picachu_options ~arch () in
   (* the roster is deduplicated by structural digest before fan-out: two
      kernels that canonicalize identically compile once and share the
@@ -72,17 +108,26 @@ let evaluate ?(cold = false) ?hints ?(backend = Kernels.Taylor) ~rows ~cols
   if throughputs = [] then
     raise (Mapper.Unmappable (arch.Arch.name ^ ": no kernel maps"));
   let geomean_throughput = Stats.geomean throughputs in
-  let area_mm2 = (Cost.cgra_cost arch).Cost.area_mm2 in
+  let area_mm2 = arch_area arch in
   {
-    rows;
-    cols;
-    cot_share;
+    rows = arch.Arch.rows;
+    cols = arch.Arch.cols;
+    cot_share = cot_share_of arch;
     backend;
     arch_name = arch.Arch.name;
     area_mm2;
     geomean_throughput;
     perf_per_area = geomean_throughput /. area_mm2;
   }
+
+let evaluate ?cold ?hints ?backend ~rows ~cols ~cot_share () =
+  let p =
+    evaluate_arch ?cold ?hints ?backend (Arch.hetero_mix ~rows ~cols ~cot_share)
+  in
+  (* keep the requested share as the label (the sweep relabels digest-shared
+     points the same way); the measured mix share is what [evaluate_arch]
+     reports for hand-built instances *)
+  { p with cot_share }
 
 let eval_opt ?cold ?hints ?backend ~rows ~cols ~cot_share () =
   match evaluate ?cold ?hints ?backend ~rows ~cols ~cot_share () with

@@ -21,6 +21,33 @@ type point = {
   perf_per_area : float;
 }
 
+val kernel_roster :
+  ?backend:Picachu_ir.Kernels.backend -> unit -> Picachu_ir.Kernel.t list
+(** The kernels a design point is scored on: the full library authored with
+    [backend] (default Taylor), minus [softmax_online] (same numerics as
+    [softmax], kept out so the streaming variant does not double-weight the
+    geomean).  Exposed so searches layered on top (e.g. {!Codesign}) can
+    pre-compile or harvest warm-start hints for exactly the scored set. *)
+
+val arch_area : Picachu_cgra.Arch.t -> float
+(** {!Picachu_cgra.Cost.cgra_cost} area plus the per-LUT-tile ROM capacity
+    delta against {!Picachu_cgra.Arch.default_lut_capacity_bytes}, priced by
+    {!Picachu_cgra.Cost.lut_rom_cost}.  Exactly the cost-model figure at the
+    default capacity; shrinking the ROM budget is a real area saving, growing
+    it a real cost — the knob the co-design search trades against mapping
+    feasibility. *)
+
+val evaluate_arch :
+  ?cold:bool ->
+  ?hints:Compiler.hints ->
+  ?backend:Picachu_ir.Kernels.backend ->
+  Picachu_cgra.Arch.t ->
+  point
+(** Compile the kernel library onto an arbitrary architecture instance and
+    measure.  [rows]/[cols] are read off the instance and [cot_share] is the
+    measured CoT fraction of its non-corner tiles; area is {!arch_area}.
+    Raises like {!evaluate}. *)
+
 val evaluate :
   ?cold:bool ->
   ?hints:Compiler.hints ->
@@ -30,7 +57,8 @@ val evaluate :
   cot_share:float ->
   unit ->
   point
-(** Compile the kernel library onto the mix and measure. Raises
+(** [evaluate_arch] on [Arch.hetero_mix ~rows ~cols ~cot_share], with the
+    requested share as the point's label. Raises
     {!Picachu_cgra.Mapper.Unmappable} only if some kernel cannot map at any
     candidate unroll factor (kernels that fail are skipped; a point where
     *no* kernel maps raises).  The roster is deduplicated by

@@ -129,3 +129,57 @@ let pass_table (stats : Pipeline.pass_stats list) =
                  (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) cs));
          ])
        stats)
+
+(* Co-design search rendering: the accepted-move trace (the path the
+   annealer walked), totals, the discovered-vs-reference comparison, and a
+   greppable verdict line for the CI smoke. *)
+let codesign_table (r : Codesign.result) =
+  section "HW/SW co-design search (simulated annealing)";
+  Printf.printf "budget %d candidates  batch %d  seed %d  objective %s\n"
+    r.Codesign.config.Codesign.iters r.Codesign.config.Codesign.batch
+    r.Codesign.config.Codesign.seed
+    (match r.Codesign.config.Codesign.objective with
+    | Codesign.Perf_per_area -> "perf/area"
+    | Codesign.Throughput_under_cap cap ->
+        Printf.sprintf "geomean throughput under %.3f mm2" cap);
+  let accepted =
+    List.filter (fun (e : Codesign.trace_entry) -> e.Codesign.accepted) r.Codesign.trace
+  in
+  table
+    ~header:[ "step"; "move"; "arch"; "score"; "best" ]
+    (List.map
+       (fun (e : Codesign.trace_entry) ->
+         [
+           string_of_int e.Codesign.step;
+           e.Codesign.move;
+           e.Codesign.arch_name;
+           (match e.Codesign.score with
+           | Some s -> Printf.sprintf "%.3f" s
+           | None -> "-");
+           Printf.sprintf "%.3f" e.Codesign.best_score;
+         ])
+       accepted);
+  Printf.printf "evaluated %d  accepted %d  infeasible %d\n"
+    r.Codesign.evaluated r.Codesign.accepted_count r.Codesign.infeasible;
+  let p = r.Codesign.best and q = r.Codesign.init_point in
+  table
+    ~header:[ "arch"; "area mm2"; "geomean elems/cyc"; "perf/area" ]
+    [
+      [
+        q.Explore.arch_name ^ " (reference)";
+        Printf.sprintf "%.3f" q.Explore.area_mm2;
+        Printf.sprintf "%.3f" q.Explore.geomean_throughput;
+        Printf.sprintf "%.3f" q.Explore.perf_per_area;
+      ];
+      [
+        p.Explore.arch_name ^ " (discovered)";
+        Printf.sprintf "%.3f" p.Explore.area_mm2;
+        Printf.sprintf "%.3f" p.Explore.geomean_throughput;
+        Printf.sprintf "%.3f" p.Explore.perf_per_area;
+      ];
+    ];
+  Printf.printf "codesign: best perf/area %.3f vs reference %.3f (%s)\n"
+    p.Explore.perf_per_area q.Explore.perf_per_area
+    (if p.Explore.perf_per_area > q.Explore.perf_per_area then
+       "beats reference"
+     else "does not beat reference")

@@ -37,3 +37,8 @@ val pass_table : Pipeline.pass_stats list -> unit
 val search_effort_line : Picachu_cgra.Mapper.counters -> unit
 (** One-line mapper search-effort summary — II attempts, backtracks, and
     (when any hints were consulted) the warm-start hit rate. *)
+
+val codesign_table : Codesign.result -> unit
+(** Render a {!Codesign.result}: the accepted-move trace, search totals,
+    the discovered-vs-reference architecture comparison, and a greppable
+    ["beats reference"] verdict line for the CI smoke. *)

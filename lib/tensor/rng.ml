@@ -27,7 +27,9 @@ let float t =
 let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
 
 let int t n =
-  assert (n > 0);
+  (* a real raise, not [assert]: the check must survive [-noassert] builds,
+     where a nonpositive [n] would otherwise reach [mod] *)
+  if n <= 0 then invalid_arg "Rng.int: n must be > 0";
   (* mask to 62 bits: Int64.to_int wraps 63-bit-and-up values negative *)
   let bits = Int64.to_int (Int64.shift_right_logical (next_raw t) 2) land max_int in
   bits mod n
@@ -43,7 +45,9 @@ let normal t ~mu ~sigma =
 let laplace t ~mu ~b =
   let u = float t -. 0.5 in
   let s = if u < 0.0 then -1.0 else 1.0 in
-  mu -. (b *. s *. log (1.0 -. (2.0 *. abs_float u)))
+  (* [float t] = 0.0 makes u = -0.5 and the log argument exactly 0., so the
+     draw would be -inf; clamp away from zero like [normal] clamps u1 *)
+  mu -. (b *. s *. log (Stdlib.max 1e-300 (1.0 -. (2.0 *. abs_float u))))
 
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do

@@ -28,7 +28,8 @@ val uniform : t -> lo:float -> hi:float -> float
 (** Uniform float in [lo, hi). *)
 
 val int : t -> int -> int
-(** [int t n] is uniform in [0, n). Requires [n > 0]. *)
+(** [int t n] is uniform in [0, n).
+    @raise Invalid_argument if [n <= 0]. *)
 
 val bool : t -> bool
 (** Fair coin. *)
@@ -38,7 +39,8 @@ val normal : t -> mu:float -> sigma:float -> float
 
 val laplace : t -> mu:float -> b:float -> float
 (** Laplace sample; heavy-tailed activations in LLM layers are closer to
-    Laplace than Gaussian, which matters when stressing approximation range. *)
+    Laplace than Gaussian, which matters when stressing approximation range.
+    Always finite: the inverse-CDF log argument is clamped away from zero. *)
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)

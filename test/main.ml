@@ -11,4 +11,5 @@ let () =
    @ Test_llm.suite @ Test_picachu.suite @ Test_hw.suite @ Test_explore.suite @ Test_frontend.suite @ Test_fuzz.suite @ Test_text.suite @ Test_props.suite @ Test_golden.suite @ Test_misc.suite @ Test_parallel.suite
    @ Test_resilience.suite @ Test_verify.suite @ Test_precision.suite
    @ Test_pipeline.suite
-   @ Test_scheduler.suite @ Test_cluster.suite @ Test_mapper_fastpath.suite)
+   @ Test_scheduler.suite @ Test_cluster.suite @ Test_mapper_fastpath.suite
+   @ Test_codesign.suite)

@@ -74,6 +74,47 @@ let test_rng_laplace_median () =
   done;
   check_close 0.03 "median at mu" 0.5 (float_of_int !below /. float_of_int n)
 
+let test_rng_int_invalid () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "n = 0" (Invalid_argument "Rng.int: n must be > 0")
+    (fun () -> ignore (Rng.int r 0));
+  Alcotest.check_raises "n = -1" (Invalid_argument "Rng.int: n must be > 0")
+    (fun () -> ignore (Rng.int r (-1)));
+  (* the failed draws must not have advanced the stream *)
+  Alcotest.(check int) "stream unchanged by failed draws"
+    (Rng.int (Rng.create 1) 7) (Rng.int r 7)
+
+(* splitmix64's finalizer is a bijection fixing 0, so the draw whose
+   pre-mix state is exactly 0 outputs raw 0 — i.e. [float] = 0.0.  Seeding
+   with -2*golden_gamma (mod 2^64) puts the *second* draw there. *)
+let laplace_corner_seed = -4354685564936845354
+
+let test_rng_laplace_corner () =
+  (* premise: the seed really forces the corner *)
+  let r = Rng.create laplace_corner_seed in
+  ignore (Rng.float r);
+  check_float "second float draw is exactly 0.0" 0.0 (Rng.float r);
+  (* at [float] = 0.0 the inverse-CDF argument is log 0. unclamped; the
+     draw must now be finite (deep in the left tail), not -inf *)
+  let r = Rng.create laplace_corner_seed in
+  ignore (Rng.float r);
+  let v = Rng.laplace r ~mu:0.0 ~b:1.0 in
+  Alcotest.(check bool) "laplace finite at the forced corner" true
+    (Float.is_finite v);
+  Alcotest.(check bool) "corner draw lands in the deep left tail" true
+    (v < -100.0)
+
+let prop_distributions_finite =
+  QCheck.Test.make ~name:"laplace/normal/uniform draws always finite"
+    ~count:500 QCheck.int (fun seed ->
+      let r = Rng.create seed in
+      let ok v = Float.is_finite v in
+      List.for_all Fun.id
+        (List.init 50 (fun _ ->
+             ok (Rng.laplace r ~mu:0.0 ~b:2.0)
+             && ok (Rng.normal r ~mu:0.0 ~sigma:3.0)
+             && ok (Rng.uniform r ~lo:(-5.0) ~hi:5.0))))
+
 (* ---------------------------------------------------------------- Tensor *)
 
 let test_create_shape () =
@@ -254,6 +295,18 @@ let test_percentile () =
     (Float.is_nan (Stats.percentile withnan 0.0));
   check_float "reals keep order above nan" 2.0 (Stats.percentile withnan 100.0)
 
+let test_percentile_endpoints_small () =
+  (* endpoint percentiles on the smallest arrays: the rank interpolation
+     must degenerate cleanly (n-1 = 0 and 1) *)
+  let one = [| 42.0 |] in
+  check_float "p0 singleton" 42.0 (Stats.percentile one 0.0);
+  check_float "p100 singleton" 42.0 (Stats.percentile one 100.0);
+  check_float "p50 singleton" 42.0 (Stats.percentile one 50.0);
+  let two = [| 7.0; 3.0 |] in
+  check_float "p0 pair" 3.0 (Stats.percentile two 0.0);
+  check_float "p100 pair" 7.0 (Stats.percentile two 100.0);
+  check_float "p50 pair" 5.0 (Stats.percentile two 50.0)
+
 let prop_percentile_monotone =
   QCheck.Test.make ~name:"percentile monotone in p" ~count:200
     (QCheck.pair arb_tensor (QCheck.pair (QCheck.float_range 0.0 100.0) (QCheck.float_range 0.0 100.0)))
@@ -275,6 +328,9 @@ let suite =
         Alcotest.test_case "copy" `Quick test_rng_copy;
         Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
         Alcotest.test_case "laplace median" `Quick test_rng_laplace_median;
+        Alcotest.test_case "int invalid n" `Quick test_rng_int_invalid;
+        Alcotest.test_case "laplace forced corner" `Quick test_rng_laplace_corner;
+        qtest prop_distributions_finite;
       ] );
     ( "tensor",
       [
@@ -303,6 +359,8 @@ let suite =
         Alcotest.test_case "compare shape" `Quick test_compare_tensors_shape;
         Alcotest.test_case "geomean" `Quick test_geomean;
         Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "percentile endpoints small" `Quick
+          test_percentile_endpoints_small;
         qtest prop_percentile_monotone;
       ] );
   ]
